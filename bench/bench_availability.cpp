@@ -1,0 +1,141 @@
+// Experiment C5 (§1, §2.1, §3.3): controller availability under deterministic
+// app bugs.
+//
+// Motivating numbers in the paper: "16% of the reported [FlowScale] bugs
+// resulted in catastrophic exceptions" and "80% of bugs in production quality
+// software do not have fixes at the time they are encountered" — so the
+// controller must survive *deterministic, recurring* crashes.
+//
+// Workload: a stream of packet-ins over a linear topology served by a
+// learning switch whose wrapper crashes on every poison packet. We sweep the
+// poison rate and compare three recovery regimes:
+//   monolithic          — controller dies on first crash and stays down;
+//   monolithic + reboot — operator reboots the controller after each crash
+//                         (state loss; the deterministic bug recurs);
+//   LegoSDN             — Crash-Pad absorbs each crash (Absolute Compromise).
+//
+// Metric: fraction of benign flows delivered end-to-end ("availability").
+#include "apps/fault_injection.hpp"
+#include "apps/learning_switch.hpp"
+#include "bench_util.hpp"
+#include "legosdn/lego_controller.hpp"
+#include <optional>
+
+#include "netsim/traffic.hpp"
+
+namespace {
+
+using namespace legosdn;
+
+
+struct RunResult {
+  double availability = 0; ///< benign flows delivered / benign flows sent
+  std::uint64_t crashes = 0;
+  std::uint64_t reboots = 0;
+};
+
+ctl::AppPtr make_buggy_app() {
+  apps::CrashTrigger t;
+  t.on_tp_dst = 666;
+  // 10s idle timeout keeps the exact-match tables bounded as time advances.
+  return std::make_shared<apps::CrashyApp>(
+      std::make_shared<apps::LearningSwitch>(/*idle_timeout=*/10), t);
+}
+
+enum class Regime { kMonolithic, kMonolithicReboot, kLegoSDN };
+
+RunResult run(Regime regime, double poison_rate, std::uint64_t seed) {
+  auto net = netsim::Network::linear(4, 1);
+  std::unique_ptr<ctl::Controller> c;
+  if (regime == Regime::kLegoSDN) {
+    auto lego = std::make_unique<lego::LegoController>(*net);
+    lego->add_app(make_buggy_app());
+    lego->start_system();
+  // keep the pointer as base
+    c = std::move(lego);
+  } else {
+    c = std::make_unique<ctl::Controller>(*net);
+    c->register_app(make_buggy_app());
+    c->start();
+  }
+  while (c->run() > 0) {
+  }
+
+  Rng rng(seed);
+  netsim::TrafficGenerator gen(*net, netsim::TrafficGenerator::Pattern::kUniformRandom,
+                               seed);
+  // HotSwap-calibrated: a controller restart keeps the control plane dark
+  // for seconds (the paper cites outages "lasting as long as 10 seconds").
+  constexpr auto kRebootDowntime = std::chrono::seconds(5);
+  std::optional<SimTime> reboot_done;
+  constexpr int kFlows = 800;
+  std::uint64_t benign_sent = 0, benign_delivered = 0, crashes = 0;
+  for (int i = 0; i < kFlows; ++i) {
+    const bool poison = rng.chance(poison_rate);
+    const netsim::Flow f = gen.next_flow();
+    // Every flow is distinct (fresh ephemeral port), so every flow needs the
+    // control plane: this measures *controller* availability, not how long
+    // previously-installed rules keep forwarding.
+    of::Packet p = gen.make_packet(f);
+    if (poison) p.hdr.tp_dst = 666;
+    const auto before = net->host_by_mac(f.dst)->rx_packets;
+    const bool was_crashed = c->crashed();
+    net->inject_from_host(f.src, p);
+    while (c->run() > 0) {
+    }
+    net->advance_time(std::chrono::milliseconds(100)); // flows expire over time
+    while (c->run() > 0) {
+    }
+    if (!was_crashed && c->crashed()) crashes += 1;
+    if (!poison) {
+      benign_sent += 1;
+      if (net->host_by_mac(f.dst)->rx_packets > before) benign_delivered += 1;
+    }
+    if (regime == Regime::kMonolithicReboot && c->crashed() && !reboot_done) {
+      // The watchdog starts a reboot; flows arriving before it completes
+      // find the control plane dark and are lost.
+      reboot_done = net->now() + kRebootDowntime;
+    }
+    if (reboot_done && net->now() >= *reboot_done) {
+      c->reboot(); // back up — with all app state gone
+      while (c->run() > 0) {
+      }
+      reboot_done.reset();
+    }
+  }
+  RunResult res;
+  res.availability = benign_sent ? double(benign_delivered) / benign_sent : 0;
+  res.crashes = crashes;
+  res.reboots = c->stats().reboots;
+  if (regime == Regime::kLegoSDN) {
+    auto* lego = static_cast<lego::LegoController*>(c.get());
+    res.crashes = lego->lego_stats().failstop_crashes;
+  }
+  return res;
+}
+
+} // namespace
+
+int main() {
+  bench::section("C5: availability under deterministic app bugs (§1/§2.1/§3.3)");
+  bench::note("800 distinct flows, linear(4) topology, learning switch with a deterministic");
+  bench::note("poison-packet bug; availability = benign flows delivered end-to-end.");
+  std::printf("\n");
+
+  bench::Table table({"poison rate", "monolithic", "monolithic+reboot", "LegoSDN",
+                      "LegoSDN crashes absorbed"});
+  for (const double rate : {0.005, 0.01, 0.02, 0.05, 0.10}) {
+    const RunResult mono = run(Regime::kMonolithic, rate, 42);
+    const RunResult reboot = run(Regime::kMonolithicReboot, rate, 42);
+    const RunResult lego = run(Regime::kLegoSDN, rate, 42);
+    table.row({bench::fmt_pct(rate), bench::fmt_pct(mono.availability),
+               bench::fmt_pct(reboot.availability), bench::fmt_pct(lego.availability),
+               std::to_string(lego.crashes)});
+  }
+  table.print();
+  std::printf("\n");
+  bench::note("Shape: monolithic availability collapses after the first poison event;");
+  bench::note("reboot-based recovery loses state and stays depressed as the bug recurs;");
+  bench::note("LegoSDN stays near 100% while absorbing every crash.");
+  return 0;
+}

@@ -1,0 +1,175 @@
+// Experiment T1 (Table 1 + §2.1): the fate-sharing matrix.
+//
+// The paper's Table 1 shows the monolithic SDN stack and argues that a
+// failure of ANY component renders the control plane unavailable ("an
+// un-handled exception in one SDN-App will result in the failure of other
+// SDN-Apps and the controller itself").
+//
+// This bench crashes each app in a four-app portfolio, one at a time, under
+// both architectures and reports who survives:
+//   monolithic — Controller: crash propagates to everything;
+//   LegoSDN    — LegoController: the crash is absorbed, everyone else runs.
+#include "apps/fault_injection.hpp"
+#include "apps/firewall.hpp"
+#include "apps/hub.hpp"
+#include "apps/learning_switch.hpp"
+#include "apps/shortest_path_router.hpp"
+#include "bench_util.hpp"
+#include "legosdn/lego_controller.hpp"
+
+namespace {
+
+using namespace legosdn;
+using bench::Table;
+
+of::Packet test_packet(const netsim::Network& net, std::size_t s, std::size_t d,
+                       std::uint16_t tp_dst) {
+  of::Packet p;
+  p.hdr.eth_src = net.hosts()[s].mac;
+  p.hdr.eth_dst = net.hosts()[d].mac;
+  p.hdr.eth_type = of::kEthTypeIpv4;
+  p.hdr.ip_src = net.hosts()[s].ip;
+  p.hdr.ip_dst = net.hosts()[d].ip;
+  p.hdr.ip_proto = of::kIpProtoTcp;
+  p.hdr.tp_src = 40000;
+  p.hdr.tp_dst = tp_dst;
+  p.size_bytes = 200;
+  return p;
+}
+
+struct AppSpec {
+  std::string name;
+  std::function<ctl::AppPtr()> make;
+};
+
+std::vector<AppSpec> portfolio(const netsim::Network& net) {
+  std::vector<apps::ShortestPathRouter::LinkInfo> links;
+  for (const auto& l : net.links()) links.push_back({l.a, l.b});
+  return {
+      {"firewall",
+       [] {
+         return std::make_shared<apps::Firewall>(
+             std::vector<of::Match>{of::Match{}.with_tp_dst(23)});
+       }},
+      {"learning-switch", [] { return std::make_shared<apps::LearningSwitch>(); }},
+      {"router", [links] { return std::make_shared<apps::ShortestPathRouter>(links); }},
+      {"hub", [] { return std::make_shared<apps::Hub>(); }},
+  };
+}
+
+ctl::AppPtr maybe_wrap(const AppSpec& spec, bool victim) {
+  auto app = spec.make();
+  if (!victim) return app;
+  apps::CrashTrigger t;
+  t.on_tp_dst = 666;
+  return std::make_shared<apps::CrashyApp>(app, t);
+}
+
+struct Outcome {
+  bool controller_up = false;
+  int apps_up = 0;
+  int total_apps = 0;
+  bool traffic_flows = false;
+};
+
+bool pump(netsim::Network& net, ctl::Controller& c, std::size_t s, std::size_t d,
+          std::uint16_t port) {
+  const auto before = net.host_by_mac(net.hosts()[d].mac)->rx_packets;
+  net.inject_from_host(net.hosts()[s].mac, test_packet(net, s, d, port));
+  while (c.run() > 0) {
+  }
+  return net.host_by_mac(net.hosts()[d].mac)->rx_packets > before;
+}
+
+// Register apps with the victim at the head of the dispatch chain so the
+// poison event is guaranteed to reach it before any kStop short-circuits.
+template <typename Reg>
+void register_portfolio(const std::vector<AppSpec>& specs, std::size_t victim,
+                        Reg reg) {
+  reg(maybe_wrap(specs[victim], true));
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (i != victim) reg(maybe_wrap(specs[i], false));
+  }
+}
+
+/// The poison packet spoofs a fresh source MAC so it always misses the
+/// exact-match rules installed during warm-up and punts to the controller.
+of::Packet poison_packet(const netsim::Network& net) {
+  of::Packet p = test_packet(net, 0, 2, 666);
+  p.hdr.eth_src = MacAddress::from_uint64(0xBADBADBAD);
+  return p;
+}
+
+Outcome run_monolithic(std::size_t victim) {
+  auto net = netsim::Network::linear(3, 1);
+  ctl::Controller c(*net);
+  const auto specs = portfolio(*net);
+  register_portfolio(specs, victim,
+                     [&](ctl::AppPtr a) { c.register_app(std::move(a)); });
+  c.start();
+  while (c.run() > 0) {
+  }
+  pump(*net, c, 0, 2, 80);
+  pump(*net, c, 2, 0, 80);
+  net->inject_from_host(net->hosts()[0].mac, poison_packet(*net));
+  while (c.run() > 0) {
+  }
+  Outcome out;
+  out.traffic_flows = pump(*net, c, 0, 2, 80) && pump(*net, c, 1, 0, 80);
+  out.controller_up = !c.crashed();
+  out.total_apps = static_cast<int>(specs.size());
+  out.apps_up = c.crashed() ? 0 : out.total_apps; // apps share the process
+  return out;
+}
+
+Outcome run_lego(std::size_t victim) {
+  auto net = netsim::Network::linear(3, 1);
+  lego::LegoController c(*net);
+  const auto specs = portfolio(*net);
+  register_portfolio(specs, victim, [&](ctl::AppPtr a) { c.add_app(std::move(a)); });
+  c.start_system();
+  while (c.run() > 0) {
+  }
+  pump(*net, c, 0, 2, 80);
+  pump(*net, c, 2, 0, 80);
+  net->inject_from_host(net->hosts()[0].mac, poison_packet(*net));
+  while (c.run() > 0) {
+  }
+  Outcome out;
+  out.traffic_flows = pump(*net, c, 0, 2, 80) && pump(*net, c, 1, 0, 80);
+  out.controller_up = !c.crashed();
+  out.total_apps = static_cast<int>(specs.size());
+  for (const auto& e : c.appvisor().entries())
+    if (e.domain->alive()) ++out.apps_up;
+  return out;
+}
+
+} // namespace
+
+int main() {
+  bench::section("T1: fate-sharing matrix (Table 1 / §2.1)");
+  bench::note("Crash one app with a deterministic packet-in bug; observe who survives.");
+  std::printf("\n");
+
+  Table table({"crashed app", "architecture", "controller", "apps alive",
+               "traffic after crash"});
+  auto net0 = netsim::Network::linear(3, 1);
+  const auto specs = portfolio(*net0);
+  for (std::size_t victim = 0; victim < specs.size(); ++victim) {
+    const Outcome mono = run_monolithic(victim);
+    table.row({specs[victim].name + "+bug", "monolithic",
+               mono.controller_up ? "UP" : "DOWN",
+               std::to_string(mono.apps_up) + "/" + std::to_string(mono.total_apps),
+               mono.traffic_flows ? "yes" : "NO"});
+    const Outcome lego = run_lego(victim);
+    table.row({specs[victim].name + "+bug", "LegoSDN",
+               lego.controller_up ? "UP" : "DOWN",
+               std::to_string(lego.apps_up) + "/" + std::to_string(lego.total_apps),
+               lego.traffic_flows ? "yes" : "NO"});
+  }
+  table.print();
+  std::printf("\n");
+  bench::note("Expected shape: monolithic rows -> controller DOWN, 0 apps, no traffic;");
+  bench::note("LegoSDN rows -> controller UP, all apps alive, traffic keeps flowing.");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Experiment C9 (§5 "Handling failures that span multiple transactions"):
+// STS-style minimal causal sequence extraction.
+//
+// Sweeps the event-history length and the size of the true culprit set and
+// reports how many replay probes ddmin needs and whether it recovers the
+// exact culprits — the capability LegoSDN plans to use for picking which
+// checkpoint to roll back to.
+#include <set>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "legosdn/delta_debug.hpp"
+
+namespace {
+
+using namespace legosdn;
+
+/// App that crashes only after seeing ALL arming switch-down events and then
+/// a packet-in from the last armed switch.
+class MultiEventBug : public ctl::App {
+public:
+  explicit MultiEventBug(std::vector<std::uint64_t> culprit_switches)
+      : culprits_(std::move(culprit_switches)) {}
+
+  std::string name() const override { return "multi-event-bug"; }
+  std::vector<ctl::EventType> subscriptions() const override {
+    return {ctl::EventType::kPacketIn, ctl::EventType::kSwitchDown};
+  }
+
+  ctl::Disposition handle_event(const ctl::Event& e, ctl::ServiceApi&) override {
+    if (const auto* d = std::get_if<ctl::SwitchDown>(&e)) {
+      armed_.insert(raw(d->dpid));
+    }
+    if (const auto* pin = std::get_if<of::PacketIn>(&e)) {
+      bool all_armed = true;
+      for (const auto c : culprits_)
+        if (!armed_.contains(c)) all_armed = false;
+      if (all_armed && raw(pin->dpid) == culprits_.back())
+        throw ctl::AppCrash("stale state for switch set");
+    }
+    return ctl::Disposition::kContinue;
+  }
+  void reset() override { armed_.clear(); }
+
+private:
+  std::vector<std::uint64_t> culprits_;
+  std::set<std::uint64_t> armed_;
+};
+
+std::vector<ctl::Event> make_history(std::size_t length,
+                                     const std::vector<std::uint64_t>& culprits,
+                                     Rng& rng) {
+  // Noise: packet-ins and unrelated switch-downs; culprits injected at
+  // random positions in order, with the fatal packet-in last.
+  std::vector<ctl::Event> history;
+  for (std::size_t i = 0; i + culprits.size() < length; ++i) {
+    if (rng.chance(0.2)) {
+      history.push_back(ctl::SwitchDown{DatapathId{100 + rng.below(20)}});
+    } else {
+      of::PacketIn pin;
+      pin.dpid = DatapathId{100 + rng.below(20)};
+      history.push_back(pin);
+    }
+  }
+  // Insert arming switch-downs at sorted random positions.
+  for (const auto c : culprits) {
+    const std::size_t pos = rng.below(history.size());
+    history.insert(history.begin() + static_cast<long>(pos),
+                   ctl::SwitchDown{DatapathId{c}});
+  }
+  of::PacketIn fatal;
+  fatal.dpid = DatapathId{culprits.back()};
+  history.push_back(fatal);
+  return history;
+}
+
+} // namespace
+
+int main() {
+  bench::section("C9: minimal causal sequence via delta debugging (§5 / STS)");
+  bench::Table table({"history length", "true culprits", "found minimal", "probes",
+                      "exact"});
+  Rng rng(2024);
+  for (const std::size_t length : {16u, 64u, 256u}) {
+    for (const std::size_t n_culprits : {1u, 2u, 3u}) {
+      std::vector<std::uint64_t> culprits;
+      for (std::size_t i = 0; i < n_culprits; ++i) culprits.push_back(1 + i);
+      auto history = make_history(length, culprits, rng);
+      auto result = lego::minimize_crash_sequence(
+          [&] { return std::make_shared<MultiEventBug>(culprits); }, history);
+      // Expected minimal: each arming switch-down + the fatal packet-in.
+      const std::size_t expected = n_culprits + 1;
+      table.row({std::to_string(history.size()), std::to_string(expected),
+                 std::to_string(result.minimal.size()), std::to_string(result.probes),
+                 result.reproduced && result.minimal.size() == expected ? "yes"
+                                                                        : "NO"});
+    }
+  }
+  table.print();
+  std::printf("\n");
+  bench::note("Shape: probes grow roughly O(k log n) in history length n; the minimal");
+  bench::note("sequence matches the injected culprit set exactly (deterministic bug).");
+  return 0;
+}

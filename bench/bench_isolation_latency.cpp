@@ -1,0 +1,145 @@
+// Experiments F1 + C1 (Figure 1 / §3.1): the cost of isolation.
+//
+// "We note that serialization and de-serialization of messages, and the
+//  communication protocol overhead introduce additional latency into the
+//  control-loop. The additional latency, however, is acceptable as
+//  introducing the controller into the critical-path already slows down the
+//  network by a factor of four [DevoFlow]."
+//
+// This bench measures per-event control-loop latency (packet-in -> app ->
+// flow-mod/packet-out) under the three dispatch paths of Figure 1:
+//   direct      — app called as a function (monolithic FloodLight);
+//   in-process  — AppVisor domain with a fault boundary, no serialization;
+//   process+UDP — the paper's proxy/stub over real UDP RPC, with and
+//                 without a per-event checkpoint (§4.1 takes one per event).
+#include "appvisor/inprocess_domain.hpp"
+#include "appvisor/process_domain.hpp"
+#include "apps/learning_switch.hpp"
+#include "bench_util.hpp"
+#include "controller/controller.hpp"
+#include "netsim/network.hpp"
+
+namespace {
+
+using namespace legosdn;
+
+template <typename T> inline void benchmark_do_not_optimize(T& value) {
+  asm volatile("" : "+m"(value) : : "memory");
+}
+
+ctl::Event make_packet_in(std::uint64_t i) {
+  of::PacketIn pin;
+  pin.dpid = DatapathId{1};
+  pin.in_port = PortNo{static_cast<std::uint16_t>(1 + i % 4)};
+  pin.packet.hdr.eth_src = MacAddress::from_uint64(0x100 + i % 64);
+  pin.packet.hdr.eth_dst = MacAddress::from_uint64(0x200 + i % 64);
+  pin.packet.hdr.eth_type = of::kEthTypeIpv4;
+  pin.packet.hdr.tp_dst = 80;
+  pin.packet.size_bytes = 200;
+  return pin;
+}
+
+struct LatencyRow {
+  std::string path;
+  Summary us;
+};
+
+} // namespace
+
+int main() {
+  bench::section("F1/C1: control-loop latency of the proxy/stub indirection (§3.1)");
+  constexpr int kWarmup = 200;
+  constexpr int kIters = 3000;
+  constexpr int kProcIters = 1500;
+
+  std::vector<LatencyRow> rows;
+
+  // --- direct function call (monolithic baseline) ---
+  // The handler writes into the same message sink the domains use, so all
+  // rows measure exactly the dispatch path and nothing else.
+  {
+    apps::LearningSwitch app;
+    std::uint32_t xid = 1;
+    bench::Stopwatch sw;
+    LatencyRow row{"direct call (monolithic)", {}};
+    for (int i = 0; i < kWarmup + kIters; ++i) {
+      sw.start();
+      appvisor::CollectingServiceApi api(kSimStart, &xid);
+      app.handle_event(make_packet_in(i), api);
+      auto emitted = std::move(api).take();
+      benchmark_do_not_optimize(emitted);
+      const double us = sw.elapsed_us();
+      if (i >= kWarmup) row.us.add(us);
+    }
+    rows.push_back(std::move(row));
+  }
+
+  // --- in-process isolation domain ---
+  {
+    appvisor::InProcessDomain d(std::make_shared<apps::LearningSwitch>());
+    d.start();
+    bench::Stopwatch sw;
+    LatencyRow row{"AppVisor in-process domain", {}};
+    for (int i = 0; i < kWarmup + kIters; ++i) {
+      sw.start();
+      auto out = d.deliver(make_packet_in(i), kSimStart);
+      const double us = sw.elapsed_us();
+      if (i >= kWarmup) row.us.add(us);
+    }
+    rows.push_back(std::move(row));
+  }
+
+  // --- process + UDP RPC (the paper's architecture), no checkpoint ---
+  {
+    appvisor::ProcessDomain d(std::make_shared<apps::LearningSwitch>());
+    if (!d.start()) {
+      std::fprintf(stderr, "failed to start process domain\n");
+      return 1;
+    }
+    bench::Stopwatch sw;
+    LatencyRow row{"AppVisor process + UDP RPC", {}};
+    for (int i = 0; i < kWarmup + kProcIters; ++i) {
+      sw.start();
+      auto out = d.deliver(make_packet_in(i), kSimStart);
+      const double us = sw.elapsed_us();
+      if (i >= kWarmup) row.us.add(us);
+    }
+    d.shutdown();
+    rows.push_back(std::move(row));
+  }
+
+  // --- process + UDP RPC with a per-event checkpoint (§4.1 prototype) ---
+  {
+    appvisor::ProcessDomain d(std::make_shared<apps::LearningSwitch>());
+    if (!d.start()) {
+      std::fprintf(stderr, "failed to start process domain\n");
+      return 1;
+    }
+    bench::Stopwatch sw;
+    LatencyRow row{"process + UDP + per-event checkpoint", {}};
+    for (int i = 0; i < kWarmup + kProcIters; ++i) {
+      sw.start();
+      auto snap = d.snapshot(); // "a checkpoint prior to dispatching every message"
+      auto out = d.deliver(make_packet_in(i), kSimStart);
+      const double us = sw.elapsed_us();
+      if (i >= kWarmup && snap.ok()) row.us.add(us);
+    }
+    d.shutdown();
+    rows.push_back(std::move(row));
+  }
+
+  const double base = rows[0].us.percentile(50);
+  bench::Table table({"dispatch path", "p50 (us)", "p95 (us)", "p99 (us)",
+                      "mean (us)", "slowdown vs direct"});
+  for (const auto& r : rows) {
+    table.row({r.path, bench::fmt(r.us.percentile(50)), bench::fmt(r.us.percentile(95)),
+               bench::fmt(r.us.percentile(99)), bench::fmt(r.us.mean()),
+               bench::fmt(r.us.percentile(50) / base, 1) + "x"});
+  }
+  table.print();
+  std::printf("\n");
+  bench::note("Shape check (paper §3.1): isolation adds microseconds-to-sub-ms per");
+  bench::note("event — small against the ~4x cost DevoFlow attributes to putting the");
+  bench::note("controller in the critical path at all.");
+  return 0;
+}

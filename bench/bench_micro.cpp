@@ -1,0 +1,166 @@
+// Micro-benchmarks (google-benchmark) for the hot paths underneath every
+// experiment: wire codec, flow-table operations, event serialization, RPC
+// framing, and NetLog undo recording. These are the component costs that
+// compose into the C1/C2/C3 scenario numbers.
+#include <benchmark/benchmark.h>
+
+#include "appvisor/rpc.hpp"
+#include "common/rng.hpp"
+#include "controller/event_codec.hpp"
+#include "netlog/netlog.hpp"
+#include "netsim/flow_table.hpp"
+#include "openflow/codec.hpp"
+#include "openflow/wire10.hpp"
+
+namespace {
+
+using namespace legosdn;
+
+of::FlowMod sample_flow_mod(std::uint64_t i) {
+  of::FlowMod mod;
+  mod.dpid = DatapathId{1 + i % 4};
+  mod.match = of::Match{}
+                  .with_eth_dst(MacAddress::from_uint64(0x1000 + i % 256))
+                  .with_tp_dst(static_cast<std::uint16_t>(i % 1024));
+  mod.priority = static_cast<std::uint16_t>(100 + i % 100);
+  mod.actions = of::output_to(PortNo{static_cast<std::uint16_t>(1 + i % 4)});
+  return mod;
+}
+
+of::PacketIn sample_packet_in(std::uint64_t i) {
+  of::PacketIn pin;
+  pin.dpid = DatapathId{1};
+  pin.in_port = PortNo{1};
+  pin.packet.hdr.eth_src = MacAddress::from_uint64(0x100 + i % 64);
+  pin.packet.hdr.eth_dst = MacAddress::from_uint64(0x200 + i % 64);
+  pin.packet.hdr.tp_dst = 80;
+  return pin;
+}
+
+void BM_CodecEncodeFlowMod(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(of::encode({0, sample_flow_mod(i++)}));
+  }
+}
+BENCHMARK(BM_CodecEncodeFlowMod);
+
+void BM_CodecDecodeFlowMod(benchmark::State& state) {
+  const auto bytes = of::encode({0, sample_flow_mod(1)});
+  for (auto _ : state) {
+    auto msg = of::decode(bytes);
+    benchmark::DoNotOptimize(msg);
+  }
+}
+BENCHMARK(BM_CodecDecodeFlowMod);
+
+void BM_CodecRoundTripPacketIn(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto msg = of::decode(of::encode({0, sample_packet_in(i++)}));
+    benchmark::DoNotOptimize(msg);
+  }
+}
+BENCHMARK(BM_CodecRoundTripPacketIn);
+
+void BM_Wire10EncodeFlowMod(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto bytes = of::wire10::encode({0, sample_flow_mod(i++)});
+    benchmark::DoNotOptimize(bytes);
+  }
+}
+BENCHMARK(BM_Wire10EncodeFlowMod);
+
+void BM_Wire10RoundTripPacketIn(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto bytes = of::wire10::encode({0, sample_packet_in(i++)});
+    auto msg = of::wire10::decode(bytes.value(), DatapathId{1});
+    benchmark::DoNotOptimize(msg);
+  }
+}
+BENCHMARK(BM_Wire10RoundTripPacketIn);
+
+void BM_EventCodecRoundTrip(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto ev = ctl::decode_event(ctl::encode_event(ctl::Event{sample_packet_in(i++)}));
+    benchmark::DoNotOptimize(ev);
+  }
+}
+BENCHMARK(BM_EventCodecRoundTrip);
+
+void BM_RpcFrameRoundTrip(benchmark::State& state) {
+  appvisor::RpcFrame frame{appvisor::RpcType::kDeliverEvent, 7,
+                           ctl::encode_event(ctl::Event{sample_packet_in(3)})};
+  for (auto _ : state) {
+    auto f = appvisor::decode_frame(appvisor::encode_frame(frame));
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_RpcFrameRoundTrip);
+
+void BM_FlowTableLookup(benchmark::State& state) {
+  netsim::FlowTable table;
+  const auto n = state.range(0);
+  for (std::int64_t i = 0; i < n; ++i) table.apply(sample_flow_mod(i), kSimStart);
+  of::PacketHeader hdr;
+  hdr.eth_dst = MacAddress::from_uint64(0x1000 + 17);
+  hdr.tp_dst = 17 % 1024;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.peek(PortNo{1}, hdr));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_FlowTableLookup)->Range(8, 4096)->Complexity(benchmark::oN);
+
+void BM_FlowTableApplyAdd(benchmark::State& state) {
+  netsim::FlowTable table;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    table.apply(sample_flow_mod(i++), kSimStart);
+    if (table.size() > 4096) {
+      state.PauseTiming();
+      table.clear();
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_FlowTableApplyAdd);
+
+void BM_NetLogUndoRecording(benchmark::State& state) {
+  auto net = netsim::Network::linear(4, 1);
+  netlog::NetLog log(*net, {netlog::Mode::kUndoLog, false});
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const TxnId txn = log.begin(AppId{1});
+    for (int k = 0; k < 4; ++k)
+      log.apply(txn, {0, sample_flow_mod(i++)});
+    log.rollback(txn);
+  }
+}
+BENCHMARK(BM_NetLogUndoRecording);
+
+void BM_SnapshotLearningTable(benchmark::State& state) {
+  // Serialization cost of a learning-switch-like state blob.
+  ByteWriter seed;
+  const auto n = state.range(0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    seed.u64(static_cast<std::uint64_t>(i));
+    seed.mac(MacAddress::from_uint64(static_cast<std::uint64_t>(i)));
+    seed.u16(static_cast<std::uint16_t>(i % 48));
+  }
+  const auto blob = seed.data();
+  for (auto _ : state) {
+    std::vector<std::uint8_t> copy(blob);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(blob.size()));
+}
+BENCHMARK(BM_SnapshotLearningTable)->Range(64, 65536);
+
+} // namespace
+
+BENCHMARK_MAIN();

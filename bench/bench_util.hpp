@@ -1,0 +1,82 @@
+// Shared benchmark-harness utilities: aligned table printing and scenario
+// plumbing reused by every experiment binary (see DESIGN.md §3 for the
+// experiment-id ↔ binary mapping).
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace legosdn::bench {
+
+/// Prints an aligned text table, paper-style.
+class Table {
+public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+    for (const auto& r : rows_) {
+      for (std::size_t i = 0; i < r.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], r[i].size());
+      }
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+      std::string out;
+      for (std::size_t i = 0; i < headers_.size(); ++i) {
+        const std::string& c = i < cells.size() ? cells[i] : std::string{};
+        out += c;
+        out.append(widths[i] - c.size() + 2, ' ');
+      }
+      std::printf("  %s\n", out.c_str());
+    };
+    line(headers_);
+    std::string rule;
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+      rule.append(widths[i] + 2, '-');
+    std::printf("  %s\n", rule.c_str());
+    for (const auto& r : rows_) line(r);
+  }
+
+private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int decimals = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+inline std::string fmt_pct(double v, int decimals = 1) {
+  return fmt(v * 100.0, decimals) + "%";
+}
+
+inline void section(const std::string& title) {
+  std::printf("\n== %s ==\n\n", title.c_str());
+}
+
+inline void note(const std::string& text) { std::printf("  %s\n", text.c_str()); }
+
+/// Wall-clock stopwatch for the latency benches.
+class Stopwatch {
+public:
+  void start() { t0_ = std::chrono::steady_clock::now(); }
+  double elapsed_us() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - t0_)
+        .count();
+  }
+
+private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+} // namespace legosdn::bench

@@ -1,0 +1,123 @@
+// Controller upgrade (§3.4): monolithic reboots lose app state and cause a
+// relearning outage; LegoSDN's isolated apps sail through.
+//
+//   $ ./controller_upgrade
+#include <cstdio>
+
+#include "apps/learning_switch.hpp"
+#include "legosdn/lego_controller.hpp"
+
+using namespace legosdn;
+
+namespace {
+
+of::Packet make_packet(const netsim::Network& net, std::size_t src, std::size_t dst) {
+  of::Packet p;
+  p.hdr.eth_src = net.hosts()[src].mac;
+  p.hdr.eth_dst = net.hosts()[dst].mac;
+  p.hdr.eth_type = of::kEthTypeIpv4;
+  p.hdr.ip_src = net.hosts()[src].ip;
+  p.hdr.ip_dst = net.hosts()[dst].ip;
+  p.hdr.ip_proto = of::kIpProtoTcp;
+  p.hdr.tp_src = 53000;
+  p.hdr.tp_dst = 80;
+  return p;
+}
+
+struct Scenario {
+  std::unique_ptr<netsim::Network> net;
+  std::unique_ptr<ctl::Controller> controller;
+  std::shared_ptr<apps::LearningSwitch> app;
+  lego::LegoController* lego = nullptr; // non-null when running LegoSDN
+};
+
+Scenario make_scenario(bool lego_mode) {
+  Scenario s;
+  s.net = netsim::Network::linear(4, 2);
+  s.app = std::make_shared<apps::LearningSwitch>();
+  if (lego_mode) {
+    auto c = std::make_unique<lego::LegoController>(*s.net);
+    c->add_app(s.app);
+    c->start_system();
+    s.lego = c.get();
+    s.controller = std::move(c);
+  } else {
+    s.controller = std::make_unique<ctl::Controller>(*s.net);
+    s.controller->register_app(s.app);
+    s.controller->start();
+  }
+  while (s.controller->run() > 0) {
+  }
+  return s;
+}
+
+void warm(Scenario& s) {
+  const std::size_t n = s.net->hosts().size();
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      s.net->inject_from_host(s.net->hosts()[i].mac,
+                              make_packet(*s.net, i, (i + 1) % n));
+      while (s.controller->run() > 0) {
+      }
+      s.net->inject_from_host(s.net->hosts()[(i + 1) % n].mac,
+                              make_packet(*s.net, (i + 1) % n, i));
+      while (s.controller->run() > 0) {
+      }
+    }
+  }
+}
+
+std::uint64_t punts_to_rewarm(Scenario& s) {
+  const std::size_t n = s.net->hosts().size();
+  const auto punts_before = s.net->totals().punted;
+  for (int round = 0; round < 5; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      s.net->inject_from_host(s.net->hosts()[i].mac,
+                              make_packet(*s.net, i, (i + 1) % n));
+      while (s.controller->run() > 0) {
+      }
+    }
+  }
+  return s.net->totals().punted - punts_before;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Controller upgrade demo (paper §3.4)\n\n");
+
+  {
+    Scenario s = make_scenario(false);
+    warm(s);
+    std::printf("monolithic: app learned %zu (switch,MAC) entries before upgrade\n",
+                s.app->learned());
+    // The upgrade: switches reconnect cold, controller process restarts,
+    // and — because apps share the process — all app state is gone.
+    for (const auto d : s.net->switch_ids()) s.net->switch_at(d)->cold_restart();
+    s.controller->reboot();
+    while (s.controller->run() > 0) {
+    }
+    std::printf("monolithic: app remembers %zu entries after reboot\n",
+                s.app->learned());
+    std::printf("monolithic: %llu packet punts to re-warm the network\n\n",
+                static_cast<unsigned long long>(punts_to_rewarm(s)));
+  }
+
+  {
+    Scenario s = make_scenario(true);
+    warm(s);
+    std::printf("LegoSDN:    app learned %zu entries before upgrade\n",
+                s.app->learned());
+    for (const auto d : s.net->switch_ids()) s.net->switch_at(d)->cold_restart();
+    s.lego->upgrade_restart(); // apps keep running in their own domains
+    while (s.controller->run() > 0) {
+    }
+    std::printf("LegoSDN:    app remembers %zu entries after upgrade\n",
+                s.app->learned());
+    std::printf("LegoSDN:    %llu packet punts to re-warm the network\n",
+                static_cast<unsigned long long>(punts_to_rewarm(s)));
+    std::printf("\n(the switches still need their flow rules reinstalled, but the\n");
+    std::printf(" app's knowledge survived — no flood-and-relearn storm)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Software & data diversity (§3.4): three "independently developed" versions
+// of the same app run side by side; the majority output wins, masking the
+// buggy version without any recovery action at all.
+//
+//   $ ./diversity_voting
+#include <cstdio>
+
+#include "appvisor/inprocess_domain.hpp"
+#include "apps/fault_injection.hpp"
+#include "apps/learning_switch.hpp"
+#include "legosdn/diversity.hpp"
+#include "legosdn/lego_controller.hpp"
+
+using namespace legosdn;
+
+namespace {
+
+of::Packet make_packet(const netsim::Network& net, std::size_t src, std::size_t dst,
+                       std::uint16_t tp_dst) {
+  of::Packet p;
+  p.hdr.eth_src = net.hosts()[src].mac;
+  p.hdr.eth_dst = net.hosts()[dst].mac;
+  p.hdr.eth_type = of::kEthTypeIpv4;
+  p.hdr.ip_src = net.hosts()[src].ip;
+  p.hdr.ip_dst = net.hosts()[dst].ip;
+  p.hdr.ip_proto = of::kIpProtoTcp;
+  p.hdr.tp_src = 54000;
+  p.hdr.tp_dst = tp_dst;
+  return p;
+}
+
+} // namespace
+
+int main() {
+  std::printf("LegoSDN diversity demo: 3-version learning switch, one version buggy\n\n");
+
+  auto net = netsim::Network::linear(2, 1);
+  lego::LegoController c(*net);
+
+  // "Team C" shipped a version with a deterministic bug on :666 packets.
+  apps::CrashTrigger trigger;
+  trigger.on_tp_dst = 666;
+  std::vector<appvisor::DomainPtr> versions;
+  versions.push_back(std::make_unique<appvisor::InProcessDomain>(
+      std::make_shared<apps::LearningSwitch>())); // team A
+  versions.push_back(std::make_unique<appvisor::InProcessDomain>(
+      std::make_shared<apps::LearningSwitch>())); // team B
+  versions.push_back(std::make_unique<appvisor::InProcessDomain>(
+      std::make_shared<apps::CrashyApp>(std::make_shared<apps::LearningSwitch>(),
+                                        trigger))); // team C (buggy)
+  auto ensemble = std::make_unique<lego::DiversityDomain>("learning-switch-3v",
+                                                          std::move(versions));
+  const auto* ens = ensemble.get();
+  c.add_domain(std::move(ensemble));
+  c.start_system();
+  while (c.run() > 0) {
+  }
+
+  auto send = [&](std::size_t s, std::size_t d, std::uint16_t port) {
+    const auto before = net->hosts()[d].rx_packets;
+    net->inject_from_host(net->hosts()[s].mac, make_packet(*net, s, d, port));
+    while (c.run() > 0) {
+    }
+    return net->host_by_mac(net->hosts()[d].mac)->rx_packets > before;
+  };
+
+  std::printf("  h1 -> h2 :80   %s\n", send(0, 1, 80) ? "delivered" : "LOST");
+  std::printf("  h2 -> h1 :80   %s\n", send(1, 0, 80) ? "delivered" : "LOST");
+  std::printf("  h1 -> h2 :666  %s   <- crashes team C's version\n",
+              send(0, 1, 666) ? "delivered" : "LOST");
+  std::printf("  h1 -> h2 :80   %s\n", send(0, 1, 80) ? "delivered" : "LOST");
+
+  const auto& v = ens->vote_stats();
+  std::printf("\nvoting statistics:\n");
+  std::printf("  votes held:        %llu\n", (unsigned long long)v.votes);
+  std::printf("  unanimous:         %llu\n", (unsigned long long)v.unanimous);
+  std::printf("  majority-only:     %llu\n", (unsigned long long)v.majority_only);
+  std::printf("  crashes masked:    %llu\n", (unsigned long long)v.masked_crashes);
+  std::printf("  no-majority:       %llu\n", (unsigned long long)v.no_majority);
+  std::printf("\nNote how the :666 packet was *fully serviced*: the two healthy\n");
+  std::printf("versions outvoted the crash — no event was ignored, no correctness\n");
+  std::printf("compromised (contrast with Crash-Pad's Absolute Compromise).\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// The operator policy language (§3.3): "a simple policy language that allows
+// operators to specify, on a per application basis, the set of events, if
+// any, that they are willing to compromise on."
+//
+//   $ ./policy_tradeoff
+//
+// A security-critical firewall and a best-effort router run side by side,
+// both with injected bugs. The policy program says: never compromise the
+// firewall's correctness; transform switch-down events for the router;
+// ignore everything else.
+#include <cstdio>
+
+#include "apps/fault_injection.hpp"
+#include "apps/firewall.hpp"
+#include "apps/shortest_path_router.hpp"
+#include "legosdn/lego_controller.hpp"
+
+using namespace legosdn;
+
+namespace {
+
+const char* kPolicyProgram = R"(# operator policy: security first
+app=firewall+crashy event=* policy=no-compromise
+app=* event=switch-down policy=equivalence
+default=absolute
+)";
+
+of::Packet make_packet(const netsim::Network& net, std::size_t src, std::size_t dst,
+                       std::uint16_t tp_dst) {
+  of::Packet p;
+  p.hdr.eth_src = net.hosts()[src].mac;
+  p.hdr.eth_dst = net.hosts()[dst].mac;
+  p.hdr.eth_type = of::kEthTypeIpv4;
+  p.hdr.ip_src = net.hosts()[src].ip;
+  p.hdr.ip_dst = net.hosts()[dst].ip;
+  p.hdr.ip_proto = of::kIpProtoTcp;
+  p.hdr.tp_src = 55000;
+  p.hdr.tp_dst = tp_dst;
+  return p;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Crash-Pad policy language demo (paper §3.3)\n\n");
+  std::printf("policy program:\n%s\n", kPolicyProgram);
+
+  auto parsed = crashpad::PolicyTable::parse(kPolicyProgram);
+  if (!parsed.ok()) {
+    std::printf("policy parse error: %s\n", parsed.error().to_string().c_str());
+    return 1;
+  }
+
+  lego::LegoConfig cfg;
+  cfg.policies = std::move(parsed).value();
+  auto net = netsim::Network::ring(4, 1);
+  lego::LegoController c(*net, cfg);
+
+  // Firewall with a parsing bug tickled by packets to :8080. (:23 traffic is
+  // blocked by its proactive drop rules in the dataplane and never reaches
+  // the controller, so the bug hides in a port the rules don't cover.)
+  apps::CrashTrigger fw_bug;
+  fw_bug.on_tp_dst = 8080;
+  c.add_app(std::make_shared<apps::CrashyApp>(
+      std::make_shared<apps::Firewall>(
+          std::vector<of::Match>{of::Match{}.with_tp_dst(23)}),
+      fw_bug));
+
+  // Router that crashes on switch-down events.
+  std::vector<apps::ShortestPathRouter::LinkInfo> links;
+  for (const auto& l : net->links()) links.push_back({l.a, l.b});
+  apps::CrashTrigger rt_bug;
+  rt_bug.on_type = ctl::EventType::kSwitchDown;
+  c.add_app(std::make_shared<apps::CrashyApp>(
+      std::make_shared<apps::ShortestPathRouter>(links), rt_bug));
+
+  c.start_system();
+  while (c.run() > 0) {
+  }
+
+  auto send = [&](std::size_t s, std::size_t d, std::uint16_t port) {
+    const auto before = net->hosts()[d].rx_packets;
+    net->inject_from_host(net->hosts()[s].mac, make_packet(*net, s, d, port));
+    while (c.run() > 0) {
+    }
+    return net->host_by_mac(net->hosts()[d].mac)->rx_packets > before;
+  };
+
+  std::printf("normal traffic: h1->h3 :80  %s\n",
+              send(0, 2, 80) ? "delivered" : "LOST");
+  std::printf("normal traffic: h3->h1 :80  %s\n",
+              send(2, 0, 80) ? "delivered" : "LOST");
+
+  std::printf("\ntelnet (:23) is dropped in the dataplane by the firewall's rules:\n");
+  std::printf("  h1->h3 :23  %s\n", send(0, 2, 23) ? "delivered (!)" : "blocked");
+
+  std::printf("\na malformed flow to :8080 crashes the firewall...\n");
+  send(0, 2, 8080);
+  std::printf("  firewall alive: %s  (no-compromise -> it stays down rather than\n",
+              c.appvisor().entries()[0].domain->alive() ? "yes (!)" : "no");
+  std::printf("  risk recovering into a state that lets attack traffic through)\n");
+
+  std::printf("\nswitch s4 fails; the switch-down event crashes the router...\n");
+  net->set_switch_state(DatapathId{4}, false);
+  while (c.run() > 0) {
+  }
+  std::printf("  router alive: %s  (equivalence -> the event was transformed into\n",
+              c.appvisor().entries()[1].domain->alive() ? "yes" : "NO");
+  std::printf("  link-down events it can digest)\n");
+  std::printf("  traffic around the failure: h1->h3 :80  %s\n",
+              send(0, 2, 80) ? "delivered" : "LOST");
+
+  const auto& s = c.lego_stats();
+  std::printf("\ncrash-pad summary: %llu fail-stop crash(es), %llu transformed, "
+              "%llu left down, %zu tickets\n",
+              (unsigned long long)s.failstop_crashes,
+              (unsigned long long)s.events_transformed,
+              (unsigned long long)s.apps_left_down, c.tickets().count());
+  for (const auto& t : c.tickets().all()) {
+    std::printf("\n%s\n", t.to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Real process isolation (the paper's §4.1 prototype): the SDN-App runs in
+// a fork()ed stub process, talks to the proxy over UDP, and a crash is a
+// real process death — observable from the shell with `ps`.
+//
+//   $ ./process_isolation
+#include <cstdio>
+#include <unistd.h>
+
+#include "apps/fault_injection.hpp"
+#include "apps/learning_switch.hpp"
+#include "legosdn/lego_controller.hpp"
+
+using namespace legosdn;
+
+namespace {
+
+of::Packet make_packet(const netsim::Network& net, std::size_t src, std::size_t dst,
+                       std::uint16_t tp_dst) {
+  of::Packet p;
+  p.hdr.eth_src = net.hosts()[src].mac;
+  p.hdr.eth_dst = net.hosts()[dst].mac;
+  p.hdr.eth_type = of::kEthTypeIpv4;
+  p.hdr.ip_src = net.hosts()[src].ip;
+  p.hdr.ip_dst = net.hosts()[dst].ip;
+  p.hdr.ip_proto = of::kIpProtoTcp;
+  p.hdr.tp_src = 56000;
+  p.hdr.tp_dst = tp_dst;
+  return p;
+}
+
+pid_t stub_pid(lego::LegoController& c) {
+  auto* pd = dynamic_cast<appvisor::ProcessDomain*>(
+      c.appvisor().entries()[0].domain.get());
+  return pd ? pd->child_pid() : -1;
+}
+
+} // namespace
+
+int main() {
+  std::printf("LegoSDN process isolation demo (paper §4.1)\n");
+  std::printf("controller (proxy) pid: %d\n\n", getpid());
+
+  auto net = netsim::Network::linear(2, 1);
+  lego::LegoConfig cfg;
+  cfg.backend = appvisor::Backend::kProcess;
+  lego::LegoController c(*net, cfg);
+
+  apps::CrashTrigger trigger;
+  trigger.on_tp_dst = 666;
+  c.add_app(std::make_shared<apps::CrashyApp>(std::make_shared<apps::LearningSwitch>(),
+                                              trigger));
+  if (!c.start_system()) {
+    std::printf("failed to start\n");
+    return 1;
+  }
+  while (c.run() > 0) {
+  }
+  const pid_t pid_before = stub_pid(c);
+  std::printf("learning-switch stub pid: %d  (a real forked process)\n", pid_before);
+
+  auto send = [&](std::size_t s, std::size_t d, std::uint16_t port) {
+    const auto before = net->hosts()[d].rx_packets;
+    net->inject_from_host(net->hosts()[s].mac, make_packet(*net, s, d, port));
+    while (c.run() > 0) {
+    }
+    return net->host_by_mac(net->hosts()[d].mac)->rx_packets > before;
+  };
+
+  std::printf("\nnormal traffic over the UDP RPC control loop:\n");
+  std::printf("  h1 -> h2 :80  %s\n", send(0, 1, 80) ? "delivered" : "LOST");
+  std::printf("  h2 -> h1 :80  %s\n", send(1, 0, 80) ? "delivered" : "LOST");
+
+  std::printf("\npoison packet (:666): the stub process aborts for real...\n");
+  send(0, 1, 666);
+  const pid_t pid_after = stub_pid(c);
+  std::printf("  crash detected:   %llu\n",
+              (unsigned long long)c.lego_stats().failstop_crashes);
+  std::printf("  stub respawned:   pid %d -> pid %d\n", pid_before, pid_after);
+  std::printf("  state restored:   from the pre-event checkpoint (CRIU analogue)\n");
+  std::printf("  controller (this process) never went down.\n");
+
+  std::printf("\ntraffic after recovery:\n");
+  std::printf("  h1 -> h2 :80  %s\n", send(0, 1, 80) ? "delivered" : "LOST");
+
+  c.appvisor().shutdown_all();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Quickstart: run an SDN-App under LegoSDN and watch it survive a
+// deterministic crash that would have killed a monolithic controller.
+//
+//   $ ./quickstart
+//
+// What happens:
+//   1. A 3-switch linear network is simulated.
+//   2. A LearningSwitch app — wrapped with a deterministic bug that crashes
+//      on any packet to TCP port 666 — runs first under a monolithic
+//      controller, then under LegoSDN.
+//   3. The same traffic (including one poison packet) is played at both.
+//      The monolithic controller dies; LegoSDN checkpoints, contains the
+//      crash, rolls the app back, ignores the poison event (Absolute
+//      Compromise), and keeps serving traffic. A problem ticket is filed
+//      for the developer.
+#include <cstdio>
+
+#include "apps/fault_injection.hpp"
+#include "apps/learning_switch.hpp"
+#include "legosdn/lego_controller.hpp"
+
+using namespace legosdn;
+
+namespace {
+
+of::Packet make_packet(const netsim::Network& net, std::size_t src, std::size_t dst,
+                       std::uint16_t tp_dst) {
+  of::Packet p;
+  p.hdr.eth_src = net.hosts()[src].mac;
+  p.hdr.eth_dst = net.hosts()[dst].mac;
+  p.hdr.eth_type = of::kEthTypeIpv4;
+  p.hdr.ip_src = net.hosts()[src].ip;
+  p.hdr.ip_dst = net.hosts()[dst].ip;
+  p.hdr.ip_proto = of::kIpProtoTcp;
+  p.hdr.tp_src = 51000;
+  p.hdr.tp_dst = tp_dst;
+  p.size_bytes = 256;
+  return p;
+}
+
+ctl::AppPtr make_buggy_learning_switch() {
+  apps::CrashTrigger trigger;
+  trigger.on_tp_dst = 666; // any packet to :666 crashes the app, every time
+  return std::make_shared<apps::CrashyApp>(std::make_shared<apps::LearningSwitch>(),
+                                           trigger);
+}
+
+bool send(netsim::Network& net, ctl::Controller& c, std::size_t src, std::size_t dst,
+          std::uint16_t tp_dst) {
+  const auto before = net.hosts()[dst].rx_packets;
+  net.inject_from_host(net.hosts()[src].mac, make_packet(net, src, dst, tp_dst));
+  while (c.run() > 0) {
+  }
+  return net.host_by_mac(net.hosts()[dst].mac)->rx_packets > before;
+}
+
+void play_traffic(const char* label, netsim::Network& net, ctl::Controller& c) {
+  std::printf("--- %s ---\n", label);
+  std::printf("  h1 -> h3 :80   %s\n", send(net, c, 0, 2, 80) ? "delivered" : "LOST");
+  std::printf("  h3 -> h1 :80   %s\n", send(net, c, 2, 0, 80) ? "delivered" : "LOST");
+  std::printf("  h1 -> h3 :666  (the poison packet)\n");
+  send(net, c, 0, 2, 666);
+  std::printf("  controller is %s\n", c.crashed() ? "DOWN" : "up");
+  std::printf("  h1 -> h3 :80   %s\n", send(net, c, 0, 2, 80) ? "delivered" : "LOST");
+  std::printf("  h2 -> h1 :80   %s\n", send(net, c, 1, 0, 80) ? "delivered" : "LOST");
+}
+
+} // namespace
+
+int main() {
+  std::printf("LegoSDN quickstart: surviving a deterministic SDN-App crash\n\n");
+
+  {
+    auto net = netsim::Network::linear(3, 1);
+    ctl::Controller mono(*net);
+    mono.register_app(make_buggy_learning_switch());
+    mono.start();
+    while (mono.run() > 0) {
+    }
+    play_traffic("monolithic controller (FloodLight-style)", *net, mono);
+    std::printf("  => one buggy app took down the whole control plane.\n\n");
+  }
+
+  {
+    auto net = netsim::Network::linear(3, 1);
+    lego::LegoController lego(*net);
+    lego.add_app(make_buggy_learning_switch());
+    lego.start_system();
+    while (lego.run() > 0) {
+    }
+    play_traffic("LegoSDN (AppVisor + NetLog + Crash-Pad)", *net, lego);
+    const auto& stats = lego.lego_stats();
+    std::printf("  => crash-pad absorbed %llu crash(es): checkpointed, restored,\n",
+                static_cast<unsigned long long>(stats.failstop_crashes));
+    std::printf("     ignored the poison event, and the network never noticed.\n\n");
+    std::printf("problem ticket filed for the developer:\n%s\n",
+                lego.tickets().all().at(0).to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+#include "apps/firewall.hpp"
+
+#include "common/bytes.hpp"
+
+namespace legosdn::apps {
+
+ctl::Disposition Firewall::handle_event(const ctl::Event& e, ctl::ServiceApi& api) {
+  if (const auto* up = std::get_if<ctl::SwitchUp>(&e)) {
+    for (const of::Match& m : deny_) {
+      of::FlowMod mod;
+      mod.dpid = up->dpid;
+      mod.match = m;
+      mod.priority = priority_;
+      mod.actions = {}; // empty action list = drop
+      api.send({api.next_xid(), mod});
+    }
+    return ctl::Disposition::kContinue;
+  }
+  const auto* pin = std::get_if<of::PacketIn>(&e);
+  if (!pin) return ctl::Disposition::kContinue;
+  for (const of::Match& m : deny_) {
+    if (m.matches(pin->in_port, pin->packet.hdr)) {
+      hits_ += 1;
+      // Swallow the packet: no packet-out, and stop the chain so no
+      // downstream app forwards it.
+      return ctl::Disposition::kStop;
+    }
+  }
+  return ctl::Disposition::kContinue;
+}
+
+std::vector<std::uint8_t> Firewall::snapshot_state() const {
+  ByteWriter w;
+  w.u64(hits_);
+  return std::move(w).take();
+}
+
+void Firewall::restore_state(std::span<const std::uint8_t> state) {
+  ByteReader r(state);
+  hits_ = r.u64();
+}
+
+} // namespace legosdn::apps

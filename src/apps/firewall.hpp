@@ -1,0 +1,44 @@
+// Firewall: a BigTap-style security app.
+//
+// Configured with a deny list of match patterns. On switch-up it proactively
+// installs high-priority drop rules for every deny pattern; on packet-in it
+// re-checks the packet and stops the dispatch chain for denied traffic so no
+// later app (e.g. the router) can forward it.
+//
+// Security apps are the paper's example of apps whose correctness operators
+// may refuse to compromise ("No Compromise" policy, §3.3).
+#pragma once
+
+#include <vector>
+
+#include "controller/app.hpp"
+
+namespace legosdn::apps {
+
+class Firewall : public ctl::App {
+public:
+  explicit Firewall(std::vector<of::Match> deny, std::uint16_t priority = 0xF000)
+      : deny_(std::move(deny)), priority_(priority) {}
+
+  std::string name() const override { return "firewall"; }
+
+  std::vector<ctl::EventType> subscriptions() const override {
+    return {ctl::EventType::kPacketIn, ctl::EventType::kSwitchUp};
+  }
+
+  ctl::Disposition handle_event(const ctl::Event& e, ctl::ServiceApi& api) override;
+
+  std::vector<std::uint8_t> snapshot_state() const override;
+  void restore_state(std::span<const std::uint8_t> state) override;
+  void reset() override { hits_ = 0; }
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  const std::vector<of::Match>& deny_list() const noexcept { return deny_; }
+
+private:
+  std::vector<of::Match> deny_;
+  std::uint16_t priority_;
+  std::uint64_t hits_ = 0; ///< packets denied so far (app state)
+};
+
+} // namespace legosdn::apps

@@ -1,0 +1,41 @@
+#include "apps/hub.hpp"
+
+namespace legosdn::apps {
+
+ctl::Disposition Hub::handle_event(const ctl::Event& e, ctl::ServiceApi& api) {
+  const auto* pin = std::get_if<of::PacketIn>(&e);
+  if (!pin) return ctl::Disposition::kContinue;
+  of::PacketOut po;
+  po.dpid = pin->dpid;
+  po.buffer_id = pin->buffer_id;
+  po.in_port = pin->in_port;
+  po.actions = of::output_to(ports::kFlood);
+  po.packet = pin->packet;
+  api.send({api.next_xid(), po});
+  return ctl::Disposition::kStop;
+}
+
+ctl::Disposition Flooder::handle_event(const ctl::Event& e, ctl::ServiceApi& api) {
+  if (const auto* up = std::get_if<ctl::SwitchUp>(&e)) {
+    of::FlowMod mod;
+    mod.dpid = up->dpid;
+    mod.match = of::Match::any();
+    mod.priority = 1; // lowest: any real app's rules win
+    mod.actions = of::output_to(ports::kFlood);
+    api.send({api.next_xid(), mod});
+    return ctl::Disposition::kContinue;
+  }
+  if (const auto* pin = std::get_if<of::PacketIn>(&e)) {
+    of::PacketOut po;
+    po.dpid = pin->dpid;
+    po.buffer_id = pin->buffer_id;
+    po.in_port = pin->in_port;
+    po.actions = of::output_to(ports::kFlood);
+    po.packet = pin->packet;
+    api.send({api.next_xid(), po});
+    return ctl::Disposition::kStop;
+  }
+  return ctl::Disposition::kContinue;
+}
+
+} // namespace legosdn::apps

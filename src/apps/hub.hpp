@@ -1,0 +1,35 @@
+// Hub and Flooder: the two simplest apps bundled with FloodLight, both of
+// which the LegoSDN paper ports into its stub.
+//
+// Hub: every packet-in is flooded with a packet-out; no rules installed.
+// Flooder: additionally installs a lowest-priority flood rule per switch so
+// subsequent packets never reach the controller.
+#pragma once
+
+#include "controller/app.hpp"
+
+namespace legosdn::apps {
+
+class Hub : public ctl::App {
+public:
+  std::string name() const override { return "hub"; }
+
+  std::vector<ctl::EventType> subscriptions() const override {
+    return {ctl::EventType::kPacketIn};
+  }
+
+  ctl::Disposition handle_event(const ctl::Event& e, ctl::ServiceApi& api) override;
+};
+
+class Flooder : public ctl::App {
+public:
+  std::string name() const override { return "flooder"; }
+
+  std::vector<ctl::EventType> subscriptions() const override {
+    return {ctl::EventType::kPacketIn, ctl::EventType::kSwitchUp};
+  }
+
+  ctl::Disposition handle_event(const ctl::Event& e, ctl::ServiceApi& api) override;
+};
+
+} // namespace legosdn::apps

@@ -1,0 +1,92 @@
+#include "apps/learning_switch.hpp"
+
+#include "common/bytes.hpp"
+
+namespace legosdn::apps {
+
+ctl::Disposition LearningSwitch::handle_event(const ctl::Event& e,
+                                              ctl::ServiceApi& api) {
+  if (const auto* down = std::get_if<ctl::SwitchDown>(&e)) {
+    // Forget everything learned at the dead switch.
+    std::erase_if(table_, [&](const auto& kv) { return kv.first.dpid == down->dpid; });
+    return ctl::Disposition::kContinue;
+  }
+  if (const auto* ps = std::get_if<of::PortStatus>(&e)) {
+    if (!ps->desc.link_up) {
+      // Hosts/peers behind a dead port must be relearned.
+      std::erase_if(table_, [&](const auto& kv) {
+        return kv.first.dpid == ps->dpid && kv.second == ps->desc.port;
+      });
+    }
+    return ctl::Disposition::kContinue;
+  }
+  const auto* pin = std::get_if<of::PacketIn>(&e);
+  if (!pin) return ctl::Disposition::kContinue;
+
+  const of::PacketHeader& hdr = pin->packet.hdr;
+  // Learn the source unless it is a broadcast/multicast source (bogus).
+  if (!hdr.eth_src.is_multicast()) {
+    table_[{pin->dpid, hdr.eth_src}] = pin->in_port;
+  }
+
+  const PortNo* out = lookup(pin->dpid, hdr.eth_dst);
+  if (out && !hdr.eth_dst.is_multicast()) {
+    // Install an exact-match rule for this flow (as FloodLight's
+    // LearningSwitch does in OF 1.0), then release the buffered packet.
+    of::FlowMod mod;
+    mod.dpid = pin->dpid;
+    mod.match = of::Match::exact(pin->in_port, hdr);
+    mod.priority = priority_;
+    mod.idle_timeout = idle_timeout_;
+    mod.actions = of::output_to(*out);
+    api.send({api.next_xid(), mod});
+
+    of::PacketOut po;
+    po.dpid = pin->dpid;
+    po.buffer_id = pin->buffer_id;
+    po.in_port = pin->in_port;
+    po.actions = of::output_to(*out);
+    po.packet = pin->packet;
+    api.send({api.next_xid(), po});
+  } else {
+    of::PacketOut po;
+    po.dpid = pin->dpid;
+    po.buffer_id = pin->buffer_id;
+    po.in_port = pin->in_port;
+    po.actions = of::output_to(ports::kFlood);
+    po.packet = pin->packet;
+    api.send({api.next_xid(), po});
+  }
+  return ctl::Disposition::kStop;
+}
+
+const PortNo* LearningSwitch::lookup(DatapathId dpid, const MacAddress& mac) const {
+  auto it = table_.find({dpid, mac});
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::uint8_t> LearningSwitch::snapshot_state() const {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(table_.size()));
+  for (const auto& [k, port] : table_) {
+    w.u64(raw(k.dpid));
+    w.mac(k.mac);
+    w.u16(raw(port));
+  }
+  return std::move(w).take();
+}
+
+void LearningSwitch::restore_state(std::span<const std::uint8_t> state) {
+  table_.clear();
+  ByteReader r(state);
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    Key k;
+    k.dpid = DatapathId{r.u64()};
+    k.mac = r.mac();
+    const PortNo port{r.u16()};
+    if (r.ok()) table_[k] = port;
+  }
+}
+
+} // namespace legosdn::apps

@@ -1,0 +1,129 @@
+#include "apps/link_discovery.hpp"
+
+#include "common/bytes.hpp"
+
+namespace legosdn::apps {
+namespace {
+
+/// LLDP multicast destination (01:80:c2:00:00:0e).
+const MacAddress kLldpDst{{0x01, 0x80, 0xC2, 0x00, 0x00, 0x0E}};
+
+} // namespace
+
+of::Packet LinkDiscovery::make_probe(DatapathId dpid, PortNo port) {
+  of::Packet p;
+  p.hdr.eth_type = kLldpEthType;
+  p.hdr.eth_dst = kLldpDst;
+  p.hdr.eth_src = MacAddress::from_uint64(0x020000000000ULL | (raw(dpid) & 0xFFFF));
+  // Origin is carried in the L3/L4 fields a 1.0 match can see.
+  p.hdr.ip_src = IpV4{static_cast<std::uint32_t>(raw(dpid) & 0xFFFFFFFF)};
+  p.hdr.ip_dst = IpV4{static_cast<std::uint32_t>(raw(dpid) >> 32)};
+  p.hdr.tp_src = raw(port);
+  p.hdr.tp_dst = 0;
+  p.size_bytes = 60;
+  return p;
+}
+
+bool LinkDiscovery::decode_probe(const of::PacketHeader& hdr, PortLocator* origin) {
+  if (hdr.eth_type != kLldpEthType) return false;
+  origin->dpid = DatapathId{(std::uint64_t{hdr.ip_dst.addr} << 32) | hdr.ip_src.addr};
+  origin->port = PortNo{hdr.tp_src};
+  return true;
+}
+
+void LinkDiscovery::probe_all_ports(DatapathId dpid,
+                                    const std::vector<of::PortDesc>& ports,
+                                    ctl::ServiceApi& api) {
+  for (const auto& pd : ports) {
+    if (!pd.link_up) continue;
+    of::PacketOut po;
+    po.dpid = dpid;
+    po.buffer_id = of::PacketIn::kNoBuffer;
+    po.in_port = ports::kNone;
+    po.actions = of::output_to(pd.port);
+    po.packet = make_probe(dpid, pd.port);
+    api.send({api.next_xid(), po});
+  }
+}
+
+ctl::Disposition LinkDiscovery::handle_event(const ctl::Event& e,
+                                             ctl::ServiceApi& api) {
+  if (const auto* up = std::get_if<ctl::SwitchUp>(&e)) {
+    probe_all_ports(up->dpid, up->features.ports, api);
+    return ctl::Disposition::kContinue;
+  }
+  if (const auto* down = std::get_if<ctl::SwitchDown>(&e)) {
+    std::erase_if(links_, [&](const auto& kv) {
+      return kv.first.dpid == down->dpid || kv.second.dpid == down->dpid;
+    });
+    return ctl::Disposition::kContinue;
+  }
+  if (const auto* ps = std::get_if<of::PortStatus>(&e)) {
+    const PortLocator loc{ps->dpid, ps->desc.port};
+    if (ps->desc.link_up) {
+      // Port (re)appeared: re-probe it to rediscover the link.
+      of::PacketOut po;
+      po.dpid = ps->dpid;
+      po.buffer_id = of::PacketIn::kNoBuffer;
+      po.in_port = ports::kNone;
+      po.actions = of::output_to(ps->desc.port);
+      po.packet = make_probe(ps->dpid, ps->desc.port);
+      api.send({api.next_xid(), po});
+    } else {
+      std::erase_if(links_,
+                    [&](const auto& kv) { return kv.first == loc || kv.second == loc; });
+    }
+    return ctl::Disposition::kContinue;
+  }
+  const auto* pin = std::get_if<of::PacketIn>(&e);
+  if (!pin) return ctl::Disposition::kContinue;
+  PortLocator origin;
+  if (!decode_probe(pin->packet.hdr, &origin)) return ctl::Disposition::kContinue;
+  links_[origin] = PortLocator{pin->dpid, pin->in_port};
+  return ctl::Disposition::kStop; // probes are ours alone
+}
+
+std::vector<DiscoveredLink> LinkDiscovery::links() const {
+  std::vector<DiscoveredLink> out;
+  out.reserve(links_.size());
+  for (const auto& [src, dst] : links_) out.push_back({src, dst});
+  return out;
+}
+
+std::vector<std::pair<PortLocator, PortLocator>> LinkDiscovery::bidirectional_links()
+    const {
+  std::vector<std::pair<PortLocator, PortLocator>> out;
+  for (const auto& [src, dst] : links_) {
+    if (dst < src) continue; // keep the canonical direction only
+    out.emplace_back(src, dst);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> LinkDiscovery::snapshot_state() const {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(links_.size()));
+  for (const auto& [src, dst] : links_) {
+    w.u64(raw(src.dpid));
+    w.u16(raw(src.port));
+    w.u64(raw(dst.dpid));
+    w.u16(raw(dst.port));
+  }
+  return std::move(w).take();
+}
+
+void LinkDiscovery::restore_state(std::span<const std::uint8_t> state) {
+  links_.clear();
+  ByteReader r(state);
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    PortLocator src, dst;
+    src.dpid = DatapathId{r.u64()};
+    src.port = PortNo{r.u16()};
+    dst.dpid = DatapathId{r.u64()};
+    dst.port = PortNo{r.u16()};
+    if (r.ok()) links_[src] = dst;
+  }
+}
+
+} // namespace legosdn::apps

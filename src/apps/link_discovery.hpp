@@ -1,0 +1,68 @@
+// LinkDiscovery: LLDP-style topology discovery, as every production
+// controller (FloodLight's LinkDiscoveryManager, ONOS, ODL) ships.
+//
+// On switch-up (and after port changes) it floods probe frames out of every
+// switch port via packet-out. A probe carries its origin (dpid, port)
+// encoded in the header fields an OpenFlow 1.0 match can see. When a probe
+// arrives as a packet-in at another switch, the (origin -> receiver) link is
+// recorded. Probes are consumed (Disposition::kStop) so they never confuse
+// forwarding apps; hosts never answer probes, so edge ports are exactly the
+// ports with no discovered link — which is how the ShortestPathRouter can be
+// bootstrapped without any configured topology (see apps_test).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "controller/app.hpp"
+
+namespace legosdn::apps {
+
+/// EtherType of discovery probes (the real LLDP value).
+constexpr std::uint16_t kLldpEthType = 0x88CC;
+
+struct DiscoveredLink {
+  PortLocator src{};
+  PortLocator dst{};
+
+  auto operator<=>(const DiscoveredLink&) const = default;
+};
+
+class LinkDiscovery : public ctl::App {
+public:
+  std::string name() const override { return "link-discovery"; }
+
+  std::vector<ctl::EventType> subscriptions() const override {
+    return {ctl::EventType::kPacketIn, ctl::EventType::kSwitchUp,
+            ctl::EventType::kSwitchDown, ctl::EventType::kPortStatus};
+  }
+
+  ctl::Disposition handle_event(const ctl::Event& e, ctl::ServiceApi& api) override;
+
+  std::vector<std::uint8_t> snapshot_state() const override;
+  void restore_state(std::span<const std::uint8_t> state) override;
+  void reset() override { links_.clear(); }
+
+  /// Discovered unidirectional links (both directions appear once healthy).
+  std::vector<DiscoveredLink> links() const;
+
+  /// Deduplicated bidirectional links (src < dst canonical order), the shape
+  /// ShortestPathRouter wants.
+  std::vector<std::pair<PortLocator, PortLocator>> bidirectional_links() const;
+
+  std::size_t link_count() const noexcept { return links_.size(); }
+
+  /// Build the probe frame for (dpid, port). Exposed for tests.
+  static of::Packet make_probe(DatapathId dpid, PortNo port);
+  /// Decode a probe's origin; returns false if the packet is not a probe.
+  static bool decode_probe(const of::PacketHeader& hdr, PortLocator* origin);
+
+private:
+  void probe_all_ports(DatapathId dpid, const std::vector<of::PortDesc>& ports,
+                       ctl::ServiceApi& api);
+
+  // src locator -> dst locator (one entry per direction).
+  std::map<PortLocator, PortLocator> links_;
+};
+
+} // namespace legosdn::apps

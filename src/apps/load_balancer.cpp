@@ -1,0 +1,73 @@
+#include "apps/load_balancer.hpp"
+
+#include "common/bytes.hpp"
+
+namespace legosdn::apps {
+
+ctl::Disposition LoadBalancer::handle_event(const ctl::Event& e,
+                                            ctl::ServiceApi& api) {
+  const auto* pin = std::get_if<of::PacketIn>(&e);
+  if (!pin) return ctl::Disposition::kContinue;
+  const of::PacketHeader& hdr = pin->packet.hdr;
+  if (hdr.ip_dst != vip_ || backends_.empty()) return ctl::Disposition::kContinue;
+
+  // Sticky binding per client MAC; new clients take the next backend.
+  auto it = bindings_.find(hdr.eth_src);
+  if (it == bindings_.end()) {
+    it = bindings_.emplace(hdr.eth_src, rr_ % backends_.size()).first;
+    rr_ += 1;
+  }
+  const Backend& be = backends_[it->second];
+
+  of::ActionList rewrite{of::ActionSetEthDst{be.mac}, of::ActionSetIpDst{be.ip},
+                         of::ActionOutput{ports::kFlood}};
+
+  // Affinity rule at the ingress switch for the rest of this client's flow.
+  of::FlowMod mod;
+  mod.dpid = pin->dpid;
+  mod.match = of::Match{}.with_eth_src(hdr.eth_src).with_ip_dst(vip_);
+  mod.priority = priority_;
+  mod.idle_timeout = 60;
+  mod.actions = rewrite;
+  api.send({api.next_xid(), mod});
+
+  // Release the buffered packet through the same rewrite.
+  of::PacketOut po;
+  po.dpid = pin->dpid;
+  po.buffer_id = pin->buffer_id;
+  po.in_port = pin->in_port;
+  po.actions = rewrite;
+  po.packet = pin->packet;
+  api.send({api.next_xid(), po});
+  return ctl::Disposition::kStop;
+}
+
+const LoadBalancer::Backend* LoadBalancer::binding_for(const MacAddress& client) const {
+  auto it = bindings_.find(client);
+  return it == bindings_.end() ? nullptr : &backends_[it->second];
+}
+
+std::vector<std::uint8_t> LoadBalancer::snapshot_state() const {
+  ByteWriter w;
+  w.u32(rr_);
+  w.u32(static_cast<std::uint32_t>(bindings_.size()));
+  for (const auto& [mac, idx] : bindings_) {
+    w.mac(mac);
+    w.u32(idx);
+  }
+  return std::move(w).take();
+}
+
+void LoadBalancer::restore_state(std::span<const std::uint8_t> state) {
+  ByteReader r(state);
+  rr_ = r.u32();
+  bindings_.clear();
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    const MacAddress mac = r.mac();
+    const std::uint32_t idx = r.u32();
+    if (r.ok() && !backends_.empty()) bindings_[mac] = idx % backends_.size();
+  }
+}
+
+} // namespace legosdn::apps

@@ -1,0 +1,58 @@
+// LoadBalancer: a Stratos-style cloud-provisioning app.
+//
+// Traffic addressed to a virtual IP/MAC is rewritten (set-field actions) to a
+// backend chosen round-robin, with a per-client affinity rule installed at
+// the ingress switch. Non-VIP traffic passes through the dispatch chain.
+//
+// Routing of the rewritten packet is delegated to flooding; hosts filter by
+// MAC, so the chosen backend (and only it) accepts the copy. This keeps the
+// app self-contained while still exercising header-rewrite actions
+// end-to-end.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "controller/app.hpp"
+
+namespace legosdn::apps {
+
+class LoadBalancer : public ctl::App {
+public:
+  struct Backend {
+    MacAddress mac{};
+    IpV4 ip{};
+  };
+
+  LoadBalancer(IpV4 vip, MacAddress vmac, std::vector<Backend> backends,
+               std::uint16_t priority = 0xA000)
+      : vip_(vip), vmac_(vmac), backends_(std::move(backends)), priority_(priority) {}
+
+  std::string name() const override { return "load-balancer"; }
+
+  std::vector<ctl::EventType> subscriptions() const override {
+    return {ctl::EventType::kPacketIn};
+  }
+
+  ctl::Disposition handle_event(const ctl::Event& e, ctl::ServiceApi& api) override;
+
+  std::vector<std::uint8_t> snapshot_state() const override;
+  void restore_state(std::span<const std::uint8_t> state) override;
+  void reset() override {
+    rr_ = 0;
+    bindings_.clear();
+  }
+
+  std::size_t bindings() const noexcept { return bindings_.size(); }
+  const Backend* binding_for(const MacAddress& client) const;
+
+private:
+  IpV4 vip_;
+  MacAddress vmac_;
+  std::vector<Backend> backends_;
+  std::uint16_t priority_;
+  std::uint32_t rr_ = 0;                                   // app state
+  std::unordered_map<MacAddress, std::uint32_t> bindings_; // client -> backend idx
+};
+
+} // namespace legosdn::apps

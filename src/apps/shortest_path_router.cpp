@@ -1,0 +1,301 @@
+#include "apps/shortest_path_router.hpp"
+
+#include <deque>
+
+#include "common/bytes.hpp"
+
+namespace legosdn::apps {
+
+ShortestPathRouter::ShortestPathRouter(std::vector<LinkInfo> links,
+                                       std::uint16_t idle_timeout,
+                                       std::uint16_t priority)
+    : links_(std::move(links)),
+      link_up_(links_.size(), true),
+      idle_timeout_(idle_timeout),
+      priority_(priority) {
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    by_endpoint_[links_[i].a] = i;
+    by_endpoint_[links_[i].b] = i;
+  }
+}
+
+void ShortestPathRouter::reset() {
+  std::fill(link_up_.begin(), link_up_.end(), true);
+  switch_up_.clear();
+  switch_ports_.clear();
+  host_at_.clear();
+}
+
+bool ShortestPathRouter::is_edge_port(const PortLocator& loc) const {
+  return !by_endpoint_.contains(loc);
+}
+
+ctl::Disposition ShortestPathRouter::handle_event(const ctl::Event& e,
+                                                  ctl::ServiceApi& api) {
+  if (const auto* pin = std::get_if<of::PacketIn>(&e)) {
+    handle_packet_in(*pin, api);
+    return ctl::Disposition::kStop;
+  }
+  if (const auto* ps = std::get_if<of::PortStatus>(&e)) {
+    mark_port({ps->dpid, ps->desc.port}, ps->desc.link_up, api);
+    return ctl::Disposition::kContinue;
+  }
+  if (const auto* ld = std::get_if<ctl::LinkDown>(&e)) {
+    mark_port(ld->a, false, api);
+    mark_port(ld->b, false, api);
+    return ctl::Disposition::kContinue;
+  }
+  if (const auto* up = std::get_if<ctl::SwitchUp>(&e)) {
+    switch_up_[up->dpid] = true;
+    auto& ports = switch_ports_[up->dpid];
+    ports.clear();
+    for (const auto& pd : up->features.ports) ports.push_back(pd.port);
+    return ctl::Disposition::kContinue;
+  }
+  if (const auto* down = std::get_if<ctl::SwitchDown>(&e)) {
+    switch_up_[down->dpid] = false;
+    std::erase_if(host_at_,
+                  [&](const auto& kv) { return kv.second.dpid == down->dpid; });
+    return ctl::Disposition::kContinue;
+  }
+  return ctl::Disposition::kContinue;
+}
+
+void ShortestPathRouter::mark_port(const PortLocator& loc, bool up,
+                                   ctl::ServiceApi& api) {
+  auto it = by_endpoint_.find(loc);
+  if (it == by_endpoint_.end()) {
+    // Edge port: hosts behind it moved/vanished.
+    if (!up)
+      std::erase_if(host_at_, [&](const auto& kv) { return kv.second == loc; });
+    return;
+  }
+  if (link_up_[it->second] == up) return;
+  link_up_[it->second] = up;
+  if (!up) {
+    // Purge rules that forward into the dead port on both endpoint switches.
+    const LinkInfo& l = links_[it->second];
+    for (const PortLocator& end : {l.a, l.b}) {
+      of::FlowMod del;
+      del.dpid = end.dpid;
+      del.match = of::Match::any();
+      del.command = of::FlowModCommand::kDelete;
+      del.out_port = end.port;
+      api.send({api.next_xid(), del});
+    }
+  }
+}
+
+std::vector<ShortestPathRouter::Hop> ShortestPathRouter::compute_path(
+    DatapathId from, DatapathId to, PortNo final_port) const {
+  if (from == to) return {{to, final_port}};
+  // BFS over up switches/links.
+  auto sw_up = [&](DatapathId d) {
+    auto it = switch_up_.find(d);
+    return it == switch_up_.end() || it->second; // unknown = assume up
+  };
+  std::unordered_map<DatapathId, std::pair<DatapathId, PortNo>> prev; // node -> (parent, parent's out port)
+  std::deque<DatapathId> queue{from};
+  prev[from] = {from, ports::kNone};
+  while (!queue.empty()) {
+    const DatapathId cur = queue.front();
+    queue.pop_front();
+    if (cur == to) break;
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+      if (!link_up_[i]) continue;
+      const LinkInfo& l = links_[i];
+      DatapathId next{};
+      PortNo out{};
+      if (l.a.dpid == cur) {
+        next = l.b.dpid;
+        out = l.a.port;
+      } else if (l.b.dpid == cur) {
+        next = l.a.dpid;
+        out = l.b.port;
+      } else {
+        continue;
+      }
+      if (!sw_up(next) || prev.contains(next)) continue;
+      prev[next] = {cur, out};
+      queue.push_back(next);
+    }
+  }
+  if (!prev.contains(to)) return {};
+  // Walk back from `to`, collecting each switch's egress port.
+  std::vector<Hop> rev{{to, final_port}};
+  DatapathId cur = to;
+  while (cur != from) {
+    auto [parent, out] = prev[cur];
+    rev.push_back({parent, out});
+    cur = parent;
+  }
+  return {rev.rbegin(), rev.rend()};
+}
+
+std::vector<std::size_t> ShortestPathRouter::spanning_tree() const {
+  auto sw_up = [&](DatapathId d) {
+    auto it = switch_up_.find(d);
+    return it == switch_up_.end() || it->second;
+  };
+  std::vector<std::size_t> tree;
+  std::unordered_map<DatapathId, bool> visited;
+  // BFS from every unvisited switch (forest over partitions).
+  for (const auto& seed : links_) {
+    for (const DatapathId root : {seed.a.dpid, seed.b.dpid}) {
+      if (visited[root] || !sw_up(root)) continue;
+      std::deque<DatapathId> queue{root};
+      visited[root] = true;
+      while (!queue.empty()) {
+        const DatapathId cur = queue.front();
+        queue.pop_front();
+        for (std::size_t i = 0; i < links_.size(); ++i) {
+          if (!link_up_[i]) continue;
+          const LinkInfo& l = links_[i];
+          DatapathId next{};
+          if (l.a.dpid == cur) next = l.b.dpid;
+          else if (l.b.dpid == cur) next = l.a.dpid;
+          else continue;
+          if (!sw_up(next) || visited[next]) continue;
+          visited[next] = true;
+          tree.push_back(i);
+          queue.push_back(next);
+        }
+      }
+    }
+  }
+  return tree;
+}
+
+std::vector<PortNo> ShortestPathRouter::flood_ports(DatapathId dpid) const {
+  auto it = switch_ports_.find(dpid);
+  if (it == switch_ports_.end()) return {};
+  const auto tree = spanning_tree();
+  std::vector<PortNo> out;
+  for (const PortNo p : it->second) {
+    const PortLocator loc{dpid, p};
+    auto link_it = by_endpoint_.find(loc);
+    if (link_it == by_endpoint_.end()) {
+      out.push_back(p); // edge port (hosts live here)
+      continue;
+    }
+    if (!link_up_[link_it->second]) continue;
+    if (std::find(tree.begin(), tree.end(), link_it->second) != tree.end())
+      out.push_back(p); // trunk port on the spanning tree
+  }
+  return out;
+}
+
+void ShortestPathRouter::handle_packet_in(const of::PacketIn& pin,
+                                          ctl::ServiceApi& api) {
+  const of::PacketHeader& hdr = pin.packet.hdr;
+  const PortLocator ingress{pin.dpid, pin.in_port};
+  if (!hdr.eth_src.is_multicast() && is_edge_port(ingress)) {
+    host_at_[hdr.eth_src] = ingress;
+  }
+
+  auto flood = [&] {
+    of::PacketOut po;
+    po.dpid = pin.dpid;
+    po.buffer_id = pin.buffer_id;
+    po.in_port = pin.in_port;
+    // Loop-free flood along the spanning tree of the live topology; fall
+    // back to a blind flood if we have never seen this switch's features.
+    const auto tree_ports = flood_ports(pin.dpid);
+    if (tree_ports.empty()) {
+      po.actions = of::output_to(ports::kFlood);
+    } else {
+      for (const PortNo p : tree_ports) {
+        if (p != pin.in_port) po.actions.push_back(of::ActionOutput{p});
+      }
+    }
+    po.packet = pin.packet;
+    api.send({api.next_xid(), po});
+  };
+
+  auto dst = host_at_.find(hdr.eth_dst);
+  if (hdr.eth_dst.is_multicast() || dst == host_at_.end()) {
+    flood();
+    return;
+  }
+
+  const auto path = compute_path(pin.dpid, dst->second.dpid, dst->second.port);
+  if (path.empty()) {
+    flood(); // no route right now; hope topology heals
+    return;
+  }
+
+  // Install the path: one rule per switch, matching the (src, dst) L2 pair.
+  for (const Hop& hop : path) {
+    of::FlowMod mod;
+    mod.dpid = hop.dpid;
+    mod.match = of::Match{}.with_eth_src(hdr.eth_src).with_eth_dst(hdr.eth_dst);
+    mod.priority = priority_;
+    mod.idle_timeout = idle_timeout_;
+    mod.actions = of::output_to(hop.out_port);
+    api.send({api.next_xid(), mod});
+  }
+  // Release the buffered packet along the first hop.
+  of::PacketOut po;
+  po.dpid = pin.dpid;
+  po.buffer_id = pin.buffer_id;
+  po.in_port = pin.in_port;
+  po.actions = of::output_to(path.front().out_port);
+  po.packet = pin.packet;
+  api.send({api.next_xid(), po});
+}
+
+std::vector<std::uint8_t> ShortestPathRouter::snapshot_state() const {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(link_up_.size()));
+  for (bool up : link_up_) w.u8(up ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(switch_up_.size()));
+  for (const auto& [d, up] : switch_up_) {
+    w.u64(raw(d));
+    w.u8(up ? 1 : 0);
+  }
+  w.u32(static_cast<std::uint32_t>(host_at_.size()));
+  for (const auto& [mac, loc] : host_at_) {
+    w.mac(mac);
+    w.u64(raw(loc.dpid));
+    w.u16(raw(loc.port));
+  }
+  w.u32(static_cast<std::uint32_t>(switch_ports_.size()));
+  for (const auto& [d, ports] : switch_ports_) {
+    w.u64(raw(d));
+    w.u16(static_cast<std::uint16_t>(ports.size()));
+    for (const PortNo p : ports) w.u16(raw(p));
+  }
+  return std::move(w).take();
+}
+
+void ShortestPathRouter::restore_state(std::span<const std::uint8_t> state) {
+  ByteReader r(state);
+  const std::uint32_t nl = r.u32();
+  for (std::uint32_t i = 0; i < nl && i < link_up_.size(); ++i)
+    link_up_[i] = r.u8() != 0;
+  switch_up_.clear();
+  const std::uint32_t ns = r.u32();
+  for (std::uint32_t i = 0; i < ns && r.ok(); ++i) {
+    const DatapathId d{r.u64()};
+    switch_up_[d] = r.u8() != 0;
+  }
+  host_at_.clear();
+  const std::uint32_t nh = r.u32();
+  for (std::uint32_t i = 0; i < nh && r.ok(); ++i) {
+    const MacAddress mac = r.mac();
+    const DatapathId d{r.u64()};
+    const PortNo p{r.u16()};
+    if (r.ok()) host_at_[mac] = {d, p};
+  }
+  switch_ports_.clear();
+  const std::uint32_t np = r.u32();
+  for (std::uint32_t i = 0; i < np && r.ok(); ++i) {
+    const DatapathId d{r.u64()};
+    const std::uint16_t count = r.u16();
+    std::vector<PortNo> ports;
+    for (std::uint16_t j = 0; j < count && r.ok(); ++j) ports.push_back(PortNo{r.u16()});
+    if (r.ok()) switch_ports_[d] = std::move(ports);
+  }
+}
+
+} // namespace legosdn::apps

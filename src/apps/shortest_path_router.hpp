@@ -1,0 +1,82 @@
+// ShortestPathRouter: a RouteFlow-style reactive routing app.
+//
+// It is constructed with the output of topology discovery (the link list),
+// tracks link/switch liveness from controller events, learns host locations
+// from packet-ins arriving on edge ports, and installs *end-to-end path
+// rules* — one flow-mod per switch on the BFS shortest path — before
+// releasing the buffered packet.
+//
+// The multi-switch rule bundles this app emits are the motivating case for
+// NetLog transactions: a crash after installing half a path leaves the
+// network inconsistent unless the bundle is atomic.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "controller/app.hpp"
+
+namespace legosdn::apps {
+
+class ShortestPathRouter : public ctl::App {
+public:
+  struct LinkInfo {
+    PortLocator a{};
+    PortLocator b{};
+  };
+
+  explicit ShortestPathRouter(std::vector<LinkInfo> links,
+                              std::uint16_t idle_timeout = 0,
+                              std::uint16_t priority = 0x9000);
+
+  std::string name() const override { return "shortest-path-router"; }
+
+  std::vector<ctl::EventType> subscriptions() const override {
+    return {ctl::EventType::kPacketIn, ctl::EventType::kPortStatus,
+            ctl::EventType::kSwitchUp, ctl::EventType::kSwitchDown,
+            ctl::EventType::kLinkDown};
+  }
+
+  ctl::Disposition handle_event(const ctl::Event& e, ctl::ServiceApi& api) override;
+
+  std::vector<std::uint8_t> snapshot_state() const override;
+  void restore_state(std::span<const std::uint8_t> state) override;
+  void reset() override;
+
+  // --- introspection for tests ---
+  std::size_t known_hosts() const noexcept { return host_at_.size(); }
+  bool link_is_up(std::size_t idx) const { return link_up_[idx]; }
+
+  /// BFS path (sequence of hops) from `from` to `to`; empty when unreachable.
+  struct Hop {
+    DatapathId dpid{};
+    PortNo out_port{};
+  };
+  std::vector<Hop> compute_path(DatapathId from, DatapathId to,
+                                PortNo final_port) const;
+
+  /// Ports of `dpid` that a loop-free flood may use: edge ports plus trunk
+  /// ports on the spanning tree of the live topology. Flooding along the
+  /// tree is what keeps unknown-destination packets from circulating forever
+  /// on cyclic topologies (Floodlight's forwarding module does the same).
+  std::vector<PortNo> flood_ports(DatapathId dpid) const;
+
+private:
+  void handle_packet_in(const of::PacketIn& pin, ctl::ServiceApi& api);
+  void mark_port(const PortLocator& loc, bool up, ctl::ServiceApi& api);
+  bool is_edge_port(const PortLocator& loc) const;
+  /// Link indices forming a BFS spanning forest over up links/switches.
+  std::vector<std::size_t> spanning_tree() const;
+
+  std::vector<LinkInfo> links_;     // immutable discovery output
+  std::vector<bool> link_up_;       // runtime liveness, indexed like links_
+  std::unordered_map<DatapathId, bool> switch_up_;
+  std::unordered_map<DatapathId, std::vector<PortNo>> switch_ports_; // from features
+  std::unordered_map<MacAddress, PortLocator> host_at_; // learned locations
+  std::unordered_map<PortLocator, std::size_t> by_endpoint_;
+  std::uint16_t idle_timeout_;
+  std::uint16_t priority_;
+};
+
+} // namespace legosdn::apps

@@ -1,0 +1,90 @@
+#include "apps/stats_monitor.hpp"
+
+#include "common/bytes.hpp"
+
+namespace legosdn::apps {
+
+ctl::Disposition StatsMonitor::handle_event(const ctl::Event& e,
+                                            ctl::ServiceApi& api) {
+  if (const auto* up = std::get_if<ctl::SwitchUp>(&e)) {
+    known_[up->dpid] = true;
+    return ctl::Disposition::kContinue;
+  }
+  if (const auto* down = std::get_if<ctl::SwitchDown>(&e)) {
+    known_[down->dpid] = false;
+    view_.erase(down->dpid);
+    return ctl::Disposition::kContinue;
+  }
+  const auto* reply = std::get_if<of::StatsReply>(&e);
+  if (!reply || reply->kind != of::StatsKind::kFlow) return ctl::Disposition::kContinue;
+  SwitchView v;
+  v.flows = reply->flows.size();
+  for (const auto& f : reply->flows) {
+    v.packets += f.packet_count;
+    v.bytes += f.byte_count;
+  }
+  view_[reply->dpid] = v;
+  (void)api;
+  return ctl::Disposition::kContinue;
+}
+
+void StatsMonitor::poll(ctl::ServiceApi& api) const {
+  for (const auto& [dpid, up] : known_) {
+    if (!up) continue;
+    of::StatsRequest req;
+    req.dpid = dpid;
+    req.kind = of::StatsKind::kFlow;
+    req.match = of::Match::any();
+    api.send({api.next_xid(), req});
+  }
+}
+
+const StatsMonitor::SwitchView* StatsMonitor::view(DatapathId dpid) const {
+  auto it = view_.find(dpid);
+  return it == view_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t StatsMonitor::total_packets() const {
+  std::uint64_t total = 0;
+  for (const auto& [_, v] : view_) total += v.packets;
+  return total;
+}
+
+std::vector<std::uint8_t> StatsMonitor::snapshot_state() const {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(known_.size()));
+  for (const auto& [d, up] : known_) {
+    w.u64(raw(d));
+    w.u8(up ? 1 : 0);
+  }
+  w.u32(static_cast<std::uint32_t>(view_.size()));
+  for (const auto& [d, v] : view_) {
+    w.u64(raw(d));
+    w.u64(v.flows);
+    w.u64(v.packets);
+    w.u64(v.bytes);
+  }
+  return std::move(w).take();
+}
+
+void StatsMonitor::restore_state(std::span<const std::uint8_t> state) {
+  known_.clear();
+  view_.clear();
+  ByteReader r(state);
+  const std::uint32_t nk = r.u32();
+  for (std::uint32_t i = 0; i < nk && r.ok(); ++i) {
+    const DatapathId d{r.u64()};
+    known_[d] = r.u8() != 0;
+  }
+  const std::uint32_t nv = r.u32();
+  for (std::uint32_t i = 0; i < nv && r.ok(); ++i) {
+    const DatapathId d{r.u64()};
+    SwitchView v;
+    v.flows = r.u64();
+    v.packets = r.u64();
+    v.bytes = r.u64();
+    if (r.ok()) view_[d] = v;
+  }
+}
+
+} // namespace legosdn::apps

@@ -1,0 +1,50 @@
+// StatsMonitor: a telemetry app that polls flow statistics and keeps a
+// per-switch view of traffic counters.
+//
+// It is the in-repo consumer of NetLog's counter-cache correction (§3.2):
+// under LegoController, the StatsReply events it receives have already been
+// patched, so its view matches ground truth even across delete/rollback
+// churn (verified in tests/stats_monitor_test.cpp).
+#pragma once
+
+#include <unordered_map>
+
+#include "controller/app.hpp"
+
+namespace legosdn::apps {
+
+class StatsMonitor : public ctl::App {
+public:
+  std::string name() const override { return "stats-monitor"; }
+
+  std::vector<ctl::EventType> subscriptions() const override {
+    return {ctl::EventType::kStatsReply, ctl::EventType::kSwitchUp,
+            ctl::EventType::kSwitchDown};
+  }
+
+  ctl::Disposition handle_event(const ctl::Event& e, ctl::ServiceApi& api) override;
+
+  std::vector<std::uint8_t> snapshot_state() const override;
+  void restore_state(std::span<const std::uint8_t> state) override;
+  void reset() override { view_.clear(); }
+
+  /// Issue a flow-stats request to every known switch.
+  void poll(ctl::ServiceApi& api) const;
+
+  struct SwitchView {
+    std::uint64_t flows = 0;
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  /// Latest per-switch totals (from the most recent reply per switch).
+  const SwitchView* view(DatapathId dpid) const;
+  std::size_t switches_seen() const noexcept { return view_.size(); }
+  std::uint64_t total_packets() const;
+
+private:
+  std::unordered_map<DatapathId, SwitchView> view_;
+  std::unordered_map<DatapathId, bool> known_;
+};
+
+} // namespace legosdn::apps

@@ -1,0 +1,53 @@
+#include "appvisor/appvisor.hpp"
+
+namespace legosdn::appvisor {
+
+AppId AppVisor::add_app(ctl::AppPtr app, Backend backend, ProcessDomain::Config cfg) {
+  DomainPtr domain;
+  switch (backend) {
+    case Backend::kInProcess:
+      domain = std::make_unique<InProcessDomain>(std::move(app));
+      break;
+    case Backend::kProcess:
+      domain = std::make_unique<ProcessDomain>(std::move(app), cfg);
+      break;
+  }
+  return add_domain(std::move(domain));
+}
+
+AppId AppVisor::add_domain(DomainPtr domain) {
+  AppEntry e;
+  e.id = AppId{static_cast<std::uint32_t>(entries_.size() + 1)};
+  for (ctl::EventType t : domain->subscriptions())
+    e.subscribed[static_cast<std::size_t>(t)] = true;
+  e.domain = std::move(domain);
+  entries_.push_back(std::move(e));
+  return entries_.back().id;
+}
+
+Status AppVisor::start_all() {
+  for (auto& e : entries_) {
+    if (auto st = e.domain->start(); !st) return st;
+  }
+  return Status::success();
+}
+
+void AppVisor::shutdown_all() {
+  for (auto& e : entries_) e.domain->shutdown();
+}
+
+AppEntry* AppVisor::entry(AppId id) {
+  for (auto& e : entries_)
+    if (e.id == id) return &e;
+  return nullptr;
+}
+
+std::vector<AppEntry*> AppVisor::subscribers(ctl::EventType type) {
+  std::vector<AppEntry*> out;
+  const auto idx = static_cast<std::size_t>(type);
+  for (auto& e : entries_)
+    if (e.subscribed[idx]) out.push_back(&e);
+  return out;
+}
+
+} // namespace legosdn::appvisor

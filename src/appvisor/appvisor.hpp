@@ -1,0 +1,63 @@
+// AppVisor: the proxy-side registry of isolated SDN-Apps.
+//
+// "The proxy ... registers itself for these message types with the
+//  controller and maintains the per-application subscriptions in a table."
+//
+// This class owns the isolation domains, the subscription table, and
+// per-app failure bookkeeping. LegoController consults it to drive dispatch.
+#pragma once
+
+#include <vector>
+
+#include "appvisor/inprocess_domain.hpp"
+#include "appvisor/isolation.hpp"
+#include "appvisor/process_domain.hpp"
+
+namespace legosdn::appvisor {
+
+enum class Backend {
+  kInProcess, ///< deterministic fault boundary (exception at the domain edge)
+  kProcess,   ///< real fork()ed stub over UDP (the paper's prototype)
+};
+
+struct AppEntry {
+  AppId id{};
+  DomainPtr domain;
+  bool subscribed[ctl::kEventTypeCount] = {};
+
+  // bookkeeping
+  std::uint64_t events_delivered = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+};
+
+class AppVisor {
+public:
+  AppVisor() = default;
+  AppVisor(const AppVisor&) = delete;
+  AppVisor& operator=(const AppVisor&) = delete;
+
+  /// Register an app under the chosen isolation backend.
+  AppId add_app(ctl::AppPtr app, Backend backend,
+                ProcessDomain::Config cfg = {});
+
+  /// Register a pre-built domain (used by diversity/clone wrappers).
+  AppId add_domain(DomainPtr domain);
+
+  /// Start every domain. Fails fast on the first domain that cannot start.
+  Status start_all();
+
+  void shutdown_all();
+
+  std::vector<AppEntry>& entries() noexcept { return entries_; }
+  const std::vector<AppEntry>& entries() const noexcept { return entries_; }
+  AppEntry* entry(AppId id);
+
+  /// Apps subscribed to an event type, in registration (dispatch) order.
+  std::vector<AppEntry*> subscribers(ctl::EventType type);
+
+private:
+  std::vector<AppEntry> entries_;
+};
+
+} // namespace legosdn::appvisor

@@ -1,0 +1,48 @@
+#include "appvisor/inprocess_domain.hpp"
+
+namespace legosdn::appvisor {
+
+EventOutcome InProcessDomain::deliver(const ctl::Event& event, SimTime now) {
+  EventOutcome out;
+  if (!alive_) {
+    out.kind = EventOutcome::Kind::kCrashed;
+    out.crash_info = "domain not alive";
+    return out;
+  }
+  CollectingServiceApi api(now, &xid_);
+  try {
+    out.disposition = app_->handle_event(event, api);
+    out.emitted = std::move(api).take();
+  } catch (const ctl::AppCrash& crash) {
+    // The fault boundary: the crash is contained here and the app is marked
+    // dead until restore()/restart(). Its partial output is discarded —
+    // NetLog never sees messages from a failed handler.
+    alive_ = false;
+    out.kind = EventOutcome::Kind::kCrashed;
+    out.crash_info = crash.what();
+  }
+  return out;
+}
+
+Result<std::vector<std::uint8_t>> InProcessDomain::snapshot() {
+  if (!alive_)
+    return Error{Error::Code::kCrashed, "cannot snapshot a dead app"};
+  return app_->snapshot_state();
+}
+
+Status InProcessDomain::restore(std::span<const std::uint8_t> state) {
+  // Reviving an in-process app = reset + state install (the analogue of
+  // re-spawning the process and handing it the CRIU image).
+  app_->reset();
+  app_->restore_state(state);
+  alive_ = true;
+  return Status::success();
+}
+
+Status InProcessDomain::restart() {
+  app_->reset();
+  alive_ = true;
+  return Status::success();
+}
+
+} // namespace legosdn::appvisor

@@ -1,0 +1,43 @@
+// In-process isolation backend: the app lives in the proxy's address space,
+// and the fault boundary is a try/catch around the handler. Deterministic,
+// allocation-cheap, and semantically identical to the process backend from
+// the proxy's point of view.
+#pragma once
+
+#include "appvisor/isolation.hpp"
+
+namespace legosdn::appvisor {
+
+class InProcessDomain : public IsolationDomain {
+public:
+  explicit InProcessDomain(ctl::AppPtr app) : app_(std::move(app)) {}
+
+  std::string app_name() const override { return app_->name(); }
+  std::vector<ctl::EventType> subscriptions() const override {
+    return app_->subscriptions();
+  }
+
+  Status start() override {
+    alive_ = true;
+    return Status::success();
+  }
+
+  bool alive() const override { return alive_; }
+
+  EventOutcome deliver(const ctl::Event& event, SimTime now) override;
+
+  Result<std::vector<std::uint8_t>> snapshot() override;
+  Status restore(std::span<const std::uint8_t> state) override;
+  Status restart() override;
+  void shutdown() override { alive_ = false; }
+
+  /// Test access to the hosted app.
+  ctl::App& app() noexcept { return *app_; }
+
+private:
+  ctl::AppPtr app_;
+  bool alive_ = false;
+  std::uint32_t xid_ = 1;
+};
+
+} // namespace legosdn::appvisor

@@ -1,0 +1,99 @@
+// AppVisor isolation domains.
+//
+// An IsolationDomain hosts exactly one SDN-App behind a fault boundary. The
+// proxy side (LegoController) talks only to this interface; two backends
+// implement it:
+//
+//   InProcessDomain — the app runs in-process; a crash is an AppCrash
+//   exception caught at the domain boundary. Deterministic and fast; used by
+//   most tests and benchmarks.
+//
+//   ProcessDomain — the app runs in a fork()ed child process wrapped by a
+//   stub, communicating with the proxy over UDP (the paper's architecture,
+//   §4.1). A crash is real process death, detected via RPC failure and
+//   missed heartbeats.
+//
+// In both backends the app's emitted messages are *collected* by the domain
+// and returned to the proxy instead of being applied directly — the proxy
+// hands them to NetLog as one transaction bundle, which is what makes
+// all-or-nothing recovery possible.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/result.hpp"
+#include "controller/app.hpp"
+
+namespace legosdn::appvisor {
+
+/// ServiceApi implementation that buffers an app's sends during one event.
+class CollectingServiceApi : public ctl::ServiceApi {
+public:
+  explicit CollectingServiceApi(SimTime now, std::uint32_t* xid_counter)
+      : now_(now), xid_counter_(xid_counter) {}
+
+  void send(const of::Message& msg) override { emitted_.push_back(msg); }
+  std::uint32_t next_xid() override { return (*xid_counter_)++; }
+  SimTime now() const override { return now_; }
+
+  std::vector<of::Message> take() && { return std::move(emitted_); }
+
+private:
+  SimTime now_;
+  std::uint32_t* xid_counter_;
+  std::vector<of::Message> emitted_;
+};
+
+/// Result of delivering one event to an isolated app.
+struct EventOutcome {
+  enum class Kind {
+    kOk,      ///< handler returned normally
+    kCrashed, ///< fail-stop crash (exception / process death)
+    kTimeout, ///< no response within the deadline (treated as crash)
+  };
+
+  Kind kind = Kind::kOk;
+  ctl::Disposition disposition = ctl::Disposition::kContinue;
+  std::vector<of::Message> emitted; ///< the app's output bundle
+  std::string crash_info;           ///< diagnostics for the problem ticket
+
+  bool ok() const noexcept { return kind == Kind::kOk; }
+};
+
+class IsolationDomain {
+public:
+  virtual ~IsolationDomain() = default;
+
+  virtual std::string app_name() const = 0;
+  virtual std::vector<ctl::EventType> subscriptions() const = 0;
+
+  /// Launch the domain (spawn the stub process / mark ready).
+  virtual Status start() = 0;
+
+  /// Is the app currently able to take events?
+  virtual bool alive() const = 0;
+
+  /// Deliver one event and wait for the handler to finish.
+  virtual EventOutcome deliver(const ctl::Event& event, SimTime now) = 0;
+
+  /// Capture the app's logical state (CRIU substitute).
+  virtual Result<std::vector<std::uint8_t>> snapshot() = 0;
+
+  /// Revive the app (restarting the process if dead) and install `state`.
+  virtual Status restore(std::span<const std::uint8_t> state) = 0;
+
+  /// Cold restart: revive with fresh (empty) state.
+  virtual Status restart() = 0;
+
+  /// Orderly shutdown (kills the stub process, if any).
+  virtual void shutdown() = 0;
+};
+
+using DomainPtr = std::unique_ptr<IsolationDomain>;
+
+} // namespace legosdn::appvisor

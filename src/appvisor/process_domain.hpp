@@ -1,0 +1,88 @@
+// Process isolation backend — the paper's actual architecture (§4.1).
+//
+// The proxy side (this class) fork()s a child process that runs the stub
+// event loop around the SDN-App. Proxy and stub speak the RPC protocol over
+// UDP on loopback. A fail-stop bug in the app aborts the *child process*;
+// the proxy detects it via the crash notice, RPC timeout, or waitpid, and the
+// controller keeps running — the fate-sharing relationship is severed by a
+// real OS process boundary.
+//
+// Checkpoint/restore: instead of CRIU (unavailable here; see DESIGN.md §5)
+// the stub serializes the app's logical state through snapshot_state() and a
+// re-spawned stub installs it through restore_state().
+#pragma once
+
+#include <sys/types.h>
+
+#include <chrono>
+
+#include "appvisor/isolation.hpp"
+#include "appvisor/rpc.hpp"
+#include "appvisor/udp_channel.hpp"
+
+namespace legosdn::appvisor {
+
+class ProcessDomain : public IsolationDomain {
+public:
+  struct Config {
+    int deliver_timeout_ms = 5000; ///< event-handling deadline
+    int rpc_timeout_ms = 5000;     ///< snapshot/restore/handshake deadline
+    int heartbeat_interval_ms = 50;
+  };
+
+  explicit ProcessDomain(ctl::AppPtr app) : ProcessDomain(std::move(app), Config{}) {}
+  ProcessDomain(ctl::AppPtr app, Config cfg);
+  ~ProcessDomain() override;
+
+  std::string app_name() const override { return app_->name(); }
+  std::vector<ctl::EventType> subscriptions() const override {
+    return app_->subscriptions();
+  }
+
+  Status start() override;
+  bool alive() const override { return alive_; }
+
+  EventOutcome deliver(const ctl::Event& event, SimTime now) override;
+  Result<std::vector<std::uint8_t>> snapshot() override;
+  Status restore(std::span<const std::uint8_t> state) override;
+  Status restart() override;
+  void shutdown() override;
+
+  pid_t child_pid() const noexcept { return child_pid_; }
+
+  /// Non-blocking liveness check between deliveries: drains pending
+  /// heartbeats/crash notices and reaps a dead child. "To further help the
+  /// proxy in detecting crashes quickly, the stub also sends periodic heart
+  /// beat messages" (§4.1). Returns the (possibly updated) alive state.
+  bool poll_liveness();
+
+  /// Milliseconds since the last frame (heartbeat or reply) from the stub;
+  /// -1 when nothing has ever been received.
+  long ms_since_heartbeat() const;
+
+private:
+  Status spawn();
+  void kill_child();
+  bool child_exited();
+
+  /// Send a request and wait for a frame of `expect` type (heartbeats and
+  /// stale frames are skipped). Crash notices surface as kCrashed errors.
+  Result<RpcFrame> call(RpcType req, std::span<const std::uint8_t> payload,
+                        RpcType expect, int timeout_ms);
+
+  ctl::AppPtr app_; ///< pristine template; mutated only inside children
+  Config cfg_;
+  UdpChannel chan_;
+  PeerAddr stub_addr_{};
+  pid_t child_pid_ = -1;
+  bool alive_ = false;
+  std::uint64_t next_seq_ = 1;
+  std::string last_crash_info_;
+  std::chrono::steady_clock::time_point last_heartbeat_{};
+};
+
+/// The stub main loop; runs in the child and never returns.
+[[noreturn]] void run_stub(ctl::App& app, std::uint16_t proxy_port,
+                           int heartbeat_interval_ms);
+
+} // namespace legosdn::appvisor

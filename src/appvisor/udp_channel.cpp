@@ -1,0 +1,168 @@
+#include "appvisor/udp_channel.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace legosdn::appvisor {
+namespace {
+
+constexpr std::size_t kChunkHeader = 16; // frame_id + idx + count
+
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    p[i] = static_cast<std::uint8_t>(v & 0xFF);
+    v >>= 8;
+  }
+}
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
+}
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 3; i >= 0; --i) {
+    p[i] = static_cast<std::uint8_t>(v & 0xFF);
+    v >>= 8;
+  }
+}
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+} // namespace
+
+UdpChannel::~UdpChannel() { close(); }
+
+Status UdpChannel::open() {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) return Error{Error::Code::kIo, "socket: " + std::string(strerror(errno))};
+  // Generous buffers: snapshot bursts can be large.
+  int buf = 4 * 1024 * 1024;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &buf, sizeof(buf));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &buf, sizeof(buf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0; // ephemeral
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close();
+    return Error{Error::Code::kIo, "bind: " + std::string(strerror(errno))};
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    close();
+    return Error{Error::Code::kIo, "getsockname: " + std::string(strerror(errno))};
+  }
+  local_port_ = ntohs(addr.sin_port);
+  return Status::success();
+}
+
+void UdpChannel::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status UdpChannel::send_frame(const PeerAddr& to, std::span<const std::uint8_t> frame) {
+  if (fd_ < 0) return Error{Error::Code::kIo, "channel not open"};
+  sockaddr_in dst{};
+  dst.sin_family = AF_INET;
+  dst.sin_addr.s_addr = htonl(to.ip == 0 ? INADDR_LOOPBACK : to.ip);
+  dst.sin_port = htons(to.port);
+
+  const std::uint64_t id = next_frame_id_++;
+  const std::size_t n_chunks =
+      frame.empty() ? 1 : (frame.size() + kChunkPayload - 1) / kChunkPayload;
+  std::vector<std::uint8_t> buf(kChunkHeader + kChunkPayload);
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    const std::size_t off = c * kChunkPayload;
+    const std::size_t len = std::min(kChunkPayload, frame.size() - off);
+    put_u64(buf.data(), id);
+    put_u32(buf.data() + 8, static_cast<std::uint32_t>(c));
+    put_u32(buf.data() + 12, static_cast<std::uint32_t>(n_chunks));
+    if (len) std::memcpy(buf.data() + kChunkHeader, frame.data() + off, len);
+    const ssize_t sent =
+        ::sendto(fd_, buf.data(), kChunkHeader + len, 0,
+                 reinterpret_cast<sockaddr*>(&dst), sizeof(dst));
+    if (sent < 0)
+      return Error{Error::Code::kIo, "sendto: " + std::string(strerror(errno))};
+  }
+  return Status::success();
+}
+
+Result<UdpChannel::Received> UdpChannel::recv_frame(int timeout_ms) {
+  if (fd_ < 0) return Error{Error::Code::kIo, "channel not open"};
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::vector<std::uint8_t> buf(kChunkHeader + kChunkPayload);
+
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return Error{Error::Code::kTimeout, "recv timeout"};
+    // Round the wait up: truncation would turn short timeouts (1-2 ms) into
+    // zero and skip the poll entirely even with data already queued.
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now).count() +
+        1;
+    pollfd pfd{fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, static_cast<int>(remaining));
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return Error{Error::Code::kIo, "poll: " + std::string(strerror(errno))};
+    }
+    if (pr == 0) return Error{Error::Code::kTimeout, "recv timeout"};
+
+    sockaddr_in src{};
+    socklen_t slen = sizeof(src);
+    const ssize_t n = ::recvfrom(fd_, buf.data(), buf.size(), 0,
+                                 reinterpret_cast<sockaddr*>(&src), &slen);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return Error{Error::Code::kIo, "recvfrom: " + std::string(strerror(errno))};
+    }
+    if (static_cast<std::size_t>(n) < kChunkHeader) continue; // runt; ignore
+
+    const std::uint64_t id = get_u64(buf.data());
+    const std::uint32_t idx = get_u32(buf.data() + 8);
+    const std::uint32_t count = get_u32(buf.data() + 12);
+    if (count == 0 || idx >= count) continue; // malformed; ignore
+
+    PeerAddr from{ntohl(src.sin_addr.s_addr), ntohs(src.sin_port)};
+    if (id != assembling_id_) {
+      // New frame begins; drop any partial one.
+      assembling_id_ = id;
+      assembling_count_ = count;
+      assembling_have_ = 0;
+      assembling_.assign(static_cast<std::size_t>(count) * kChunkPayload, 0);
+      assembling_from_ = from;
+    }
+    const std::size_t len = static_cast<std::size_t>(n) - kChunkHeader;
+    std::memcpy(assembling_.data() + static_cast<std::size_t>(idx) * kChunkPayload,
+                buf.data() + kChunkHeader, len);
+    assembling_have_ += 1;
+    if (idx == assembling_count_ - 1) {
+      // Final chunk defines the true frame length.
+      assembling_.resize(static_cast<std::size_t>(idx) * kChunkPayload + len);
+    }
+    if (assembling_have_ == assembling_count_) {
+      Received out{std::move(assembling_), assembling_from_};
+      assembling_.clear();
+      assembling_id_ = 0;
+      assembling_count_ = 0;
+      assembling_have_ = 0;
+      return out;
+    }
+  }
+}
+
+} // namespace legosdn::appvisor

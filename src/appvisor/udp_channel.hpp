@@ -1,0 +1,71 @@
+// UDP datagram channel over loopback, with fragmentation/reassembly so that
+// logical frames (e.g. multi-megabyte snapshot blobs) are not limited by the
+// UDP datagram size.
+//
+// Chunk wire format: u64 frame_id | u32 chunk_idx | u32 chunk_count | bytes.
+// Loopback delivery is in-order and effectively lossless; a chunk arriving
+// for a different frame than the one being assembled discards the partial
+// frame (the sender gave up / restarted). recv_frame() applies a deadline so
+// a dead peer turns into Error::kTimeout rather than a hang.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace legosdn::appvisor {
+
+struct PeerAddr {
+  std::uint32_t ip = 0;   ///< host order; loopback in practice
+  std::uint16_t port = 0; ///< host order
+
+  bool valid() const noexcept { return port != 0; }
+};
+
+class UdpChannel {
+public:
+  UdpChannel() = default;
+  ~UdpChannel();
+
+  UdpChannel(const UdpChannel&) = delete;
+  UdpChannel& operator=(const UdpChannel&) = delete;
+
+  /// Bind an ephemeral UDP port on 127.0.0.1.
+  Status open();
+  void close();
+  bool is_open() const noexcept { return fd_ >= 0; }
+
+  /// Local port (host order) after open().
+  std::uint16_t local_port() const noexcept { return local_port_; }
+
+  /// Send one logical frame to the peer, fragmenting as needed.
+  Status send_frame(const PeerAddr& to, std::span<const std::uint8_t> frame);
+
+  struct Received {
+    std::vector<std::uint8_t> frame;
+    PeerAddr from;
+  };
+
+  /// Receive one logical frame, waiting up to timeout_ms. Returns kTimeout
+  /// when the deadline passes with no complete frame.
+  Result<Received> recv_frame(int timeout_ms);
+
+private:
+  int fd_ = -1;
+  std::uint16_t local_port_ = 0;
+  std::uint64_t next_frame_id_ = 1;
+
+  // Reassembly state for the frame currently being received.
+  std::uint64_t assembling_id_ = 0;
+  std::uint32_t assembling_count_ = 0;
+  std::uint32_t assembling_have_ = 0;
+  std::vector<std::uint8_t> assembling_;
+  PeerAddr assembling_from_{};
+
+  static constexpr std::size_t kChunkPayload = 32 * 1024;
+};
+
+} // namespace legosdn::appvisor

@@ -1,0 +1,34 @@
+#include "checkpoint/event_log.hpp"
+
+namespace legosdn::checkpoint {
+
+void EventLog::append(AppId app, std::uint64_t seq, ctl::Event event) {
+  auto& q = by_app_[app];
+  q.push_back({seq, std::move(event)});
+  while (q.size() > keep_) q.pop_front();
+}
+
+std::vector<LoggedEvent> EventLog::range(AppId app, std::uint64_t from_seq,
+                                         std::uint64_t to_seq) const {
+  std::vector<LoggedEvent> out;
+  auto it = by_app_.find(app);
+  if (it == by_app_.end()) return out;
+  for (const auto& le : it->second) {
+    if (le.seq >= from_seq && le.seq < to_seq) out.push_back(le);
+  }
+  return out;
+}
+
+void EventLog::truncate(AppId app, std::uint64_t before_seq) {
+  auto it = by_app_.find(app);
+  if (it == by_app_.end()) return;
+  auto& q = it->second;
+  while (!q.empty() && q.front().seq < before_seq) q.pop_front();
+}
+
+std::size_t EventLog::count(AppId app) const {
+  auto it = by_app_.find(app);
+  return it == by_app_.end() ? 0 : it->second.size();
+}
+
+} // namespace legosdn::checkpoint

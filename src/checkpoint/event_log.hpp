@@ -1,0 +1,47 @@
+// Per-app event history.
+//
+// Two consumers:
+//  - periodic checkpointing (§5 "Minimizing checkpointing overheads"):
+//    snapshot every k events, and on crash replay the logged events since
+//    the restored snapshot;
+//  - multi-event fault localization (§5, STS-style): the delta debugger
+//    searches this history for the minimal crash-inducing subsequence.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "controller/event.hpp"
+
+namespace legosdn::checkpoint {
+
+struct LoggedEvent {
+  std::uint64_t seq = 0;
+  ctl::Event event;
+};
+
+class EventLog {
+public:
+  explicit EventLog(std::size_t keep_per_app = 1024) : keep_(keep_per_app) {}
+
+  void append(AppId app, std::uint64_t seq, ctl::Event event);
+
+  /// Events with seq in [from_seq, to_seq), oldest first.
+  std::vector<LoggedEvent> range(AppId app, std::uint64_t from_seq,
+                                 std::uint64_t to_seq) const;
+
+  /// Drop events with seq < before_seq (checkpoint advanced past them).
+  void truncate(AppId app, std::uint64_t before_seq);
+
+  std::size_t count(AppId app) const;
+  void clear(AppId app) { by_app_.erase(app); }
+
+private:
+  std::unordered_map<AppId, std::deque<LoggedEvent>> by_app_;
+  std::size_t keep_;
+};
+
+} // namespace legosdn::checkpoint

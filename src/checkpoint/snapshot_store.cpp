@@ -1,0 +1,48 @@
+#include "checkpoint/snapshot_store.hpp"
+
+namespace legosdn::checkpoint {
+
+void SnapshotStore::put(AppId app, Snapshot snap) {
+  auto& q = by_app_[app];
+  total_bytes_ += snap.state.size();
+  q.push_back(std::move(snap));
+  while (q.size() > keep_) {
+    total_bytes_ -= q.front().state.size();
+    q.pop_front();
+  }
+}
+
+const Snapshot* SnapshotStore::latest(AppId app) const {
+  auto it = by_app_.find(app);
+  if (it == by_app_.end() || it->second.empty()) return nullptr;
+  return &it->second.back();
+}
+
+const Snapshot* SnapshotStore::at_or_before(AppId app, std::uint64_t seq) const {
+  auto it = by_app_.find(app);
+  if (it == by_app_.end()) return nullptr;
+  const Snapshot* best = nullptr;
+  for (const auto& s : it->second) {
+    if (s.event_seq <= seq && (!best || s.event_seq > best->event_seq)) best = &s;
+  }
+  return best;
+}
+
+const std::deque<Snapshot>* SnapshotStore::history(AppId app) const {
+  auto it = by_app_.find(app);
+  return it == by_app_.end() ? nullptr : &it->second;
+}
+
+std::size_t SnapshotStore::count(AppId app) const {
+  auto it = by_app_.find(app);
+  return it == by_app_.end() ? 0 : it->second.size();
+}
+
+void SnapshotStore::clear(AppId app) {
+  auto it = by_app_.find(app);
+  if (it == by_app_.end()) return;
+  for (const auto& s : it->second) total_bytes_ -= s.state.size();
+  by_app_.erase(it);
+}
+
+} // namespace legosdn::checkpoint

@@ -1,0 +1,52 @@
+// Snapshot storage for app checkpoints.
+//
+// "Crash-Pad takes a snapshot of the state of the SDN-App prior to its
+//  processing of an event and should a failure occur, it can easily revert
+//  to this snapshot." (§3.3)
+//
+// The store keeps a bounded history per app (newest last) so the §5
+// extension — rolling back to an *earlier* checkpoint when a failure spans
+// multiple events — has material to work with.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/types.hpp"
+
+namespace legosdn::checkpoint {
+
+struct Snapshot {
+  std::uint64_t event_seq = 0; ///< snapshot was taken *before* this event
+  SimTime taken_at{};
+  std::vector<std::uint8_t> state;
+};
+
+class SnapshotStore {
+public:
+  explicit SnapshotStore(std::size_t keep_per_app = 8) : keep_(keep_per_app) {}
+
+  void put(AppId app, Snapshot snap);
+
+  /// Most recent snapshot, or nullptr if none.
+  const Snapshot* latest(AppId app) const;
+
+  /// Newest snapshot with event_seq <= seq (for multi-event fault recovery).
+  const Snapshot* at_or_before(AppId app, std::uint64_t seq) const;
+
+  const std::deque<Snapshot>* history(AppId app) const;
+
+  std::size_t count(AppId app) const;
+  std::size_t total_bytes() const noexcept { return total_bytes_; }
+  void clear(AppId app);
+
+private:
+  std::unordered_map<AppId, std::deque<Snapshot>> by_app_;
+  std::size_t keep_;
+  std::size_t total_bytes_ = 0;
+};
+
+} // namespace legosdn::checkpoint

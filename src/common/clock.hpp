@@ -1,0 +1,55 @@
+// Virtual time for the discrete-event simulator.
+//
+// All simulator-side timestamps are SimTime (nanoseconds since simulation
+// start). Only the real-process AppVisor backend touches the wall clock.
+#pragma once
+
+#include <chrono>
+#include <compare>
+#include <cstdint>
+
+namespace legosdn {
+
+/// Nanoseconds of virtual time since simulation start.
+enum class SimTime : std::int64_t {};
+
+constexpr std::int64_t raw(SimTime t) noexcept { return static_cast<std::int64_t>(t); }
+
+constexpr SimTime operator+(SimTime t, std::chrono::nanoseconds d) noexcept {
+  return SimTime{raw(t) + d.count()};
+}
+constexpr std::chrono::nanoseconds operator-(SimTime a, SimTime b) noexcept {
+  return std::chrono::nanoseconds{raw(a) - raw(b)};
+}
+constexpr auto operator<=>(SimTime a, SimTime b) noexcept { return raw(a) <=> raw(b); }
+constexpr bool operator==(SimTime a, SimTime b) noexcept { return raw(a) == raw(b); }
+
+constexpr SimTime kSimStart{0};
+
+inline constexpr SimTime from_us(std::int64_t us) noexcept { return SimTime{us * 1000}; }
+inline constexpr SimTime from_ms(std::int64_t ms) noexcept {
+  return SimTime{ms * 1'000'000};
+}
+inline constexpr double to_ms(SimTime t) noexcept { return static_cast<double>(raw(t)) / 1e6; }
+inline constexpr double to_us(SimTime t) noexcept { return static_cast<double>(raw(t)) / 1e3; }
+
+/// A monotonically advancing virtual clock owned by the simulator.
+class SimClock {
+public:
+  SimTime now() const noexcept { return now_; }
+
+  /// Advance to `t`. Time never moves backwards; advancing to the past is a
+  /// programming error caught in debug builds and ignored in release.
+  void advance_to(SimTime t) noexcept {
+    if (t > now_) now_ = t;
+  }
+
+  void advance_by(std::chrono::nanoseconds d) noexcept { now_ = now_ + d; }
+
+  void reset() noexcept { now_ = kSimStart; }
+
+private:
+  SimTime now_ = kSimStart;
+};
+
+} // namespace legosdn

@@ -1,0 +1,60 @@
+// Lightweight leveled logger.
+//
+// Logging is off by default in tests and benchmarks (level kWarn); examples
+// turn it up to kInfo so the recovery story is visible on the console.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace legosdn {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Log {
+public:
+  static LogLevel level() noexcept { return level_; }
+  static void set_level(LogLevel l) noexcept { level_ = l; }
+
+  static bool enabled(LogLevel l) noexcept { return l >= level_; }
+
+  template <typename... Args>
+  static void write(LogLevel l, const char* tag, const char* fmt, Args&&... args) {
+    if (!enabled(l)) return;
+    std::fprintf(stderr, "[%s] %-10s ", name(l), tag);
+    if constexpr (sizeof...(Args) == 0) {
+      std::fputs(fmt, stderr);
+    } else {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wformat-security"
+      std::fprintf(stderr, fmt, std::forward<Args>(args)...);
+#pragma GCC diagnostic pop
+    }
+    std::fputc('\n', stderr);
+  }
+
+private:
+  static const char* name(LogLevel l) noexcept {
+    switch (l) {
+      case LogLevel::kTrace: return "TRACE";
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO ";
+      case LogLevel::kWarn: return "WARN ";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kOff: return "OFF  ";
+    }
+    return "?";
+  }
+
+  static inline LogLevel level_ = LogLevel::kWarn;
+};
+
+#define LEGOSDN_LOG_TRACE(tag, ...) ::legosdn::Log::write(::legosdn::LogLevel::kTrace, tag, __VA_ARGS__)
+#define LEGOSDN_LOG_DEBUG(tag, ...) ::legosdn::Log::write(::legosdn::LogLevel::kDebug, tag, __VA_ARGS__)
+#define LEGOSDN_LOG_INFO(tag, ...) ::legosdn::Log::write(::legosdn::LogLevel::kInfo, tag, __VA_ARGS__)
+#define LEGOSDN_LOG_WARN(tag, ...) ::legosdn::Log::write(::legosdn::LogLevel::kWarn, tag, __VA_ARGS__)
+#define LEGOSDN_LOG_ERROR(tag, ...) ::legosdn::Log::write(::legosdn::LogLevel::kError, tag, __VA_ARGS__)
+
+} // namespace legosdn

@@ -1,0 +1,92 @@
+// Minimal expected-like result type used for fallible operations that should
+// not throw (codec parsing, RPC transport, rollback application).
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace legosdn {
+
+/// Error payload: a machine-readable code plus a human-readable message.
+struct Error {
+  enum class Code {
+    kParse,        ///< malformed wire bytes
+    kTruncated,    ///< ran out of bytes mid-message
+    kUnsupported,  ///< known but unimplemented message/feature
+    kNotFound,     ///< referenced entity does not exist
+    kConflict,     ///< operation conflicts with current state
+    kTimeout,      ///< peer did not respond in time
+    kCrashed,      ///< the peer application crashed
+    kIo,           ///< OS-level I/O failure
+    kInvariant,    ///< network invariant violated
+    kRejected,     ///< policy rejected the operation
+  };
+
+  Code code;
+  std::string message;
+
+  std::string to_string() const {
+    static constexpr const char* names[] = {
+        "parse",   "truncated", "unsupported", "not-found", "conflict",
+        "timeout", "crashed",   "io",          "invariant", "rejected"};
+    return std::string(names[static_cast<int>(code)]) + ": " + message;
+  }
+};
+
+template <typename T> class Result {
+public:
+  Result(T value) : v_(std::move(value)) {}        // NOLINT(google-explicit-constructor)
+  Result(Error error) : v_(std::move(error)) {}    // NOLINT(google-explicit-constructor)
+
+  bool ok() const noexcept { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(v_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+private:
+  std::variant<T, Error> v_;
+};
+
+/// Result for operations with no payload.
+class Status {
+public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)), ok_(false) {} // NOLINT
+
+  static Status success() { return {}; }
+
+  bool ok() const noexcept { return ok_; }
+  explicit operator bool() const noexcept { return ok_; }
+  const Error& error() const {
+    assert(!ok_);
+    return error_;
+  }
+
+private:
+  Error error_{Error::Code::kIo, ""};
+  bool ok_ = true;
+};
+
+} // namespace legosdn

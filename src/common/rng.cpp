@@ -1,0 +1,14 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace legosdn {
+
+double Rng::exponential(double mean) noexcept {
+  // Inverse-CDF sampling; clamp u away from 0 to avoid log(0).
+  double u = uniform();
+  if (u < 1e-300) u = 1e-300;
+  return -mean * std::log(u);
+}
+
+} // namespace legosdn

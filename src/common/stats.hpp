@@ -1,0 +1,63 @@
+// Small online-statistics helpers used by the benchmark harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace legosdn {
+
+/// Accumulates samples and reports summary statistics. Percentiles sort a
+/// copy lazily, so it is fine for bench-sized sample counts.
+class Summary {
+public:
+  void add(double x) {
+    samples_.push_back(x);
+    sum_ += x;
+  }
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept {
+    return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+  }
+
+  double min() const {
+    return samples_.empty() ? 0.0 : *std::min_element(samples_.begin(), samples_.end());
+  }
+  double max() const {
+    return samples_.empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  double stddev() const {
+    if (samples_.size() < 2) return 0.0;
+    const double m = mean();
+    double acc = 0;
+    for (double x : samples_) acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+  }
+
+  /// p in [0, 100]. Nearest-rank on a sorted copy.
+  double percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> s = samples_;
+    std::sort(s.begin(), s.end());
+    const double rank = p / 100.0 * static_cast<double>(s.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, s.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return s[lo] * (1.0 - frac) + s[hi] * frac;
+  }
+
+  void clear() {
+    samples_.clear();
+    sum_ = 0;
+  }
+
+private:
+  std::vector<double> samples_;
+  double sum_ = 0;
+};
+
+} // namespace legosdn

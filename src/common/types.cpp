@@ -1,0 +1,25 @@
+#include "common/types.hpp"
+
+#include <cstdio>
+
+namespace legosdn {
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", octets[0],
+                octets[1], octets[2], octets[3], octets[4], octets[5]);
+  return buf;
+}
+
+std::string IpV4::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (addr >> 24) & 0xFF,
+                (addr >> 16) & 0xFF, (addr >> 8) & 0xFF, addr & 0xFF);
+  return buf;
+}
+
+std::string PortLocator::to_string() const {
+  return "s" + std::to_string(raw(dpid)) + ":p" + std::to_string(raw(port));
+}
+
+} // namespace legosdn

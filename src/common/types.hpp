@@ -1,0 +1,136 @@
+// Core identifier and address types shared across the whole stack.
+//
+// All identifiers are strong types (enum class or small structs) so that a
+// switch id cannot be silently passed where a port number is expected.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace legosdn {
+
+/// OpenFlow datapath identifier (one per switch).
+enum class DatapathId : std::uint64_t {};
+
+/// Switch-local port number. Values >= kMaxPhysicalPort are reserved.
+enum class PortNo : std::uint16_t {};
+
+constexpr std::uint16_t kMaxPhysicalPort = 0xFF00;
+
+/// Reserved logical ports, mirroring OpenFlow 1.0 semantics.
+namespace ports {
+constexpr PortNo kFlood{0xFFFB};      ///< flood to all ports except ingress
+constexpr PortNo kController{0xFFFD}; ///< send to controller (packet-in)
+constexpr PortNo kLocal{0xFFFE};      ///< local switch stack
+constexpr PortNo kNone{0xFFFF};       ///< wildcard / not present
+} // namespace ports
+
+constexpr std::uint64_t raw(DatapathId d) noexcept {
+  return static_cast<std::uint64_t>(d);
+}
+constexpr std::uint16_t raw(PortNo p) noexcept {
+  return static_cast<std::uint16_t>(p);
+}
+
+/// 48-bit Ethernet MAC address.
+struct MacAddress {
+  std::array<std::uint8_t, 6> octets{};
+
+  auto operator<=>(const MacAddress&) const = default;
+
+  /// Build a MAC from the low 48 bits of `v` (useful for synthetic hosts).
+  static constexpr MacAddress from_uint64(std::uint64_t v) noexcept {
+    MacAddress m;
+    for (int i = 5; i >= 0; --i) {
+      m.octets[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v & 0xFF);
+      v >>= 8;
+    }
+    return m;
+  }
+
+  constexpr std::uint64_t to_uint64() const noexcept {
+    std::uint64_t v = 0;
+    for (auto o : octets) v = (v << 8) | o;
+    return v;
+  }
+
+  constexpr bool is_broadcast() const noexcept {
+    for (auto o : octets)
+      if (o != 0xFF) return false;
+    return true;
+  }
+
+  constexpr bool is_multicast() const noexcept { return (octets[0] & 0x01) != 0; }
+
+  std::string to_string() const;
+};
+
+/// IPv4 address stored in host order.
+struct IpV4 {
+  std::uint32_t addr = 0;
+
+  auto operator<=>(const IpV4&) const = default;
+
+  static constexpr IpV4 from_octets(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                                    std::uint8_t d) noexcept {
+    return IpV4{(std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                (std::uint32_t{c} << 8) | std::uint32_t{d}};
+  }
+
+  std::string to_string() const;
+};
+
+/// Identifier of an SDN application instance registered with a controller.
+enum class AppId : std::uint32_t {};
+
+constexpr std::uint32_t raw(AppId a) noexcept { return static_cast<std::uint32_t>(a); }
+
+/// Identifier of a NetLog transaction.
+enum class TxnId : std::uint64_t {};
+
+constexpr std::uint64_t raw(TxnId t) noexcept { return static_cast<std::uint64_t>(t); }
+
+/// A directed link endpoint: (switch, port).
+struct PortLocator {
+  DatapathId dpid{};
+  PortNo port{};
+
+  auto operator<=>(const PortLocator&) const = default;
+  std::string to_string() const;
+};
+
+} // namespace legosdn
+
+template <> struct std::hash<legosdn::MacAddress> {
+  std::size_t operator()(const legosdn::MacAddress& m) const noexcept {
+    return std::hash<std::uint64_t>{}(m.to_uint64());
+  }
+};
+
+template <> struct std::hash<legosdn::IpV4> {
+  std::size_t operator()(const legosdn::IpV4& ip) const noexcept {
+    return std::hash<std::uint32_t>{}(ip.addr);
+  }
+};
+
+template <> struct std::hash<legosdn::DatapathId> {
+  std::size_t operator()(legosdn::DatapathId d) const noexcept {
+    return std::hash<std::uint64_t>{}(legosdn::raw(d));
+  }
+};
+
+template <> struct std::hash<legosdn::AppId> {
+  std::size_t operator()(legosdn::AppId a) const noexcept {
+    return std::hash<std::uint32_t>{}(legosdn::raw(a));
+  }
+};
+
+template <> struct std::hash<legosdn::PortLocator> {
+  std::size_t operator()(const legosdn::PortLocator& p) const noexcept {
+    return std::hash<std::uint64_t>{}((legosdn::raw(p.dpid) << 16) ^
+                                      legosdn::raw(p.port));
+  }
+};

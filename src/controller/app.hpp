@@ -1,0 +1,76 @@
+// The SDN application interface.
+//
+// Apps are event-driven modules, FloodLight-style: they subscribe to event
+// types and handle events in registration order, optionally stopping the
+// dispatch chain. Apps emit control messages through the ServiceApi handed to
+// them per event.
+//
+// Crash semantics: a buggy app signals a fail-stop crash by throwing
+// AppCrash (in-process isolation) or by aborting its process (process
+// isolation). The monolithic controller treats an escaped AppCrash as fatal
+// to the whole stack — that is precisely the fate-sharing LegoSDN removes.
+//
+// Checkpoint semantics: apps expose their logical state via
+// snapshot_state()/restore_state(); this is the CRIU substitute documented in
+// DESIGN.md §5.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "controller/event.hpp"
+
+namespace legosdn::ctl {
+
+/// Thrown by an app to model a deterministic fail-stop bug.
+class AppCrash : public std::runtime_error {
+public:
+  explicit AppCrash(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Dispatch-chain control, FloodLight's Command.CONTINUE / Command.STOP.
+enum class Disposition { kContinue, kStop };
+
+/// Controller services available to an app while handling an event.
+class ServiceApi {
+public:
+  virtual ~ServiceApi() = default;
+
+  /// Send a control message south (flow-mod, packet-out, stats request...).
+  virtual void send(const of::Message& msg) = 0;
+
+  /// Allocate a fresh transaction id for request/reply pairing.
+  virtual std::uint32_t next_xid() = 0;
+
+  /// Current virtual time.
+  virtual SimTime now() const = 0;
+};
+
+class App {
+public:
+  virtual ~App() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Event types this app wants; used by the dispatcher and by the AppVisor
+  /// proxy's subscription table.
+  virtual std::vector<EventType> subscriptions() const = 0;
+
+  virtual Disposition handle_event(const Event& event, ServiceApi& api) = 0;
+
+  // --- checkpoint/restore (CRIU substitute) ---
+  virtual std::vector<std::uint8_t> snapshot_state() const { return {}; }
+  virtual void restore_state(std::span<const std::uint8_t> /*state*/) {}
+
+  /// Reboot: discard all state, as a process restart without restore would.
+  virtual void reset() {}
+};
+
+using AppPtr = std::shared_ptr<App>;
+
+} // namespace legosdn::ctl

@@ -1,0 +1,104 @@
+// The monolithic SDN controller — the FloodLight-style baseline.
+//
+// All apps run inside the controller's address space (here: the same object
+// graph) and are dispatched in registration order. An AppCrash escaping any
+// app takes the entire controller down: no further events are processed until
+// reboot(), and reboot() resets every app's state. This deliberately
+// reproduces the fate-sharing relationships of Table 1 / Figure 1 of the
+// paper; LegoSDN (src/legosdn) removes them.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "controller/app.hpp"
+#include "netsim/network.hpp"
+
+namespace legosdn::ctl {
+
+/// Per-app dispatch bookkeeping.
+struct AppRecord {
+  AppId id{};
+  AppPtr app;
+  bool subscribed[kEventTypeCount] = {};
+  std::uint64_t events_handled = 0;
+  std::uint64_t crashes = 0;
+};
+
+class Controller : public ServiceApi {
+public:
+  explicit Controller(netsim::Network& net);
+  ~Controller() override = default;
+
+  // Non-copyable: owns callbacks registered with the network.
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  /// Register an app; dispatch order is registration order.
+  AppId register_app(AppPtr app);
+
+  /// Announce every existing switch to the apps (SwitchUp events).
+  void start();
+
+  /// Queue an event as if it arrived from the network.
+  void inject_event(Event e);
+
+  /// Process one queued event through the dispatch chain.
+  /// Returns false when the queue is empty or the controller is down.
+  bool process_one();
+
+  /// Drain the queue (bounded by max_events). Returns events processed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  // --- fate-sharing semantics of the monolithic architecture ---
+  bool crashed() const noexcept { return crashed_; }
+  const std::string& crash_reason() const noexcept { return crash_reason_; }
+
+  /// Restart the controller: clears the crash flag, resets every app's state
+  /// (they live in the same process, so they all went down), drops queued
+  /// events (the OF connections were severed) and re-announces switches.
+  void reboot();
+
+  // --- ServiceApi ---
+  void send(const of::Message& msg) override;
+  std::uint32_t next_xid() override { return next_xid_++; }
+  SimTime now() const override { return net_.now(); }
+
+  // --- introspection ---
+  std::size_t queued() const noexcept { return queue_.size(); }
+  const std::vector<AppRecord>& apps() const noexcept { return apps_; }
+  AppRecord* app_record(AppId id);
+  netsim::Network& network() noexcept { return net_; }
+
+  struct Stats {
+    std::uint64_t events_dispatched = 0;
+    std::uint64_t events_dropped = 0;   ///< queued while down, then discarded
+    std::uint64_t messages_sent = 0;
+    std::uint64_t controller_crashes = 0;
+    std::uint64_t reboots = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+protected:
+  /// Dispatch an event to one app. The monolithic controller lets AppCrash
+  /// propagate to dispatch(); subclasses (LegoSDN) override the boundary.
+  virtual void dispatch(Event e);
+
+  netsim::Network& net_;
+  std::vector<AppRecord> apps_;
+  std::deque<Event> queue_;
+  bool crashed_ = false;
+  std::string crash_reason_;
+  std::uint32_t next_xid_ = 1;
+  Stats stats_;
+
+private:
+  void on_northbound(const of::Message& msg);
+  void on_switch_state(DatapathId dpid, bool up);
+};
+
+} // namespace legosdn::ctl

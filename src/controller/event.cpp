@@ -1,0 +1,59 @@
+#include "controller/event.hpp"
+
+namespace legosdn::ctl {
+
+EventType event_type(const Event& e) {
+  return std::visit(
+      [](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, of::PacketIn>) return EventType::kPacketIn;
+        else if constexpr (std::is_same_v<T, of::PortStatus>) return EventType::kPortStatus;
+        else if constexpr (std::is_same_v<T, of::FlowRemoved>) return EventType::kFlowRemoved;
+        else if constexpr (std::is_same_v<T, of::StatsReply>) return EventType::kStatsReply;
+        else if constexpr (std::is_same_v<T, of::BarrierReply>) return EventType::kBarrierReply;
+        else if constexpr (std::is_same_v<T, of::OfError>) return EventType::kError;
+        else if constexpr (std::is_same_v<T, SwitchUp>) return EventType::kSwitchUp;
+        else if constexpr (std::is_same_v<T, SwitchDown>) return EventType::kSwitchDown;
+        else return EventType::kLinkDown;
+      },
+      e);
+}
+
+const char* to_string(EventType t) {
+  switch (t) {
+    case EventType::kPacketIn: return "packet-in";
+    case EventType::kPortStatus: return "port-status";
+    case EventType::kFlowRemoved: return "flow-removed";
+    case EventType::kStatsReply: return "stats-reply";
+    case EventType::kBarrierReply: return "barrier-reply";
+    case EventType::kError: return "error";
+    case EventType::kSwitchUp: return "switch-up";
+    case EventType::kSwitchDown: return "switch-down";
+    case EventType::kLinkDown: return "link-down";
+  }
+  return "?";
+}
+
+DatapathId event_dpid(const Event& e) {
+  return std::visit(
+      [](const auto& v) -> DatapathId {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, LinkDown>) return v.a.dpid;
+        else if constexpr (requires { v.dpid; }) return v.dpid;
+        else return DatapathId{0};
+      },
+      e);
+}
+
+std::string describe(const Event& e) {
+  std::string out = to_string(event_type(e));
+  const DatapathId d = event_dpid(e);
+  if (raw(d) != 0) out += " s" + std::to_string(raw(d));
+  if (const auto* pin = std::get_if<of::PacketIn>(&e)) {
+    out += " in_port=" + std::to_string(raw(pin->in_port)) + " " +
+           pin->packet.hdr.to_string();
+  }
+  return out;
+}
+
+} // namespace legosdn::ctl

@@ -1,0 +1,60 @@
+// Controller-level events delivered to SDN applications.
+//
+// The vocabulary mirrors FloodLight's listener interfaces: OpenFlow messages
+// arriving from switches (packet-in, port-status, flow-removed, stats,
+// barrier, error) plus controller-synthesized switch liveness events.
+#pragma once
+
+#include <string>
+#include <variant>
+
+#include "openflow/messages.hpp"
+
+namespace legosdn::ctl {
+
+struct SwitchUp {
+  DatapathId dpid{};
+  of::FeaturesReply features{};
+  bool operator==(const SwitchUp&) const = default;
+};
+
+struct SwitchDown {
+  DatapathId dpid{};
+  bool operator==(const SwitchDown&) const = default;
+};
+
+/// Controller-synthesized link-down notification (both endpoints known).
+/// Produced by Crash-Pad's Equivalence Compromise transformation of a
+/// switch-down event; ordinary port changes arrive as of::PortStatus.
+struct LinkDown {
+  PortLocator a{};
+  PortLocator b{};
+  bool operator==(const LinkDown&) const = default;
+};
+
+using Event = std::variant<of::PacketIn, of::PortStatus, of::FlowRemoved,
+                           of::StatsReply, of::BarrierReply, of::OfError, SwitchUp,
+                           SwitchDown, LinkDown>;
+
+enum class EventType : std::uint8_t {
+  kPacketIn = 0,
+  kPortStatus,
+  kFlowRemoved,
+  kStatsReply,
+  kBarrierReply,
+  kError,
+  kSwitchUp,
+  kSwitchDown,
+  kLinkDown,
+};
+
+constexpr std::size_t kEventTypeCount = 9;
+
+EventType event_type(const Event& e);
+const char* to_string(EventType t);
+std::string describe(const Event& e);
+
+/// Which switch is this event about? (DatapathId{0} when not applicable.)
+DatapathId event_dpid(const Event& e);
+
+} // namespace legosdn::ctl

@@ -1,0 +1,20 @@
+// Serialization of controller events, used by the AppVisor RPC protocol to
+// ship events between the proxy (controller process) and stubs (app
+// processes), and by the checkpoint module's event logs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/result.hpp"
+#include "controller/event.hpp"
+
+namespace legosdn::ctl {
+
+void encode_event(const Event& e, ByteWriter& w);
+Result<Event> decode_event(ByteReader& r);
+
+std::vector<std::uint8_t> encode_event(const Event& e);
+Result<Event> decode_event(std::span<const std::uint8_t> bytes);
+
+} // namespace legosdn::ctl

@@ -1,0 +1,122 @@
+#include "crashpad/policy.hpp"
+
+#include <sstream>
+
+namespace legosdn::crashpad {
+
+const char* to_string(RecoveryPolicy p) {
+  switch (p) {
+    case RecoveryPolicy::kAbsoluteCompromise: return "absolute";
+    case RecoveryPolicy::kNoCompromise: return "no-compromise";
+    case RecoveryPolicy::kEquivalenceCompromise: return "equivalence";
+  }
+  return "?";
+}
+
+std::optional<RecoveryPolicy> policy_from_string(std::string_view s) {
+  if (s == "absolute") return RecoveryPolicy::kAbsoluteCompromise;
+  if (s == "no-compromise") return RecoveryPolicy::kNoCompromise;
+  if (s == "equivalence") return RecoveryPolicy::kEquivalenceCompromise;
+  return std::nullopt;
+}
+
+namespace {
+
+std::optional<ctl::EventType> event_type_from_string(std::string_view s) {
+  for (std::size_t i = 0; i < ctl::kEventTypeCount; ++i) {
+    const auto t = static_cast<ctl::EventType>(i);
+    if (s == ctl::to_string(t)) return t;
+  }
+  return std::nullopt;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r'))
+    s.remove_suffix(1);
+  return s;
+}
+
+} // namespace
+
+RecoveryPolicy PolicyTable::lookup(const std::string& app,
+                                   ctl::EventType event) const {
+  for (const auto& r : rules_) {
+    if (r.app != "*" && r.app != app) continue;
+    if (r.event && *r.event != event) continue;
+    return r.policy;
+  }
+  return default_policy_;
+}
+
+Result<PolicyTable> PolicyTable::parse(std::string_view text) {
+  PolicyTable table;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = trim(text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos));
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    line_no += 1;
+    if (line.empty() || line.front() == '#') continue;
+
+    auto fail = [&](const std::string& why) -> Result<PolicyTable> {
+      return Error{Error::Code::kParse,
+                   "policy line " + std::to_string(line_no) + ": " + why};
+    };
+
+    // default=<policy>
+    if (line.starts_with("default=")) {
+      auto p = policy_from_string(trim(line.substr(8)));
+      if (!p) return fail("unknown policy '" + std::string(trim(line.substr(8))) + "'");
+      table.set_default(*p);
+      continue;
+    }
+
+    // app=<name|*> event=<type|*> policy=<name>
+    PolicyRule rule;
+    bool have_policy = false;
+    std::istringstream iss{std::string(line)};
+    std::string tok;
+    while (iss >> tok) {
+      const std::size_t eq = tok.find('=');
+      if (eq == std::string::npos) return fail("expected key=value, got '" + tok + "'");
+      const std::string key = tok.substr(0, eq);
+      const std::string val = tok.substr(eq + 1);
+      if (key == "app") {
+        rule.app = val;
+      } else if (key == "event") {
+        if (val == "*") {
+          rule.event = std::nullopt;
+        } else {
+          auto t = event_type_from_string(val);
+          if (!t) return fail("unknown event type '" + val + "'");
+          rule.event = t;
+        }
+      } else if (key == "policy") {
+        auto p = policy_from_string(val);
+        if (!p) return fail("unknown policy '" + val + "'");
+        rule.policy = *p;
+        have_policy = true;
+      } else {
+        return fail("unknown key '" + key + "'");
+      }
+    }
+    if (!have_policy) return fail("missing policy=");
+    table.add_rule(std::move(rule));
+  }
+  return table;
+}
+
+std::string PolicyTable::to_text() const {
+  std::ostringstream os;
+  for (const auto& r : rules_) {
+    os << "app=" << r.app << " event=" << (r.event ? ctl::to_string(*r.event) : "*")
+       << " policy=" << to_string(r.policy) << "\n";
+  }
+  os << "default=" << to_string(default_policy_) << "\n";
+  return os.str();
+}
+
+} // namespace legosdn::crashpad

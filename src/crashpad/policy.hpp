@@ -1,0 +1,72 @@
+// Crash-Pad recovery policies and the operator policy language (§3.3).
+//
+// "Crash-Pad can provide a simple interface through which operators can
+//  specify policies (correctness-compromising transformations) that dictate
+//  how to compromise correctness when a crash is encountered":
+//
+//   Absolute Compromise    — ignore the offending event (failure-oblivious)
+//   No Compromise          — let the app stay down (availability sacrificed)
+//   Equivalence Compromise — transform the event into an equivalent one
+//
+// "a simple policy language that allows operators to specify, on a per
+//  application basis, the set of events, if any, that they are willing to
+//  compromise on":
+//
+//   # lines are `app=<name|*> event=<type|*> policy=<name>`; first match wins
+//   app=firewall event=* policy=no-compromise
+//   app=* event=switch-down policy=equivalence
+//   default=absolute
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "controller/event.hpp"
+
+namespace legosdn::crashpad {
+
+enum class RecoveryPolicy {
+  kAbsoluteCompromise,    ///< drop the offending event
+  kNoCompromise,          ///< leave the app crashed
+  kEquivalenceCompromise, ///< replace the event with equivalent ones
+};
+
+const char* to_string(RecoveryPolicy p);
+std::optional<RecoveryPolicy> policy_from_string(std::string_view s);
+
+struct PolicyRule {
+  std::string app = "*";                  ///< app name or "*"
+  std::optional<ctl::EventType> event;    ///< nullopt = any event type
+  RecoveryPolicy policy = RecoveryPolicy::kAbsoluteCompromise;
+};
+
+class PolicyTable {
+public:
+  PolicyTable() = default;
+  explicit PolicyTable(RecoveryPolicy default_policy)
+      : default_policy_(default_policy) {}
+
+  void add_rule(PolicyRule rule) { rules_.push_back(std::move(rule)); }
+  void set_default(RecoveryPolicy p) { default_policy_ = p; }
+  RecoveryPolicy default_policy() const noexcept { return default_policy_; }
+
+  /// First matching rule wins; falls back to the default policy.
+  RecoveryPolicy lookup(const std::string& app, ctl::EventType event) const;
+
+  const std::vector<PolicyRule>& rules() const noexcept { return rules_; }
+
+  /// Parse the policy language. Unknown keys/values fail with a line number.
+  static Result<PolicyTable> parse(std::string_view text);
+
+  /// Render back to the policy language (round-trips through parse()).
+  std::string to_text() const;
+
+private:
+  std::vector<PolicyRule> rules_;
+  RecoveryPolicy default_policy_ = RecoveryPolicy::kAbsoluteCompromise;
+};
+
+} // namespace legosdn::crashpad

@@ -1,0 +1,34 @@
+#include "crashpad/ticket.hpp"
+
+#include <sstream>
+
+namespace legosdn::crashpad {
+
+std::string ProblemTicket::to_string() const {
+  std::ostringstream os;
+  os << "ticket #" << id << " app=" << app << " event_seq=" << event_seq
+     << " t=" << to_ms(at) << "ms\n"
+     << "  offending event: " << offending_event << "\n"
+     << "  crash info:      " << crash_info << "\n"
+     << "  recovery policy: " << policy_applied;
+  if (!recent_events.empty()) {
+    os << "\n  recent events:";
+    for (const auto& e : recent_events) os << "\n    " << e;
+  }
+  return os.str();
+}
+
+std::uint64_t TicketLog::file(ProblemTicket t) {
+  t.id = next_id_++;
+  tickets_.push_back(std::move(t));
+  return tickets_.back().id;
+}
+
+std::vector<const ProblemTicket*> TicketLog::for_app(const std::string& app) const {
+  std::vector<const ProblemTicket*> out;
+  for (const auto& t : tickets_)
+    if (t.app == app) out.push_back(&t);
+  return out;
+}
+
+} // namespace legosdn::crashpad

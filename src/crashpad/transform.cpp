@@ -1,0 +1,36 @@
+#include "crashpad/transform.hpp"
+
+namespace legosdn::crashpad {
+
+std::vector<ctl::Event> EventTransformer::equivalent(const ctl::Event& e) const {
+  std::vector<ctl::Event> out;
+
+  // switch-down -> series of link-downs (decomposition into sub-events).
+  if (const auto* down = std::get_if<ctl::SwitchDown>(&e)) {
+    for (const auto& link : net_.links()) {
+      if (link.a.dpid == down->dpid || link.b.dpid == down->dpid) {
+        out.push_back(ctl::LinkDown{link.a, link.b});
+      }
+    }
+    return out;
+  }
+
+  // link-down -> switch-down (escalation to the covering super-event).
+  if (const auto* ld = std::get_if<ctl::LinkDown>(&e)) {
+    out.push_back(ctl::SwitchDown{ld->a.dpid});
+    return out;
+  }
+
+  // port-status(down) behaves like a link-down at that switch.
+  if (const auto* ps = std::get_if<of::PortStatus>(&e)) {
+    if (!ps->desc.link_up) {
+      out.push_back(ctl::SwitchDown{ps->dpid});
+      return out;
+    }
+  }
+
+  // packet-in, stats, barriers, errors: no equivalent form — only ignorable.
+  return out;
+}
+
+} // namespace legosdn::crashpad

@@ -1,0 +1,29 @@
+// Event transformations for Equivalence Compromise (§3.3).
+//
+// "Equivalence Compromise transforms the event into an equivalent one, e.g.
+//  a switch down event can be transformed into a series of link down events.
+//  Alternatively, a link down event may be transformed into a switch down
+//  event. This transformation exploits the domain knowledge that certain
+//  events are super-sets of other events and vice versa."
+#pragma once
+
+#include <vector>
+
+#include "controller/event.hpp"
+#include "netsim/network.hpp"
+
+namespace legosdn::crashpad {
+
+class EventTransformer {
+public:
+  explicit EventTransformer(const netsim::Network& net) : net_(net) {}
+
+  /// Equivalent replacement events for `e`; empty when no transformation is
+  /// known (the caller then falls back to Absolute Compromise).
+  std::vector<ctl::Event> equivalent(const ctl::Event& e) const;
+
+private:
+  const netsim::Network& net_;
+};
+
+} // namespace legosdn::crashpad

@@ -1,0 +1,69 @@
+#include "legosdn/delta_debug.hpp"
+
+#include "appvisor/inprocess_domain.hpp"
+
+namespace legosdn::lego {
+
+bool replay_crashes(const AppFactory& factory, const std::vector<ctl::Event>& events) {
+  appvisor::InProcessDomain domain(factory());
+  domain.start();
+  for (const auto& e : events) {
+    auto outcome = domain.deliver(e, kSimStart);
+    if (!outcome.ok()) return true;
+  }
+  return false;
+}
+
+MinimizeResult minimize_crash_sequence(const AppFactory& factory,
+                                       const std::vector<ctl::Event>& history) {
+  return minimize_crash_sequence(
+      [&](const std::vector<ctl::Event>& candidate) {
+        return replay_crashes(factory, candidate);
+      },
+      history);
+}
+
+MinimizeResult minimize_crash_sequence(const CrashProbe& crash_probe,
+                                       const std::vector<ctl::Event>& history) {
+  MinimizeResult res;
+  auto probe = [&](const std::vector<ctl::Event>& candidate) {
+    res.probes += 1;
+    return crash_probe(candidate);
+  };
+
+  if (!probe(history)) return res; // cannot reproduce: non-deterministic bug
+  res.reproduced = true;
+
+  std::vector<ctl::Event> current = history;
+  std::size_t granularity = 2;
+  while (current.size() >= 2) {
+    const std::size_t chunk =
+        std::max<std::size_t>(1, current.size() / granularity);
+    bool reduced = false;
+
+    // Try removing each chunk (testing the complement).
+    for (std::size_t start = 0; start < current.size(); start += chunk) {
+      std::vector<ctl::Event> complement;
+      complement.reserve(current.size());
+      for (std::size_t i = 0; i < current.size(); ++i) {
+        if (i >= start && i < start + chunk) continue;
+        complement.push_back(current[i]);
+      }
+      if (complement.size() < current.size() && !complement.empty() &&
+          probe(complement)) {
+        current = std::move(complement);
+        granularity = std::max<std::size_t>(2, granularity - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (granularity >= current.size()) break; // 1-minimal
+      granularity = std::min(current.size(), granularity * 2);
+    }
+  }
+  res.minimal = std::move(current);
+  return res;
+}
+
+} // namespace legosdn::lego

@@ -1,0 +1,47 @@
+// STS-lite: minimal causal sequence extraction (§5, "Handling failures that
+// span multiple transactions").
+//
+// "If the failure is induced as a cumulation of events, we plan on extending
+//  LegoSDN to read a history of snapshots ... and use techniques like STS to
+//  detect the exact set of events that induced the crash."
+//
+// minimize_crash_sequence() runs the classic ddmin algorithm: it replays
+// candidate subsequences of the event history against a *fresh* app instance
+// (built by the supplied factory, in an in-process domain with outputs
+// discarded) and shrinks the history to a locally minimal crash-inducing
+// subsequence.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "controller/app.hpp"
+
+namespace legosdn::lego {
+
+struct MinimizeResult {
+  std::vector<ctl::Event> minimal; ///< 1-minimal crash-inducing subsequence
+  std::size_t probes = 0;          ///< replays executed
+  bool reproduced = false;         ///< full history did crash the fresh app
+};
+
+using AppFactory = std::function<ctl::AppPtr()>;
+
+/// Crash oracle: does replaying this candidate sequence reproduce the bug?
+using CrashProbe = std::function<bool(const std::vector<ctl::Event>&)>;
+
+/// Does replaying `events` (in order) against a fresh app crash it?
+bool replay_crashes(const AppFactory& factory, const std::vector<ctl::Event>& events);
+
+/// ddmin over the event history with a caller-supplied probe (used by
+/// LegoController, which probes its live isolation domain against restored
+/// checkpoints). Requires that the full history reproduces the crash
+/// (deterministic bug); otherwise returns reproduced=false.
+MinimizeResult minimize_crash_sequence(const CrashProbe& probe,
+                                       const std::vector<ctl::Event>& history);
+
+/// Convenience overload probing fresh app instances built by `factory`.
+MinimizeResult minimize_crash_sequence(const AppFactory& factory,
+                                       const std::vector<ctl::Event>& history);
+
+} // namespace legosdn::lego

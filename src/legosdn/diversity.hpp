@@ -1,0 +1,80 @@
+// Software & data diversity (§3.4) and clone-based failover (§5).
+//
+// DiversityDomain — N-version programming: "LegoSDN can be used to
+// distribute events to the different versions of the same SDN-App, and
+// compare the outputs." Each replica runs in its own isolation domain; the
+// majority output bundle wins. Crashed or out-voted replicas are counted.
+//
+// CloneDomain — hot-standby failover for non-deterministic bugs: "LegoSDN
+// can spawn a clone of an SDN-App and let it run in parallel ... feed both
+// the same set of events but only process the responses from the SDN-App
+// ... an easy switch-over operation to the clone when the primary fails."
+#pragma once
+
+#include <map>
+
+#include "appvisor/isolation.hpp"
+
+namespace legosdn::lego {
+
+class DiversityDomain : public appvisor::IsolationDomain {
+public:
+  /// Requires an odd number (>= 3) of replicas for unambiguous majorities.
+  DiversityDomain(std::string name, std::vector<appvisor::DomainPtr> replicas);
+
+  std::string app_name() const override { return name_; }
+  std::vector<ctl::EventType> subscriptions() const override;
+
+  Status start() override;
+  bool alive() const override;
+
+  appvisor::EventOutcome deliver(const ctl::Event& event, SimTime now) override;
+
+  Result<std::vector<std::uint8_t>> snapshot() override;
+  Status restore(std::span<const std::uint8_t> state) override;
+  Status restart() override;
+  void shutdown() override;
+
+  struct VoteStats {
+    std::uint64_t votes = 0;
+    std::uint64_t unanimous = 0;
+    std::uint64_t majority_only = 0; ///< at least one replica disagreed
+    std::uint64_t masked_crashes = 0;
+    std::uint64_t no_majority = 0;   ///< reported as a crash of the ensemble
+  };
+  const VoteStats& vote_stats() const noexcept { return vote_stats_; }
+
+private:
+  std::string name_;
+  std::vector<appvisor::DomainPtr> replicas_;
+  VoteStats vote_stats_;
+};
+
+class CloneDomain : public appvisor::IsolationDomain {
+public:
+  CloneDomain(appvisor::DomainPtr primary, appvisor::DomainPtr clone);
+
+  std::string app_name() const override { return primary_->app_name(); }
+  std::vector<ctl::EventType> subscriptions() const override {
+    return primary_->subscriptions();
+  }
+
+  Status start() override;
+  bool alive() const override { return primary_->alive() || clone_->alive(); }
+
+  appvisor::EventOutcome deliver(const ctl::Event& event, SimTime now) override;
+
+  Result<std::vector<std::uint8_t>> snapshot() override;
+  Status restore(std::span<const std::uint8_t> state) override;
+  Status restart() override;
+  void shutdown() override;
+
+  std::uint64_t failovers() const noexcept { return failovers_; }
+
+private:
+  appvisor::DomainPtr primary_;
+  appvisor::DomainPtr clone_;
+  std::uint64_t failovers_ = 0;
+};
+
+} // namespace legosdn::lego

@@ -1,0 +1,347 @@
+#include "legosdn/lego_controller.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/log.hpp"
+#include "legosdn/delta_debug.hpp"
+
+namespace legosdn::lego {
+
+LegoController::LegoController(netsim::Network& net, LegoConfig cfg)
+    : ctl::Controller(net),
+      cfg_(std::move(cfg)),
+      netlog_(net, cfg_.netlog),
+      snapshots_(cfg_.snapshot_keep),
+      transformer_(net),
+      checker_(net) {}
+
+LegoController::~LegoController() { visor_.shutdown_all(); }
+
+AppId LegoController::add_app(ctl::AppPtr app) {
+  return visor_.add_app(std::move(app), cfg_.backend, cfg_.process);
+}
+
+AppId LegoController::add_domain(appvisor::DomainPtr domain) {
+  return visor_.add_domain(std::move(domain));
+}
+
+Status LegoController::start_system() {
+  if (auto st = visor_.start_all(); !st) return st;
+  start();
+  return Status::success();
+}
+
+void LegoController::upgrade_restart() {
+  // The controller process bounces: queued events are lost and switches are
+  // re-announced — but the isolated apps keep running with their state.
+  stats_.events_dropped += queue_.size();
+  queue_.clear();
+  stats_.reboots += 1;
+  start();
+}
+
+void LegoController::maybe_checkpoint(appvisor::AppEntry& entry, const ctl::Event& e) {
+  PerApp& pa = per_app_[entry.id];
+  const bool due = cfg_.checkpoint_every <= 1 ||
+                   pa.seen - pa.last_checkpoint >= cfg_.checkpoint_every ||
+                   pa.last_checkpoint == 0;
+  if (due) {
+    auto snap = entry.domain->snapshot();
+    if (snap) {
+      lego_stats_.checkpoints += 1;
+      lego_stats_.checkpoint_bytes += snap.value().size();
+      snapshots_.put(entry.id, {pa.seen, net_.now(), std::move(snap).value()});
+      pa.last_checkpoint = pa.seen;
+      event_log_.truncate(entry.id, pa.seen);
+    }
+  }
+  // The event log holds everything since the last checkpoint (for replay and
+  // for delta debugging); the offender itself is appended before delivery so
+  // the log matches what the app actually saw.
+  event_log_.append(entry.id, pa.seen, e);
+}
+
+bool LegoController::apply_transaction(appvisor::AppEntry& entry,
+                                       std::vector<of::Message> emitted,
+                                       std::string* violation) {
+  if (emitted.empty()) return true;
+  const bool has_state_change =
+      std::any_of(emitted.begin(), emitted.end(),
+                  [](const of::Message& m) { return of::is_state_changing(m.body); });
+
+  // Byzantine detection must only blame violations this transaction *adds*:
+  // a dead switch leaves stale black-holes network-wide, and a transaction
+  // that merely coexists with (or even repairs) them is innocent. Like
+  // VeriFlow, verification is incremental — only rules at the switches this
+  // transaction touches are re-traced — and diffed against a pre-txn
+  // baseline over the same scope.
+  std::set<std::string> baseline;
+  std::vector<of::FlowMod> written;
+  const bool verify = cfg_.byzantine_detection && has_state_change;
+  if (verify) {
+    for (const auto& msg : emitted) {
+      if (const auto* mod = msg.get_if<of::FlowMod>()) written.push_back(*mod);
+    }
+    // Cheap global baseline: only reachability can regress through rules the
+    // transaction did not write (shadowing), so only it needs diffing.
+    for (const auto& v : checker_.check_reachability_only(cfg_.invariants))
+      baseline.insert(v.to_string());
+  }
+
+  const TxnId txn = netlog_.begin(entry.id);
+  for (const auto& msg : emitted) netlog_.apply(txn, msg);
+
+  if (verify) {
+    std::string detail;
+    // Rule-level violations traced from exactly the rules this transaction
+    // wrote are new by construction.
+    for (const auto& v : checker_.check_flow_mods(cfg_.invariants, written)) {
+      if (!detail.empty()) detail += "; ";
+      detail += v.to_string();
+    }
+    for (const auto& v : checker_.check_reachability_only(cfg_.invariants)) {
+      const std::string s = v.to_string();
+      if (baseline.contains(s)) continue;
+      if (!detail.empty()) detail += "; ";
+      detail += s;
+    }
+    if (!detail.empty()) {
+      netlog_.rollback(txn);
+      lego_stats_.txns_rolled_back += 1;
+      if (violation) *violation = detail;
+      return false;
+    }
+  }
+  netlog_.commit(txn);
+  lego_stats_.txns_committed += 1;
+  return true;
+}
+
+ctl::Disposition LegoController::guarded_deliver(appvisor::AppEntry& entry,
+                                                 const ctl::Event& e,
+                                                 bool allow_recovery) {
+  entry.events_delivered += 1;
+  auto outcome = entry.domain->deliver(e, net_.now());
+  if (!outcome.ok()) {
+    // Fail-stop crash (exception, process death, or wedged stub).
+    entry.crashes += 1;
+    lego_stats_.failstop_crashes += 1;
+    LEGOSDN_LOG_INFO("crash-pad", "app '%s' crashed on %s: %s",
+                     entry.domain->app_name().c_str(), ctl::describe(e).c_str(),
+                     outcome.crash_info.c_str());
+    if (allow_recovery) recover(entry, e, outcome.crash_info, /*byzantine=*/false);
+    return ctl::Disposition::kContinue;
+  }
+  // Per-app resource limit (§3.4): a handler emitting an absurd message
+  // burst is misbehaving; its bundle is discarded and the app recovered.
+  if (cfg_.limits.max_messages_per_event != 0 &&
+      outcome.emitted.size() > cfg_.limits.max_messages_per_event) {
+    entry.crashes += 1;
+    lego_stats_.quota_violations += 1;
+    LEGOSDN_LOG_INFO("crash-pad", "app '%s' exceeded message quota (%zu > %zu)",
+                     entry.domain->app_name().c_str(), outcome.emitted.size(),
+                     cfg_.limits.max_messages_per_event);
+    if (allow_recovery) {
+      recover(entry, e,
+              "message quota exceeded: " + std::to_string(outcome.emitted.size()) +
+                  " > " + std::to_string(cfg_.limits.max_messages_per_event),
+              /*byzantine=*/true);
+    }
+    return ctl::Disposition::kContinue;
+  }
+
+  std::string violation;
+  if (!apply_transaction(entry, std::move(outcome.emitted), &violation)) {
+    // Byzantine failure: output violated a network invariant. The rules are
+    // already rolled back; now recover the app itself.
+    entry.crashes += 1;
+    lego_stats_.byzantine_failures += 1;
+    LEGOSDN_LOG_INFO("crash-pad", "app '%s' byzantine on %s: %s",
+                     entry.domain->app_name().c_str(), ctl::describe(e).c_str(),
+                     violation.c_str());
+    if (allow_recovery) recover(entry, e, violation, /*byzantine=*/true);
+    return ctl::Disposition::kContinue;
+  }
+  return outcome.disposition;
+}
+
+void LegoController::dispatch(ctl::Event e) {
+  stats_.events_dispatched += 1;
+  event_seq_ += 1;
+
+  // Keep NetLog's shadow tables in sync and fix up stats replies from the
+  // counter-cache before any app sees them (§3.2).
+  if (const auto* fr = std::get_if<of::FlowRemoved>(&e)) {
+    netlog_.observe_northbound({0, *fr});
+  }
+  if (auto* sr = std::get_if<of::StatsReply>(&e)) {
+    netlog_.correct_stats(*sr);
+  }
+  netlog_.expire_shadows();
+
+  const auto type_idx = static_cast<std::size_t>(ctl::event_type(e));
+  for (auto& entry : visor_.entries()) {
+    if (!entry.subscribed[type_idx]) continue;
+    PerApp& pa = per_app_[entry.id];
+    pa.seen += 1;
+    if (!entry.domain->alive()) {
+      // App is down under No Compromise: it misses events but nobody else
+      // does — no fate sharing.
+      pa.missed += 1;
+      continue;
+    }
+    maybe_checkpoint(entry, e);
+    const ctl::Disposition d = guarded_deliver(entry, e, /*allow_recovery=*/true);
+    if (d == ctl::Disposition::kStop) break;
+  }
+}
+
+bool LegoController::restore_app(appvisor::AppEntry& entry) {
+  const checkpoint::Snapshot* snap = snapshots_.latest(entry.id);
+  Status st = snap ? entry.domain->restore(snap->state) : entry.domain->restart();
+  if (!st) {
+    LEGOSDN_LOG_ERROR("crash-pad", "restore of '%s' failed: %s",
+                      entry.domain->app_name().c_str(),
+                      st.error().to_string().c_str());
+    return false;
+  }
+  entry.recoveries += 1;
+  lego_stats_.recoveries += 1;
+
+  // Periodic checkpointing (§5): replay events logged since the snapshot so
+  // the app state catches up to just before the offender. Replay outputs are
+  // discarded — the network already executed them when they first happened.
+  if (snap && cfg_.replay_on_restore && cfg_.checkpoint_every > 1) {
+    const PerApp& pa = per_app_[entry.id];
+    // The snapshot was taken *before* the event numbered snap->event_seq was
+    // delivered, so replay covers [snap->event_seq, offender) where the
+    // offender is the event numbered pa.seen (excluded: replaying it would
+    // just crash the app again).
+    for (const auto& le : event_log_.range(entry.id, snap->event_seq, pa.seen)) {
+      auto outcome = entry.domain->deliver(le.event, net_.now());
+      lego_stats_.replayed_events += 1;
+      if (!outcome.ok()) {
+        // A replayed event also crashes the app (multi-event bug): skip it
+        // and keep replaying — the delta debugger exists to triage this.
+        if (!entry.domain->restore(snap->state)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+LegoController::LocalizeResult LegoController::localize_fault(
+    AppId app, const ctl::Event& offender) {
+  LocalizeResult out;
+  appvisor::AppEntry* entry = visor_.entry(app);
+  if (!entry) return out;
+  const auto* history = snapshots_.history(app);
+  if (!history || history->empty()) return out;
+  const checkpoint::Snapshot& base = history->front(); // oldest retained
+  const PerApp& pa = per_app_[app];
+
+  // Candidate history: everything logged since the base checkpoint, plus the
+  // offender itself at the end.
+  std::vector<ctl::Event> events;
+  for (const auto& le : event_log_.range(app, base.event_seq, pa.seen + 1))
+    events.push_back(le.event);
+  if (events.empty() || !(events.back() == offender)) events.push_back(offender);
+
+  // Probe: rewind the live domain to the base checkpoint and replay the
+  // candidate subsequence, discarding outputs.
+  auto probe = [&](const std::vector<ctl::Event>& candidate) {
+    if (!entry->domain->restore(base.state)) return false;
+    for (const auto& ev : candidate) {
+      auto outcome = entry->domain->deliver(ev, net_.now());
+      if (!outcome.ok()) return true;
+    }
+    return false;
+  };
+  auto res = minimize_crash_sequence(probe, events);
+  out.minimal = std::move(res.minimal);
+  out.probes = res.probes;
+  out.reproduced = res.reproduced;
+
+  // Leave the app in its most recent consistent state.
+  if (const checkpoint::Snapshot* latest = snapshots_.latest(app)) {
+    entry->domain->restore(latest->state);
+  } else {
+    entry->domain->restart();
+  }
+  return out;
+}
+
+void LegoController::recover(appvisor::AppEntry& entry, const ctl::Event& offender,
+                             const std::string& crash_info, bool byzantine) {
+  crashpad::RecoveryPolicy policy = cfg_.policies.lookup(
+      entry.domain->app_name(), ctl::event_type(offender));
+
+  // Crash-storm breaker (§3.4 resource limits): an app that keeps faulting
+  // is disabled outright, whatever the per-event policy says.
+  if (cfg_.limits.max_faults != 0 && entry.crashes >= cfg_.limits.max_faults) {
+    policy = crashpad::RecoveryPolicy::kNoCompromise;
+    lego_stats_.breaker_disables += 1;
+    LEGOSDN_LOG_WARN("crash-pad", "app '%s' hit the fault breaker (%llu faults)",
+                     entry.domain->app_name().c_str(),
+                     static_cast<unsigned long long>(entry.crashes));
+  }
+
+  crashpad::ProblemTicket ticket;
+  ticket.app = entry.domain->app_name();
+  ticket.event_seq = event_seq_;
+  ticket.offending_event = ctl::describe(offender);
+  ticket.crash_info = (byzantine ? "[byzantine] " : "[fail-stop] ") + crash_info;
+  ticket.policy_applied = crashpad::to_string(policy);
+  ticket.at = net_.now();
+  // Attach the controller-log excerpt: the last few events this app saw
+  // ("the problem ticket can help developers to triage the SDN-App's bug").
+  {
+    const PerApp& pa = per_app_[entry.id];
+    const std::uint64_t from = pa.seen > 5 ? pa.seen - 5 : 0;
+    for (const auto& le : event_log_.range(entry.id, from, pa.seen + 1)) {
+      ticket.recent_events.push_back("#" + std::to_string(le.seq) + " " +
+                                     ctl::describe(le.event));
+    }
+  }
+  tickets_.file(std::move(ticket));
+
+  if (policy == crashpad::RecoveryPolicy::kNoCompromise) {
+    // Sacrifice availability of this app to preserve its correctness: it
+    // stays down. For a byzantine failure the app is still technically
+    // alive; take it down explicitly so it cannot do further damage.
+    entry.domain->shutdown();
+    lego_stats_.apps_left_down += 1;
+    return;
+  }
+
+  // Revert to the pre-event snapshot. "Replay of the offending event will
+  // most likely cause the SDN-App to fail", so we never replay it verbatim.
+  if (!restore_app(entry)) {
+    lego_stats_.apps_left_down += 1;
+    return;
+  }
+
+  if (policy == crashpad::RecoveryPolicy::kEquivalenceCompromise && !in_recovery_) {
+    auto equivalents = transformer_.equivalent(offender);
+    if (!equivalents.empty()) {
+      lego_stats_.events_transformed += 1;
+      in_recovery_ = true; // a crash on a transformed event falls back to ignore
+      for (const auto& ev : equivalents) {
+        const auto type_idx = static_cast<std::size_t>(ctl::event_type(ev));
+        if (!entry.subscribed[type_idx]) continue;
+        if (!entry.domain->alive()) break;
+        maybe_checkpoint(entry, ev);
+        per_app_[entry.id].seen += 1;
+        guarded_deliver(entry, ev, /*allow_recovery=*/true);
+      }
+      in_recovery_ = false;
+      return;
+    }
+    // No equivalent form exists: degrade to Absolute Compromise.
+  }
+
+  lego_stats_.events_ignored += 1;
+}
+
+} // namespace legosdn::lego

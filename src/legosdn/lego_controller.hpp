@@ -1,0 +1,159 @@
+// LegoSDN: the re-designed controller (paper §3, Figure 1 right side).
+//
+// LegoController replaces the monolithic dispatch pipeline with, per app:
+//
+//   1. checkpoint  — snapshot the app's state before the event (every event
+//                    by default; every k events with replay as the §5
+//                    optimization);
+//   2. deliver     — hand the event to the app's isolation domain (AppVisor);
+//   3. transact    — route the app's emitted messages through a NetLog
+//                    transaction;
+//   4. verify      — run the invariant checker; a violation is a byzantine
+//                    failure: roll the transaction back and recover;
+//   5. recover     — on fail-stop crash or byzantine failure: restore the
+//                    pre-event snapshot and apply the operator's recovery
+//                    policy (ignore / transform / leave down), filing a
+//                    problem ticket either way.
+//
+// The controller itself never goes down because of an app: the fate-sharing
+// relationships of the monolithic design are gone.
+#pragma once
+
+#include "appvisor/appvisor.hpp"
+#include "checkpoint/event_log.hpp"
+#include "checkpoint/snapshot_store.hpp"
+#include "controller/controller.hpp"
+#include "crashpad/policy.hpp"
+#include "crashpad/ticket.hpp"
+#include "crashpad/transform.hpp"
+#include "invariant/invariant.hpp"
+#include "netlog/netlog.hpp"
+
+namespace legosdn::lego {
+
+struct LegoConfig {
+  appvisor::Backend backend = appvisor::Backend::kInProcess;
+  appvisor::ProcessDomain::Config process{};
+
+  netlog::NetLogConfig netlog{};
+
+  crashpad::PolicyTable policies{}; ///< default: Absolute Compromise
+
+  /// Snapshot cadence: 1 = before every event (the paper's prototype);
+  /// k > 1 = every k events with event replay on restore (§5).
+  std::uint64_t checkpoint_every = 1;
+  std::size_t snapshot_keep = 8;
+  bool replay_on_restore = true;
+
+  /// Byzantine failure detection via the policy checker.
+  bool byzantine_detection = true;
+  invariant::InvariantConfig invariants{};
+
+  /// Per-application resource limits (§3.4): "an operator can define
+  /// resource limits for each SDN-App, thus limiting the impact of
+  /// misbehaving applications."
+  struct ResourceLimits {
+    /// Max control messages one event handler may emit (0 = unlimited).
+    /// Exceeding it discards the bundle and recovers the app like a
+    /// byzantine failure.
+    std::size_t max_messages_per_event = 0;
+    /// Crash-storm breaker: after this many faults the app is disabled
+    /// (forced No Compromise) regardless of policy (0 = never).
+    std::uint64_t max_faults = 0;
+  };
+  ResourceLimits limits{};
+};
+
+class LegoController : public ctl::Controller {
+public:
+  LegoController(netsim::Network& net, LegoConfig cfg = LegoConfig{});
+  ~LegoController() override;
+
+  /// Register an app under the configured isolation backend.
+  AppId add_app(ctl::AppPtr app);
+
+  /// Register a pre-built isolation domain (diversity/clone wrappers).
+  AppId add_domain(appvisor::DomainPtr domain);
+
+  /// Start all isolation domains, then announce switches.
+  Status start_system();
+
+  /// Controller upgrade (§3.4): the controller process restarts but the
+  /// isolated apps keep their state — unlike Controller::reboot(), no app
+  /// state is lost.
+  void upgrade_restart();
+
+  /// §5 "Handling failures that span multiple transactions": find the
+  /// minimal sub-sequence of the app's logged event history (ending with
+  /// `offender`) that reproduces the crash. Probes the app's live isolation
+  /// domain: each probe restores the oldest retained checkpoint and replays
+  /// a candidate sequence. On return the app is restored to its latest
+  /// checkpoint. Requires a deterministic bug (reproduced=false otherwise).
+  struct LocalizeResult {
+    std::vector<ctl::Event> minimal;
+    std::size_t probes = 0;
+    bool reproduced = false;
+  };
+  LocalizeResult localize_fault(AppId app, const ctl::Event& offender);
+
+  // --- introspection ---
+  netlog::NetLog& netlog() noexcept { return netlog_; }
+  crashpad::TicketLog& tickets() noexcept { return tickets_; }
+  appvisor::AppVisor& appvisor() noexcept { return visor_; }
+  checkpoint::SnapshotStore& snapshots() noexcept { return snapshots_; }
+  const LegoConfig& config() const noexcept { return cfg_; }
+
+  struct LegoStats {
+    std::uint64_t failstop_crashes = 0;
+    std::uint64_t byzantine_failures = 0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t events_ignored = 0;      ///< Absolute Compromise applied
+    std::uint64_t events_transformed = 0;  ///< Equivalence Compromise applied
+    std::uint64_t apps_left_down = 0;      ///< No Compromise applied
+    std::uint64_t checkpoints = 0;
+    std::uint64_t checkpoint_bytes = 0;
+    std::uint64_t replayed_events = 0;
+    std::uint64_t txns_committed = 0;
+    std::uint64_t txns_rolled_back = 0;
+    std::uint64_t quota_violations = 0;   ///< message-quota breaches
+    std::uint64_t breaker_disables = 0;   ///< apps shut down by the fault breaker
+  };
+  const LegoStats& lego_stats() const noexcept { return lego_stats_; }
+
+protected:
+  void dispatch(ctl::Event e) override;
+
+private:
+  struct PerApp {
+    std::uint64_t seen = 0;          ///< events offered to this app
+    std::uint64_t missed = 0;        ///< offered while the app was down
+    std::uint64_t last_checkpoint = 0;
+  };
+
+  /// Deliver one event to one app with full transaction + verification.
+  /// Returns the dispatch-chain disposition (kContinue on failure paths).
+  ctl::Disposition guarded_deliver(appvisor::AppEntry& entry, const ctl::Event& e,
+                                   bool allow_recovery);
+
+  void maybe_checkpoint(appvisor::AppEntry& entry, const ctl::Event& e);
+  bool apply_transaction(appvisor::AppEntry& entry,
+                         std::vector<of::Message> emitted, std::string* violation);
+  void recover(appvisor::AppEntry& entry, const ctl::Event& offender,
+               const std::string& crash_info, bool byzantine);
+  bool restore_app(appvisor::AppEntry& entry);
+
+  LegoConfig cfg_;
+  appvisor::AppVisor visor_;
+  netlog::NetLog netlog_;
+  checkpoint::SnapshotStore snapshots_;
+  checkpoint::EventLog event_log_;
+  crashpad::EventTransformer transformer_;
+  crashpad::TicketLog tickets_;
+  invariant::InvariantChecker checker_;
+  LegoStats lego_stats_;
+  std::unordered_map<AppId, PerApp> per_app_;
+  std::uint64_t event_seq_ = 0;
+  bool in_recovery_ = false; ///< guards against recursive recovery
+};
+
+} // namespace legosdn::lego

@@ -1,0 +1,239 @@
+#include "netlog/netlog.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "openflow/codec.hpp"
+
+namespace legosdn::netlog {
+namespace {
+
+/// Remaining lifetime of an entry when restored at `now`, per the paper:
+/// "it adds it with the appropriate time-out information".
+std::uint16_t remaining_timeout(std::uint16_t configured, SimTime since, SimTime now) {
+  if (configured == 0) return 0;
+  const std::int64_t elapsed_s = (raw(now) - raw(since)) / 1'000'000'000;
+  if (elapsed_s >= configured) return 1; // about to expire; keep 1s grace
+  return static_cast<std::uint16_t>(configured - elapsed_s);
+}
+
+} // namespace
+
+NetLog::NetLog(netsim::Network& net, NetLogConfig cfg) : net_(net), cfg_(cfg) {}
+
+TxnId NetLog::begin(AppId app) {
+  const TxnId id{next_txn_++};
+  open_[id] = Txn{app, {}, {}, {}};
+  stats_.begun += 1;
+  return id;
+}
+
+netsim::FlowTable& NetLog::shadow_mut(DatapathId dpid) { return shadow_[dpid]; }
+
+const netsim::FlowTable* NetLog::shadow(DatapathId dpid) const {
+  auto it = shadow_.find(dpid);
+  return it == shadow_.end() ? nullptr : &it->second;
+}
+
+void NetLog::touch(Txn& txn, DatapathId dpid) {
+  if (std::find(txn.dpids.begin(), txn.dpids.end(), dpid) == txn.dpids.end())
+    txn.dpids.push_back(dpid);
+}
+
+void NetLog::forward(const of::Message& msg) { net_.send_to_switch(msg); }
+
+Status NetLog::apply(TxnId id, const of::Message& msg) {
+  auto it = open_.find(id);
+  if (it == open_.end())
+    return Error{Error::Code::kNotFound, "no open transaction"};
+  Txn& txn = it->second;
+  stats_.messages += 1;
+
+  if (const auto* mod = msg.get_if<of::FlowMod>()) {
+    touch(txn, mod->dpid);
+    if (cfg_.mode == Mode::kUndoLog) {
+      record_undo(txn, *mod);
+      stats_.undo_bytes_peak = std::max(stats_.undo_bytes_peak, undo_bytes(txn));
+      forward(msg);
+    } else {
+      txn.buffered.push_back(msg);
+    }
+    return Status::success();
+  }
+
+  // Non-state-changing messages (packet-out, stats/barrier requests): nothing
+  // to invert. Undo-log mode forwards them immediately; delay-buffer mode
+  // holds them with the rest of the bundle, as the paper's prototype did.
+  if (cfg_.mode == Mode::kDelayBuffer) {
+    txn.buffered.push_back(msg);
+  } else {
+    forward(msg);
+  }
+  return Status::success();
+}
+
+void NetLog::record_undo(Txn& txn, const of::FlowMod& mod) {
+  // Replay the mod through the shadow to learn exactly what it changes.
+  netsim::FlowTable& shadow = shadow_mut(mod.dpid);
+  const auto res = shadow.apply(mod, net_.now());
+  if (!res.ok) return; // switch will reject it too; nothing to undo
+
+  // Entries removed or overwritten: restore them (add with remaining
+  // timeouts, counters preserved via the cache at rollback time).
+  //
+  // The shadow knows the *structure* of each entry but not its dataplane
+  // counters/idle clock — only the switch does. The paper's NetLog "stores
+  // and maintains the timeout and counter information of a flow table entry
+  // before deleting it": we model that pre-delete query by reading the live
+  // entry (record_undo runs before the delete is forwarded).
+  auto live_entry = [&](const netsim::FlowEntry& e) -> const netsim::FlowEntry* {
+    const netsim::SimSwitch* sw = net_.switch_at(mod.dpid);
+    if (!sw || !sw->up()) return nullptr;
+    return sw->table().find_strict(e.match, e.priority);
+  };
+  for (auto before : res.removed) {
+    if (const netsim::FlowEntry* live = live_entry(before)) {
+      before.packet_count = live->packet_count;
+      before.byte_count = live->byte_count;
+      before.install_time = live->install_time;
+      before.last_used = live->last_used;
+    }
+    UndoOp op;
+    op.inverse.dpid = mod.dpid;
+    op.inverse.command = of::FlowModCommand::kAdd;
+    op.inverse.match = before.match;
+    op.inverse.priority = before.priority;
+    op.inverse.cookie = before.cookie;
+    op.inverse.idle_timeout =
+        remaining_timeout(before.idle_timeout, before.last_used, net_.now());
+    op.inverse.hard_timeout =
+        remaining_timeout(before.hard_timeout, before.install_time, net_.now());
+    op.inverse.send_flow_removed = before.send_flow_removed;
+    op.inverse.actions = before.actions;
+    op.cache_counters = true;
+    op.packet_count = before.packet_count;
+    op.byte_count = before.byte_count;
+    txn.undo.push_back(std::move(op));
+    stats_.undo_ops_recorded += 1;
+  }
+  // Entries modified in place: put the old actions/cookie back.
+  for (const auto& before : res.modified) {
+    UndoOp op;
+    op.inverse.dpid = mod.dpid;
+    op.inverse.command = of::FlowModCommand::kModifyStrict;
+    op.inverse.match = before.match;
+    op.inverse.priority = before.priority;
+    op.inverse.cookie = before.cookie;
+    op.inverse.actions = before.actions;
+    txn.undo.push_back(std::move(op));
+    stats_.undo_ops_recorded += 1;
+  }
+  // Entries newly added (and not replacements, which the removal-restore
+  // above already reverts): delete them.
+  for (const auto& added : res.added) {
+    const bool replaced_existing = std::any_of(
+        res.removed.begin(), res.removed.end(), [&](const netsim::FlowEntry& r) {
+          return r.same_flow(added.match, added.priority);
+        });
+    if (replaced_existing) continue;
+    UndoOp op;
+    op.inverse.dpid = mod.dpid;
+    op.inverse.command = of::FlowModCommand::kDeleteStrict;
+    op.inverse.match = added.match;
+    op.inverse.priority = added.priority;
+    txn.undo.push_back(std::move(op));
+    stats_.undo_ops_recorded += 1;
+  }
+}
+
+std::size_t NetLog::undo_bytes(const Txn& txn) const {
+  std::size_t total = 0;
+  for (const auto& op : txn.undo) total += of::encode({0, op.inverse}).size();
+  return total;
+}
+
+Status NetLog::commit(TxnId id) {
+  auto it = open_.find(id);
+  if (it == open_.end())
+    return Error{Error::Code::kNotFound, "no open transaction"};
+  Txn txn = std::move(it->second);
+  open_.erase(it);
+
+  if (cfg_.mode == Mode::kDelayBuffer) {
+    // Release the bundle; shadows learn about the flow-mods now.
+    for (const auto& msg : txn.buffered) {
+      if (const auto* mod = msg.get_if<of::FlowMod>())
+        shadow_mut(mod->dpid).apply(*mod, net_.now());
+      forward(msg);
+    }
+  }
+  if (cfg_.barrier_on_commit) {
+    for (const DatapathId d : txn.dpids)
+      forward({next_xid_++, of::BarrierRequest{d}});
+  }
+  stats_.committed += 1;
+  return Status::success();
+}
+
+Status NetLog::rollback(TxnId id) {
+  auto it = open_.find(id);
+  if (it == open_.end())
+    return Error{Error::Code::kNotFound, "no open transaction"};
+  Txn txn = std::move(it->second);
+  open_.erase(it);
+
+  if (cfg_.mode == Mode::kUndoLog) {
+    for (auto op = txn.undo.rbegin(); op != txn.undo.rend(); ++op) {
+      // Keep the shadow in lock-step with the switch.
+      shadow_mut(op->inverse.dpid).apply(op->inverse, net_.now());
+      forward({next_xid_++, op->inverse});
+      stats_.undo_ops_applied += 1;
+      if (op->cache_counters && (op->packet_count || op->byte_count)) {
+        counter_cache_.push_back({op->inverse.dpid, op->inverse.match,
+                                  op->inverse.priority, op->packet_count,
+                                  op->byte_count});
+      }
+    }
+    if (cfg_.barrier_on_commit) {
+      for (const DatapathId d : txn.dpids)
+        forward({next_xid_++, of::BarrierRequest{d}});
+    }
+  }
+  // Delay-buffer mode: held messages simply evaporate.
+  stats_.rolled_back += 1;
+  return Status::success();
+}
+
+std::vector<DatapathId> NetLog::touched(TxnId id) const {
+  auto it = open_.find(id);
+  return it == open_.end() ? std::vector<DatapathId>{} : it->second.dpids;
+}
+
+void NetLog::correct_stats(of::StatsReply& reply) const {
+  if (reply.kind != of::StatsKind::kFlow) return;
+  for (auto& f : reply.flows) {
+    for (const auto& c : counter_cache_) {
+      if (c.dpid == reply.dpid && c.priority == f.priority && c.match == f.match) {
+        f.packet_count += c.packet_count;
+        f.byte_count += c.byte_count;
+      }
+    }
+  }
+}
+
+void NetLog::expire_shadows() {
+  for (auto& [_, table] : shadow_) table.expire(net_.now());
+}
+
+void NetLog::observe_northbound(const of::Message& msg) {
+  if (const auto* fr = msg.get_if<of::FlowRemoved>()) {
+    of::FlowMod del;
+    del.dpid = fr->dpid;
+    del.command = of::FlowModCommand::kDeleteStrict;
+    del.match = fr->match;
+    del.priority = fr->priority;
+    shadow_mut(fr->dpid).apply(del, net_.now());
+  }
+}
+
+} // namespace legosdn::netlog

@@ -1,0 +1,104 @@
+// Switch flow table with OpenFlow 1.0 semantics.
+//
+// This is the state machine whose invertibility NetLog depends on, so the
+// semantics are implemented carefully:
+//  - lookup returns the highest-priority matching entry (ties broken by
+//    insertion order, deterministically);
+//  - ADD replaces an entry with identical match+priority (resetting counters);
+//  - MODIFY / DELETE apply to all entries *covered by* the given match,
+//    the STRICT variants only to the entry with identical match+priority;
+//  - DELETE honours the out_port filter;
+//  - idle and hard timeouts expire entries and emit flow-removed records.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "openflow/messages.hpp"
+
+namespace legosdn::netsim {
+
+struct FlowEntry {
+  of::Match match{};
+  std::uint16_t priority = 0x8000;
+  std::uint64_t cookie = 0;
+  std::uint16_t idle_timeout = 0; ///< seconds; 0 = never
+  std::uint16_t hard_timeout = 0; ///< seconds; 0 = never
+  bool send_flow_removed = false;
+  of::ActionList actions;
+
+  // Mutable runtime state.
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+  SimTime install_time{kSimStart};
+  SimTime last_used{kSimStart};
+  std::uint64_t seq = 0; ///< insertion order, assigned by the table
+
+  bool operator==(const FlowEntry&) const = default;
+
+  /// Same identity in the flow table (strict match semantics).
+  bool same_flow(const of::Match& m, std::uint16_t prio) const {
+    return priority == prio && match == m;
+  }
+
+  bool outputs_to(PortNo port) const;
+};
+
+/// Outcome of applying a FlowMod; before-images feed NetLog's undo log.
+struct FlowModResult {
+  bool ok = true;
+  std::string error;                 ///< set when !ok (e.g. overlap check)
+  std::vector<FlowEntry> added;      ///< entries newly installed
+  std::vector<FlowEntry> removed;    ///< full before-images of removed entries
+  std::vector<FlowEntry> modified;   ///< before-images of modified entries
+};
+
+class FlowTable {
+public:
+  /// Apply a flow-mod at virtual time `now`.
+  FlowModResult apply(const of::FlowMod& mod, SimTime now);
+
+  /// Dataplane lookup. Updates counters of the hit entry.
+  /// Returns nullptr on table miss.
+  const FlowEntry* match_packet(PortNo in_port, const of::PacketHeader& hdr,
+                                std::uint32_t bytes, SimTime now);
+
+  /// Lookup without touching counters (used by the invariant checker).
+  const FlowEntry* peek(PortNo in_port, const of::PacketHeader& hdr) const;
+
+  /// Remove timed-out entries; returns their before-images together with the
+  /// expiry reason so the switch can emit flow-removed messages.
+  struct Expired {
+    FlowEntry entry;
+    of::FlowRemovedReason reason;
+  };
+  std::vector<Expired> expire(SimTime now);
+
+  /// Reinstall an entry preserving all runtime state (counters, timestamps).
+  /// Used by NetLog rollback; replaces any entry with the same match+priority.
+  void restore(const FlowEntry& entry);
+
+  /// Find the entry with identical match+priority.
+  const FlowEntry* find_strict(const of::Match& m, std::uint16_t priority) const;
+
+  const std::vector<FlowEntry>& entries() const noexcept { return entries_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+  void clear() noexcept { entries_.clear(); }
+
+  /// Full-state snapshot/restore; equality of snapshots defines "identical
+  /// network state" in the rollback property tests.
+  std::vector<FlowEntry> snapshot() const { return entries_; }
+  void restore_snapshot(std::vector<FlowEntry> snap) { entries_ = std::move(snap); }
+
+  /// Deterministic state digest (order-insensitive) for fast comparison.
+  std::uint64_t digest() const;
+
+private:
+  std::vector<FlowEntry> entries_;
+  std::uint64_t next_seq_ = 0;
+};
+
+} // namespace legosdn::netsim

@@ -1,0 +1,82 @@
+#include "netsim/traffic.hpp"
+
+#include <cassert>
+
+namespace legosdn::netsim {
+
+TrafficGenerator::TrafficGenerator(const Network& net, Pattern pattern,
+                                   std::uint64_t seed)
+    : net_(net), pattern_(pattern), rng_(seed) {
+  assert(net_.hosts().size() >= 2 && "traffic needs at least two hosts");
+}
+
+Flow TrafficGenerator::next_flow() {
+  const auto& hosts = net_.hosts();
+  const std::size_t n = hosts.size();
+  std::size_t si = 0;
+  std::size_t di = 0;
+  switch (pattern_) {
+    case Pattern::kUniformRandom: {
+      si = rng_.below(n);
+      do {
+        di = rng_.below(n);
+      } while (di == si);
+      break;
+    }
+    case Pattern::kStride: {
+      si = stride_pos_++ % n;
+      di = (si + n / 2) % n;
+      if (di == si) di = (si + 1) % n;
+      break;
+    }
+    case Pattern::kIncast: {
+      di = 0;
+      si = 1 + rng_.below(n - 1);
+      break;
+    }
+    case Pattern::kHotspot: {
+      const std::size_t hot = std::max<std::size_t>(1, n / 5);
+      di = rng_.chance(0.8) ? rng_.below(hot) : hot + rng_.below(n - hot);
+      do {
+        si = rng_.below(n);
+      } while (si == di);
+      break;
+    }
+  }
+  Flow f;
+  f.src = hosts[si].mac;
+  f.dst = hosts[di].mac;
+  f.src_ip = hosts[si].ip;
+  f.dst_ip = hosts[di].ip;
+  f.tp_src = static_cast<std::uint16_t>(1024 + rng_.below(60000));
+  f.tp_dst = 80;
+  return f;
+}
+
+of::Packet TrafficGenerator::make_packet(const Flow& f, std::uint32_t size_bytes) {
+  of::Packet p;
+  p.hdr.eth_src = f.src;
+  p.hdr.eth_dst = f.dst;
+  p.hdr.eth_type = of::kEthTypeIpv4;
+  p.hdr.ip_src = f.src_ip;
+  p.hdr.ip_dst = f.dst_ip;
+  p.hdr.ip_proto = of::kIpProtoTcp;
+  p.hdr.tp_src = f.tp_src;
+  p.hdr.tp_dst = f.tp_dst;
+  p.size_bytes = size_bytes;
+  p.trace_tag = next_tag_++;
+  return p;
+}
+
+std::vector<std::pair<MacAddress, of::Packet>> TrafficGenerator::batch(
+    std::size_t n_flows, std::size_t repeats) {
+  std::vector<std::pair<MacAddress, of::Packet>> out;
+  out.reserve(n_flows * repeats);
+  for (std::size_t i = 0; i < n_flows; ++i) {
+    const Flow f = next_flow();
+    for (std::size_t r = 0; r < repeats; ++r) out.emplace_back(f.src, make_packet(f));
+  }
+  return out;
+}
+
+} // namespace legosdn::netsim

@@ -1,0 +1,364 @@
+#include "openflow/codec.hpp"
+
+#include <cstring>
+
+namespace legosdn::of {
+namespace {
+
+// Wire type tags. Kept in sync with the MessageBody variant order by
+// encode()'s visitor; decode() switches on these explicitly.
+enum class MsgType : std::uint8_t {
+  kHello = 0,
+  kEchoRequest = 1,
+  kEchoReply = 2,
+  kFeaturesRequest = 3,
+  kFeaturesReply = 4,
+  kPacketIn = 5,
+  kPacketOut = 6,
+  kFlowMod = 7,
+  kFlowRemoved = 8,
+  kPortStatus = 9,
+  kStatsRequest = 10,
+  kStatsReply = 11,
+  kBarrierRequest = 12,
+  kBarrierReply = 13,
+  kError = 14,
+};
+
+void encode_port_desc(const PortDesc& p, ByteWriter& w) {
+  w.u16(raw(p.port));
+  w.mac(p.hw_addr);
+  w.str(p.name);
+  w.u8(p.link_up ? 1 : 0);
+}
+
+PortDesc decode_port_desc(ByteReader& r) {
+  PortDesc p;
+  p.port = PortNo{r.u16()};
+  p.hw_addr = r.mac();
+  p.name = r.str();
+  p.link_up = r.u8() != 0;
+  return p;
+}
+
+void encode_body(const MessageBody& body, ByteWriter& w) {
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, Hello>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kHello));
+          w.u8(m.version);
+        } else if constexpr (std::is_same_v<T, EchoRequest>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kEchoRequest));
+          w.u64(m.payload);
+        } else if constexpr (std::is_same_v<T, EchoReply>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kEchoReply));
+          w.u64(m.payload);
+        } else if constexpr (std::is_same_v<T, FeaturesRequest>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kFeaturesRequest));
+        } else if constexpr (std::is_same_v<T, FeaturesReply>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kFeaturesReply));
+          w.u64(raw(m.dpid));
+          w.u32(m.n_buffers);
+          w.u8(m.n_tables);
+          w.u16(static_cast<std::uint16_t>(m.ports.size()));
+          for (const auto& p : m.ports) encode_port_desc(p, w);
+        } else if constexpr (std::is_same_v<T, PacketIn>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kPacketIn));
+          w.u64(raw(m.dpid));
+          w.u32(m.buffer_id);
+          w.u16(raw(m.in_port));
+          w.u8(static_cast<std::uint8_t>(m.reason));
+          m.packet.encode(w);
+        } else if constexpr (std::is_same_v<T, PacketOut>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kPacketOut));
+          w.u64(raw(m.dpid));
+          w.u32(m.buffer_id);
+          w.u16(raw(m.in_port));
+          encode_actions(m.actions, w);
+          m.packet.encode(w);
+        } else if constexpr (std::is_same_v<T, FlowMod>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kFlowMod));
+          w.u64(raw(m.dpid));
+          m.match.encode(w);
+          w.u64(m.cookie);
+          w.u8(static_cast<std::uint8_t>(m.command));
+          w.u16(m.idle_timeout);
+          w.u16(m.hard_timeout);
+          w.u16(m.priority);
+          w.u16(raw(m.out_port));
+          w.u8(static_cast<std::uint8_t>((m.send_flow_removed ? 1 : 0) |
+                                         (m.check_overlap ? 2 : 0)));
+          encode_actions(m.actions, w);
+        } else if constexpr (std::is_same_v<T, FlowRemoved>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kFlowRemoved));
+          w.u64(raw(m.dpid));
+          m.match.encode(w);
+          w.u64(m.cookie);
+          w.u16(m.priority);
+          w.u8(static_cast<std::uint8_t>(m.reason));
+          w.u32(m.duration_sec);
+          w.u16(m.idle_timeout);
+          w.u64(m.packet_count);
+          w.u64(m.byte_count);
+        } else if constexpr (std::is_same_v<T, PortStatus>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kPortStatus));
+          w.u64(raw(m.dpid));
+          w.u8(static_cast<std::uint8_t>(m.reason));
+          encode_port_desc(m.desc, w);
+        } else if constexpr (std::is_same_v<T, StatsRequest>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kStatsRequest));
+          w.u64(raw(m.dpid));
+          w.u8(static_cast<std::uint8_t>(m.kind));
+          m.match.encode(w);
+          w.u16(raw(m.port));
+        } else if constexpr (std::is_same_v<T, StatsReply>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kStatsReply));
+          w.u64(raw(m.dpid));
+          w.u8(static_cast<std::uint8_t>(m.kind));
+          w.u16(static_cast<std::uint16_t>(m.flows.size()));
+          for (const auto& f : m.flows) {
+            f.match.encode(w);
+            w.u64(f.cookie);
+            w.u16(f.priority);
+            w.u32(f.duration_sec);
+            w.u16(f.idle_timeout);
+            w.u16(f.hard_timeout);
+            w.u64(f.packet_count);
+            w.u64(f.byte_count);
+            encode_actions(f.actions, w);
+          }
+          w.u16(static_cast<std::uint16_t>(m.ports.size()));
+          for (const auto& p : m.ports) {
+            w.u16(raw(p.port));
+            w.u64(p.rx_packets);
+            w.u64(p.tx_packets);
+            w.u64(p.rx_bytes);
+            w.u64(p.tx_bytes);
+            w.u64(p.drops);
+          }
+          w.u64(m.aggregate.packet_count);
+          w.u64(m.aggregate.byte_count);
+          w.u32(m.aggregate.flow_count);
+        } else if constexpr (std::is_same_v<T, BarrierRequest>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kBarrierRequest));
+          w.u64(raw(m.dpid));
+        } else if constexpr (std::is_same_v<T, BarrierReply>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kBarrierReply));
+          w.u64(raw(m.dpid));
+        } else if constexpr (std::is_same_v<T, OfError>) {
+          w.u8(static_cast<std::uint8_t>(MsgType::kError));
+          w.u64(raw(m.dpid));
+          w.u8(static_cast<std::uint8_t>(m.type));
+          w.u16(m.code);
+          w.str(m.detail);
+        }
+      },
+      body);
+}
+
+Result<MessageBody> decode_body(ByteReader& r) {
+  const auto type = static_cast<MsgType>(r.u8());
+  switch (type) {
+    case MsgType::kHello: {
+      Hello m;
+      m.version = r.u8();
+      return MessageBody{m};
+    }
+    case MsgType::kEchoRequest: return MessageBody{EchoRequest{r.u64()}};
+    case MsgType::kEchoReply: return MessageBody{EchoReply{r.u64()}};
+    case MsgType::kFeaturesRequest: return MessageBody{FeaturesRequest{}};
+    case MsgType::kFeaturesReply: {
+      FeaturesReply m;
+      m.dpid = DatapathId{r.u64()};
+      m.n_buffers = r.u32();
+      m.n_tables = r.u8();
+      const std::uint16_t n = r.u16();
+      for (std::uint16_t i = 0; i < n && r.ok(); ++i)
+        m.ports.push_back(decode_port_desc(r));
+      return MessageBody{std::move(m)};
+    }
+    case MsgType::kPacketIn: {
+      PacketIn m;
+      m.dpid = DatapathId{r.u64()};
+      m.buffer_id = r.u32();
+      m.in_port = PortNo{r.u16()};
+      m.reason = static_cast<PacketInReason>(r.u8() & 1);
+      m.packet = Packet::decode(r);
+      return MessageBody{m};
+    }
+    case MsgType::kPacketOut: {
+      PacketOut m;
+      m.dpid = DatapathId{r.u64()};
+      m.buffer_id = r.u32();
+      m.in_port = PortNo{r.u16()};
+      m.actions = decode_actions(r);
+      m.packet = Packet::decode(r);
+      return MessageBody{std::move(m)};
+    }
+    case MsgType::kFlowMod: {
+      FlowMod m;
+      m.dpid = DatapathId{r.u64()};
+      m.match = Match::decode(r);
+      m.cookie = r.u64();
+      m.command = static_cast<FlowModCommand>(r.u8() % 5);
+      m.idle_timeout = r.u16();
+      m.hard_timeout = r.u16();
+      m.priority = r.u16();
+      m.out_port = PortNo{r.u16()};
+      const std::uint8_t flags = r.u8();
+      m.send_flow_removed = (flags & 1) != 0;
+      m.check_overlap = (flags & 2) != 0;
+      m.actions = decode_actions(r);
+      return MessageBody{std::move(m)};
+    }
+    case MsgType::kFlowRemoved: {
+      FlowRemoved m;
+      m.dpid = DatapathId{r.u64()};
+      m.match = Match::decode(r);
+      m.cookie = r.u64();
+      m.priority = r.u16();
+      m.reason = static_cast<FlowRemovedReason>(r.u8() % 3);
+      m.duration_sec = r.u32();
+      m.idle_timeout = r.u16();
+      m.packet_count = r.u64();
+      m.byte_count = r.u64();
+      return MessageBody{m};
+    }
+    case MsgType::kPortStatus: {
+      PortStatus m;
+      m.dpid = DatapathId{r.u64()};
+      m.reason = static_cast<PortReason>(r.u8() % 3);
+      m.desc = decode_port_desc(r);
+      return MessageBody{std::move(m)};
+    }
+    case MsgType::kStatsRequest: {
+      StatsRequest m;
+      m.dpid = DatapathId{r.u64()};
+      m.kind = static_cast<StatsKind>(r.u8() % 3);
+      m.match = Match::decode(r);
+      m.port = PortNo{r.u16()};
+      return MessageBody{m};
+    }
+    case MsgType::kStatsReply: {
+      StatsReply m;
+      m.dpid = DatapathId{r.u64()};
+      m.kind = static_cast<StatsKind>(r.u8() % 3);
+      const std::uint16_t nf = r.u16();
+      for (std::uint16_t i = 0; i < nf && r.ok(); ++i) {
+        FlowStatsEntry f;
+        f.match = Match::decode(r);
+        f.cookie = r.u64();
+        f.priority = r.u16();
+        f.duration_sec = r.u32();
+        f.idle_timeout = r.u16();
+        f.hard_timeout = r.u16();
+        f.packet_count = r.u64();
+        f.byte_count = r.u64();
+        f.actions = decode_actions(r);
+        m.flows.push_back(std::move(f));
+      }
+      const std::uint16_t np = r.u16();
+      for (std::uint16_t i = 0; i < np && r.ok(); ++i) {
+        PortStatsEntry p;
+        p.port = PortNo{r.u16()};
+        p.rx_packets = r.u64();
+        p.tx_packets = r.u64();
+        p.rx_bytes = r.u64();
+        p.tx_bytes = r.u64();
+        p.drops = r.u64();
+        m.ports.push_back(p);
+      }
+      m.aggregate.packet_count = r.u64();
+      m.aggregate.byte_count = r.u64();
+      m.aggregate.flow_count = r.u32();
+      return MessageBody{std::move(m)};
+    }
+    case MsgType::kBarrierRequest:
+      return MessageBody{BarrierRequest{DatapathId{r.u64()}}};
+    case MsgType::kBarrierReply:
+      return MessageBody{BarrierReply{DatapathId{r.u64()}}};
+    case MsgType::kError: {
+      OfError m;
+      m.dpid = DatapathId{r.u64()};
+      m.type = static_cast<OfErrorType>(r.u8() % 4);
+      m.code = r.u16();
+      m.detail = r.str();
+      return MessageBody{std::move(m)};
+    }
+  }
+  return Error{Error::Code::kParse, "unknown message type"};
+}
+
+} // namespace
+
+std::vector<std::uint8_t> encode(const Message& msg) {
+  ByteWriter w(64);
+  w.u8(kWireVersion);
+  w.u8(0);                 // placeholder; real tag written by encode_body
+  w.u16(0);                // length patched below
+  w.u32(msg.xid);
+  // encode_body writes the type tag first; splice it into the header slot so
+  // the header is self-describing without re-parsing the body.
+  ByteWriter body;
+  encode_body(msg.body, body);
+  auto bytes = std::move(body).take();
+  auto out = std::move(w).take();
+  out[1] = bytes[0]; // type tag
+  out.insert(out.end(), bytes.begin() + 1, bytes.end());
+  const auto len = static_cast<std::uint16_t>(out.size());
+  out[2] = static_cast<std::uint8_t>(len >> 8);
+  out[3] = static_cast<std::uint8_t>(len);
+  return out;
+}
+
+Result<Message> decode(std::span<const std::uint8_t> frame) {
+  if (frame.size() < kHeaderSize)
+    return Error{Error::Code::kTruncated, "frame shorter than header"};
+  ByteReader r(frame);
+  const std::uint8_t version = r.u8();
+  if (version != kWireVersion)
+    return Error{Error::Code::kUnsupported,
+                 "unsupported version " + std::to_string(version)};
+  const std::uint8_t type = r.u8();
+  const std::uint16_t length = r.u16();
+  if (length != frame.size())
+    return Error{Error::Code::kParse, "length field mismatch"};
+  Message msg;
+  msg.xid = r.u32();
+  // Re-assemble the body stream: type tag followed by payload.
+  std::vector<std::uint8_t> body;
+  body.reserve(frame.size() - kHeaderSize + 1);
+  body.push_back(type);
+  body.insert(body.end(), frame.begin() + kHeaderSize, frame.end());
+  ByteReader br(body);
+  auto parsed = decode_body(br);
+  if (!parsed) return parsed.error();
+  if (br.error())
+    return Error{Error::Code::kTruncated, "body truncated"};
+  if (br.remaining() != 0)
+    return Error{Error::Code::kParse, "trailing bytes after body"};
+  msg.body = std::move(parsed).value();
+  return msg;
+}
+
+Result<std::vector<Message>> decode_stream(std::vector<std::uint8_t>& buffer) {
+  std::vector<Message> out;
+  std::size_t offset = 0;
+  while (buffer.size() - offset >= kHeaderSize) {
+    const std::uint16_t length = static_cast<std::uint16_t>(
+        (std::uint16_t{buffer[offset + 2]} << 8) | buffer[offset + 3]);
+    if (length < kHeaderSize)
+      return Error{Error::Code::kParse, "frame length below header size"};
+    if (buffer.size() - offset < length) break; // incomplete frame; wait
+    auto parsed =
+        decode(std::span<const std::uint8_t>(buffer.data() + offset, length));
+    if (!parsed) return parsed.error();
+    out.push_back(std::move(parsed).value());
+    offset += length;
+  }
+  buffer.erase(buffer.begin(), buffer.begin() + static_cast<std::ptrdiff_t>(offset));
+  return out;
+}
+
+} // namespace legosdn::of

@@ -1,0 +1,35 @@
+// Wire codec for OpenFlow-style messages.
+//
+// Frame layout (big-endian, mirroring the OF 1.0 header):
+//   u8  version (always 1)
+//   u8  type    (message discriminator)
+//   u16 length  (total frame length including header)
+//   u32 xid
+//   ... body ...
+//
+// decode() never throws: malformed or truncated frames yield an Error.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/result.hpp"
+#include "openflow/messages.hpp"
+
+namespace legosdn::of {
+
+constexpr std::uint8_t kWireVersion = 1;
+constexpr std::size_t kHeaderSize = 8;
+
+/// Serialize one message into a self-describing frame.
+std::vector<std::uint8_t> encode(const Message& msg);
+
+/// Parse one frame. The span must contain exactly one frame.
+Result<Message> decode(std::span<const std::uint8_t> frame);
+
+/// Parse a stream of concatenated frames (e.g. a TCP channel buffer).
+/// Consumes complete frames from the front of `buffer`; returns the parsed
+/// messages and erases consumed bytes. A malformed frame aborts the stream.
+Result<std::vector<Message>> decode_stream(std::vector<std::uint8_t>& buffer);
+
+} // namespace legosdn::of

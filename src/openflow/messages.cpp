@@ -1,0 +1,49 @@
+#include "openflow/messages.hpp"
+
+#include <sstream>
+
+namespace legosdn::of {
+
+std::string type_name(const MessageBody& body) {
+  return std::visit(
+      [](const auto& m) -> std::string {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, Hello>) return "hello";
+        else if constexpr (std::is_same_v<T, EchoRequest>) return "echo-request";
+        else if constexpr (std::is_same_v<T, EchoReply>) return "echo-reply";
+        else if constexpr (std::is_same_v<T, FeaturesRequest>) return "features-request";
+        else if constexpr (std::is_same_v<T, FeaturesReply>) return "features-reply";
+        else if constexpr (std::is_same_v<T, PacketIn>) return "packet-in";
+        else if constexpr (std::is_same_v<T, PacketOut>) return "packet-out";
+        else if constexpr (std::is_same_v<T, FlowMod>) return "flow-mod";
+        else if constexpr (std::is_same_v<T, FlowRemoved>) return "flow-removed";
+        else if constexpr (std::is_same_v<T, PortStatus>) return "port-status";
+        else if constexpr (std::is_same_v<T, StatsRequest>) return "stats-request";
+        else if constexpr (std::is_same_v<T, StatsReply>) return "stats-reply";
+        else if constexpr (std::is_same_v<T, BarrierRequest>) return "barrier-request";
+        else if constexpr (std::is_same_v<T, BarrierReply>) return "barrier-reply";
+        else if constexpr (std::is_same_v<T, OfError>) return "error";
+      },
+      body);
+}
+
+bool is_state_changing(const MessageBody& body) {
+  // FlowMod mutates flow tables; PacketOut injects traffic but leaves no
+  // switch state behind, so it is logged for diagnostics yet needs no inverse.
+  return std::holds_alternative<FlowMod>(body);
+}
+
+std::string FlowMod::to_string() const {
+  static constexpr const char* cmds[] = {"add", "modify", "modify-strict",
+                                         "delete", "delete-strict"};
+  std::ostringstream os;
+  os << "flow-mod(" << cmds[static_cast<int>(command)] << " s" << raw(dpid)
+     << " prio=" << priority << " " << match.to_string() << " -> "
+     << of::to_string(actions);
+  if (idle_timeout) os << " idle=" << idle_timeout;
+  if (hard_timeout) os << " hard=" << hard_timeout;
+  os << ")";
+  return os.str();
+}
+
+} // namespace legosdn::of

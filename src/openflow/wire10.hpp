@@ -1,0 +1,84 @@
+// Real OpenFlow 1.0 wire codec (interoperability layer).
+//
+// The rest of the repository speaks a compact internal framing (codec.hpp).
+// This module encodes/decodes the same Message structs in the *actual*
+// OpenFlow 1.0 binary format (openflow.h, wire version 0x01): ofp_header,
+// the 40-byte ofp_match, ofp_flow_mod, ofp_packet_in/out with genuine
+// Ethernet/IPv4/TCP(UDP) frames as payload, ofp_phy_port, flow/port/
+// aggregate statistics, and so on — so captures produced here are readable
+// by standard OpenFlow tooling and vice versa.
+//
+// Representability notes (checked by encode, reported as kUnsupported):
+//  - VLAN fields, TOS and port config/state bits have no internal
+//    counterpart; they encode as wildcarded/zero and decode to defaults.
+//  - Packet payloads are synthesized frames: headers are real; the packet's
+//    trace_tag rides in the TCP seq/ack fields (seq = high word, ack = low)
+//    and size_bytes in ofp_packet_in.total_len, so internal round-trips are
+//    lossless while remaining valid frames for external tools.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/result.hpp"
+#include "openflow/messages.hpp"
+
+namespace legosdn::of::wire10 {
+
+constexpr std::uint8_t kVersion = 0x01;
+constexpr std::size_t kHeaderLen = 8;
+constexpr std::size_t kMatchLen = 40;
+constexpr std::size_t kPhyPortLen = 48;
+
+/// ofp_type values (OpenFlow 1.0 §5.1).
+enum class OfpType : std::uint8_t {
+  kHello = 0,
+  kError = 1,
+  kEchoRequest = 2,
+  kEchoReply = 3,
+  kVendor = 4,
+  kFeaturesRequest = 5,
+  kFeaturesReply = 6,
+  kGetConfigRequest = 7,
+  kGetConfigReply = 8,
+  kSetConfig = 9,
+  kPacketIn = 10,
+  kFlowRemoved = 11,
+  kPortStatus = 12,
+  kPacketOut = 13,
+  kFlowMod = 14,
+  kPortMod = 15,
+  kStatsRequest = 16,
+  kStatsReply = 17,
+  kBarrierRequest = 18,
+  kBarrierReply = 19,
+};
+
+/// Encode one message as OpenFlow 1.0 bytes.
+///
+/// Messages that carry a datapath id (flow-mod, packet-in, ...) lose it on
+/// the wire — real OpenFlow scopes messages by connection. encode() appends
+/// no side channel; decode() therefore takes the connection's dpid.
+Result<std::vector<std::uint8_t>> encode(const Message& msg);
+
+/// Decode one OpenFlow 1.0 message. `conn_dpid` identifies the switch this
+/// connection belongs to (fills the dpid fields the wire cannot carry).
+Result<Message> decode(std::span<const std::uint8_t> frame, DatapathId conn_dpid);
+
+/// Peek at a buffer: returns the total length of the first frame if the
+/// header is complete, 0 otherwise. For stream reassembly.
+std::size_t frame_length(std::span<const std::uint8_t> buffer);
+
+// --- exposed for tests ---
+
+/// Synthesize a real Ethernet (+IPv4+TCP/UDP) frame for a packet.
+std::vector<std::uint8_t> synthesize_frame(const Packet& pkt);
+/// Parse a frame back (reverse of synthesize_frame; tolerates real-world
+/// frames, filling defaults for anything beyond Ethernet/IPv4/TCP/UDP).
+Result<Packet> parse_frame(std::span<const std::uint8_t> data,
+                           std::uint16_t total_len_hint = 0);
+
+/// RFC 1071 Internet checksum (used for the synthesized IPv4 header).
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+} // namespace legosdn::of::wire10

@@ -1,0 +1,485 @@
+#include "scenario/scenario.hpp"
+
+#include <charconv>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "apps/fault_injection.hpp"
+#include "apps/firewall.hpp"
+#include "apps/hub.hpp"
+#include "apps/learning_switch.hpp"
+#include "apps/link_discovery.hpp"
+#include "apps/load_balancer.hpp"
+#include "apps/shortest_path_router.hpp"
+
+namespace legosdn::scenario {
+namespace {
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> out;
+  std::istringstream iss{std::string(line)};
+  std::string tok;
+  while (iss >> tok) {
+    if (tok.starts_with('#')) break;
+    out.push_back(tok);
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> parse_uint(std::string_view s) {
+  std::uint64_t v = 0;
+  const auto* end = s.data() + s.size();
+  auto [p, ec] = std::from_chars(s.data(), end, v);
+  if (ec != std::errc{} || p != end) return std::nullopt;
+  return v;
+}
+
+/// key=value argument lookup within a command's trailing tokens.
+std::optional<std::string> find_arg(const std::vector<std::string>& tokens,
+                                    std::size_t from, std::string_view key) {
+  const std::string prefix = std::string(key) + "=";
+  for (std::size_t i = from; i < tokens.size(); ++i) {
+    if (tokens[i].starts_with(prefix)) return tokens[i].substr(prefix.size());
+  }
+  return std::nullopt;
+}
+
+bool has_flag(const std::vector<std::string>& tokens, std::size_t from,
+              std::string_view flag) {
+  for (std::size_t i = from; i < tokens.size(); ++i)
+    if (tokens[i] == flag) return true;
+  return false;
+}
+
+std::optional<ctl::EventType> event_type_by_name(std::string_view s) {
+  for (std::size_t i = 0; i < ctl::kEventTypeCount; ++i) {
+    const auto t = static_cast<ctl::EventType>(i);
+    if (s == ctl::to_string(t)) return t;
+  }
+  return std::nullopt;
+}
+
+bool compare(std::uint64_t lhs, const std::string& op, std::uint64_t rhs) {
+  if (op == "==") return lhs == rhs;
+  if (op == "!=") return lhs != rhs;
+  if (op == ">=") return lhs >= rhs;
+  if (op == "<=") return lhs <= rhs;
+  if (op == ">") return lhs > rhs;
+  if (op == "<") return lhs < rhs;
+  return false;
+}
+
+} // namespace
+
+Result<Scenario> Scenario::parse(std::string_view text) {
+  // Full validation happens at run() (it owns the semantic state); parse()
+  // checks shape: known command words and minimal arity, with line numbers.
+  static const std::map<std::string, std::size_t> kMinArity = {
+      {"topology", 3},  {"architecture", 2}, {"backend", 2}, {"netlog", 2},
+      {"checkpoint", 3}, {"limits", 2},       {"policy", 2},  {"app", 2},
+      {"wrap", 2},       {"start", 1},        {"send", 3},    {"switch", 3},
+      {"link", 4},       {"advance", 2},      {"upgrade", 1}, {"expect", 2},
+  };
+  Scenario sc;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    line_no += 1;
+    auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    auto it = kMinArity.find(tokens[0]);
+    if (it == kMinArity.end()) {
+      return Error{Error::Code::kParse, "scenario line " + std::to_string(line_no) +
+                                            ": unknown command '" + tokens[0] + "'"};
+    }
+    if (tokens.size() < it->second) {
+      return Error{Error::Code::kParse, "scenario line " + std::to_string(line_no) +
+                                            ": '" + tokens[0] + "' needs at least " +
+                                            std::to_string(it->second - 1) +
+                                            " argument(s)"};
+    }
+    sc.commands_.push_back({line_no, std::move(tokens), std::string(line)});
+  }
+  return sc;
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter
+// ---------------------------------------------------------------------------
+
+class Interpreter {
+public:
+  RunResult execute(const std::vector<Scenario::Command>& commands) {
+    for (const auto& cmd : commands) {
+      if (!step(cmd)) break;
+    }
+    result_.ok = result_.error.empty() && result_.failed_checks() == 0;
+    result_.transcript = log_.str();
+    return std::move(result_);
+  }
+
+private:
+  bool fail(const Scenario::Command& cmd, const std::string& why) {
+    result_.error = "line " + std::to_string(cmd.line) + ": " + why;
+    return false;
+  }
+
+  void drain() {
+    while (controller_->run() > 0) {
+    }
+  }
+
+  bool require_started(const Scenario::Command& cmd) {
+    if (!controller_) {
+      fail(cmd, "'" + cmd.tokens[0] + "' before start");
+      return false;
+    }
+    return true;
+  }
+
+  bool build_app(const Scenario::Command& cmd) {
+    const std::string& kind = cmd.tokens[1];
+    if (kind == "hub") {
+      pending_.push_back(std::make_shared<apps::Hub>());
+    } else if (kind == "flooder") {
+      pending_.push_back(std::make_shared<apps::Flooder>());
+    } else if (kind == "learning-switch") {
+      pending_.push_back(std::make_shared<apps::LearningSwitch>());
+    } else if (kind == "discovery") {
+      pending_.push_back(std::make_shared<apps::LinkDiscovery>());
+    } else if (kind == "router") {
+      std::vector<apps::ShortestPathRouter::LinkInfo> links;
+      for (const auto& l : net_->links()) links.push_back({l.a, l.b});
+      pending_.push_back(std::make_shared<apps::ShortestPathRouter>(links));
+    } else if (kind == "firewall") {
+      std::vector<of::Match> deny;
+      if (auto p = find_arg(cmd.tokens, 2, "deny_tp")) {
+        auto v = parse_uint(*p);
+        if (!v) return fail(cmd, "bad deny_tp");
+        deny.push_back(of::Match{}.with_tp_dst(static_cast<std::uint16_t>(*v)));
+      }
+      pending_.push_back(std::make_shared<apps::Firewall>(std::move(deny)));
+    } else if (kind == "load-balancer") {
+      if (net_->hosts().size() < 3) return fail(cmd, "load-balancer needs >=3 hosts");
+      std::vector<apps::LoadBalancer::Backend> backends{
+          {net_->hosts()[1].mac, net_->hosts()[1].ip},
+          {net_->hosts()[2].mac, net_->hosts()[2].ip}};
+      pending_.push_back(std::make_shared<apps::LoadBalancer>(
+          IpV4::from_octets(10, 99, 0, 1), MacAddress::from_uint64(0xFEED),
+          std::move(backends)));
+    } else {
+      return fail(cmd, "unknown app '" + kind + "'");
+    }
+    log_ << "app " << pending_.back()->name() << "\n";
+    return true;
+  }
+
+  bool parse_trigger(const Scenario::Command& cmd, std::size_t from,
+                     apps::CrashTrigger* out) {
+    if (auto p = find_arg(cmd.tokens, from, "tp_dst")) {
+      auto v = parse_uint(*p);
+      if (!v) return fail(cmd, "bad tp_dst");
+      out->on_tp_dst = static_cast<std::uint16_t>(*v);
+    }
+    if (auto p = find_arg(cmd.tokens, from, "event")) {
+      auto t = event_type_by_name(*p);
+      if (!t) return fail(cmd, "unknown event type '" + *p + "'");
+      out->on_type = t;
+    }
+    if (auto p = find_arg(cmd.tokens, from, "skip")) {
+      auto v = parse_uint(*p);
+      if (!v) return fail(cmd, "bad skip");
+      out->skip_first = *v;
+    }
+    if (has_flag(cmd.tokens, from, "transient")) out->deterministic = false;
+    return true;
+  }
+
+  bool wrap_app(const Scenario::Command& cmd) {
+    if (pending_.empty()) return fail(cmd, "'wrap' before any 'app'");
+    const std::string& kind = cmd.tokens[1];
+    apps::CrashTrigger trigger;
+    if (kind == "crashy") {
+      if (!parse_trigger(cmd, 2, &trigger)) return false;
+      pending_.back() = std::make_shared<apps::CrashyApp>(pending_.back(), trigger);
+    } else if (kind == "byzantine") {
+      if (cmd.tokens.size() < 3) return fail(cmd, "byzantine needs a mode");
+      apps::ByzantineApp::Mode mode;
+      if (cmd.tokens[2] == "blackhole") mode = apps::ByzantineApp::Mode::kBlackHole;
+      else if (cmd.tokens[2] == "loop") mode = apps::ByzantineApp::Mode::kLoop;
+      else if (cmd.tokens[2] == "dropall") mode = apps::ByzantineApp::Mode::kDropAll;
+      else return fail(cmd, "unknown byzantine mode '" + cmd.tokens[2] + "'");
+      if (!parse_trigger(cmd, 3, &trigger)) return false;
+      std::optional<std::pair<PortLocator, PortLocator>> loop_link;
+      if (mode == apps::ByzantineApp::Mode::kLoop && !net_->links().empty()) {
+        loop_link = {net_->links()[0].a, net_->links()[0].b};
+      }
+      pending_.back() =
+          std::make_shared<apps::ByzantineApp>(pending_.back(), trigger, mode, loop_link);
+    } else if (kind == "chatty") {
+      auto burst = parse_uint(cmd.tokens.size() > 2 ? cmd.tokens[2] : "");
+      if (!burst) return fail(cmd, "chatty needs a burst size");
+      if (!parse_trigger(cmd, 3, &trigger)) return false;
+      pending_.back() = std::make_shared<apps::ChattyApp>(pending_.back(), trigger,
+                                                          *burst);
+    } else {
+      return fail(cmd, "unknown wrapper '" + kind + "'");
+    }
+    log_ << "wrap -> " << pending_.back()->name() << "\n";
+    return true;
+  }
+
+  bool step(const Scenario::Command& cmd) {
+    const std::string& word = cmd.tokens[0];
+
+    if (word == "topology") {
+      const std::string& shape = cmd.tokens[1];
+      auto n = parse_uint(cmd.tokens[2]);
+      if (!n || *n == 0) return fail(cmd, "bad size");
+      std::uint64_t hosts = 1;
+      if (cmd.tokens.size() > 3) {
+        auto h = parse_uint(cmd.tokens[3]);
+        if (!h) return fail(cmd, "bad hosts_per_switch");
+        hosts = *h;
+      }
+      if (shape == "linear") net_ = netsim::Network::linear(*n, hosts);
+      else if (shape == "ring") net_ = netsim::Network::ring(*n, hosts);
+      else if (shape == "star") net_ = netsim::Network::star(*n, hosts);
+      else if (shape == "fat_tree") net_ = netsim::Network::fat_tree(*n);
+      else return fail(cmd, "unknown topology '" + shape + "'");
+      log_ << "topology " << shape << " with " << net_->hosts().size() << " hosts\n";
+      return true;
+    }
+    if (word == "architecture") {
+      if (cmd.tokens[1] == "legosdn") lego_mode_ = true;
+      else if (cmd.tokens[1] == "monolithic") lego_mode_ = false;
+      else return fail(cmd, "unknown architecture");
+      return true;
+    }
+    if (word == "backend") {
+      if (cmd.tokens[1] == "inprocess") cfg_.backend = appvisor::Backend::kInProcess;
+      else if (cmd.tokens[1] == "process") cfg_.backend = appvisor::Backend::kProcess;
+      else return fail(cmd, "unknown backend");
+      return true;
+    }
+    if (word == "netlog") {
+      if (cmd.tokens[1] == "undo-log") cfg_.netlog.mode = netlog::Mode::kUndoLog;
+      else if (cmd.tokens[1] == "delay-buffer")
+        cfg_.netlog.mode = netlog::Mode::kDelayBuffer;
+      else return fail(cmd, "unknown netlog mode");
+      return true;
+    }
+    if (word == "checkpoint") {
+      if (cmd.tokens[1] != "every") return fail(cmd, "expected 'checkpoint every <k>'");
+      auto k = parse_uint(cmd.tokens[2]);
+      if (!k || *k == 0) return fail(cmd, "bad k");
+      cfg_.checkpoint_every = *k;
+      return true;
+    }
+    if (word == "limits") {
+      if (auto p = find_arg(cmd.tokens, 1, "max_messages")) {
+        auto v = parse_uint(*p);
+        if (!v) return fail(cmd, "bad max_messages");
+        cfg_.limits.max_messages_per_event = *v;
+      }
+      if (auto p = find_arg(cmd.tokens, 1, "max_faults")) {
+        auto v = parse_uint(*p);
+        if (!v) return fail(cmd, "bad max_faults");
+        cfg_.limits.max_faults = *v;
+      }
+      return true;
+    }
+    if (word == "policy") {
+      for (std::size_t i = 1; i < cmd.tokens.size(); ++i) {
+        policy_text_ += cmd.tokens[i];
+        policy_text_ += i + 1 < cmd.tokens.size() ? " " : "";
+      }
+      policy_text_ += "\n";
+      return true;
+    }
+    if (word == "app") {
+      if (!net_) return fail(cmd, "'app' before 'topology'");
+      return build_app(cmd);
+    }
+    if (word == "wrap") {
+      if (!net_) return fail(cmd, "'wrap' before 'topology'");
+      return wrap_app(cmd);
+    }
+    if (word == "start") {
+      if (!net_) return fail(cmd, "'start' before 'topology'");
+      if (!policy_text_.empty()) {
+        auto parsed = crashpad::PolicyTable::parse(policy_text_);
+        if (!parsed) return fail(cmd, parsed.error().to_string());
+        cfg_.policies = std::move(parsed).value();
+      }
+      if (lego_mode_) {
+        auto lego = std::make_unique<lego::LegoController>(*net_, cfg_);
+        for (auto& a : pending_) lego->add_app(std::move(a));
+        if (auto st = lego->start_system(); !st) return fail(cmd, st.error().to_string());
+        lego_ = lego.get();
+        controller_ = std::move(lego);
+      } else {
+        controller_ = std::make_unique<ctl::Controller>(*net_);
+        for (auto& a : pending_) controller_->register_app(std::move(a));
+        controller_->start();
+      }
+      pending_.clear();
+      drain();
+      log_ << "started (" << (lego_mode_ ? "legosdn" : "monolithic") << ")\n";
+      return true;
+    }
+    if (word == "send") {
+      if (!require_started(cmd)) return false;
+      auto s = parse_uint(cmd.tokens[1]);
+      auto d = parse_uint(cmd.tokens[2]);
+      if (!s || !d || *s >= net_->hosts().size() || *d >= net_->hosts().size() ||
+          *s == *d) {
+        return fail(cmd, "bad host indices");
+      }
+      std::uint16_t tp = 80;
+      if (cmd.tokens.size() > 3) {
+        auto v = parse_uint(cmd.tokens[3]);
+        if (!v) return fail(cmd, "bad tp_dst");
+        tp = static_cast<std::uint16_t>(*v);
+      }
+      of::Packet p;
+      p.hdr.eth_src = net_->hosts()[*s].mac;
+      p.hdr.eth_dst = net_->hosts()[*d].mac;
+      p.hdr.eth_type = of::kEthTypeIpv4;
+      p.hdr.ip_src = net_->hosts()[*s].ip;
+      p.hdr.ip_dst = net_->hosts()[*d].ip;
+      p.hdr.ip_proto = of::kIpProtoTcp;
+      p.hdr.tp_src = 50000;
+      p.hdr.tp_dst = tp;
+      net_->inject_from_host(p.hdr.eth_src, p);
+      drain();
+      log_ << "send h" << *s << " -> h" << *d << " :" << tp << "\n";
+      return true;
+    }
+    if (word == "switch") {
+      if (!require_started(cmd)) return false;
+      auto dpid = parse_uint(cmd.tokens[2]);
+      if (!dpid) return fail(cmd, "bad dpid");
+      net_->set_switch_state(DatapathId{*dpid}, cmd.tokens[1] == "up");
+      drain();
+      log_ << "switch s" << *dpid << " " << cmd.tokens[1] << "\n";
+      return true;
+    }
+    if (word == "link") {
+      if (!require_started(cmd)) return false;
+      auto dpid = parse_uint(cmd.tokens[2]);
+      auto port = parse_uint(cmd.tokens[3]);
+      if (!dpid || !port) return fail(cmd, "bad link endpoint");
+      net_->set_link_state({DatapathId{*dpid}, PortNo{static_cast<std::uint16_t>(*port)}},
+                           cmd.tokens[1] == "up");
+      drain();
+      log_ << "link s" << *dpid << ":p" << *port << " " << cmd.tokens[1] << "\n";
+      return true;
+    }
+    if (word == "advance") {
+      if (!require_started(cmd)) return false;
+      auto secs = parse_uint(cmd.tokens[1]);
+      if (!secs) return fail(cmd, "bad seconds");
+      net_->advance_time(std::chrono::seconds(*secs));
+      drain();
+      return true;
+    }
+    if (word == "upgrade") {
+      if (!require_started(cmd)) return false;
+      if (lego_) {
+        lego_->upgrade_restart();
+      } else {
+        controller_->reboot();
+      }
+      drain();
+      log_ << "controller upgraded\n";
+      return true;
+    }
+    if (word == "expect") return handle_expect(cmd);
+    return fail(cmd, "unhandled command '" + word + "'");
+  }
+
+  bool handle_expect(const Scenario::Command& cmd) {
+    if (!require_started(cmd)) return false;
+    CheckResult check;
+    check.line = cmd.line;
+    check.text = cmd.raw;
+
+    const std::string& what = cmd.tokens[1];
+    if (what == "controller") {
+      const bool want_up = cmd.tokens.size() > 2 && cmd.tokens[2] == "up";
+      check.passed = controller_->crashed() != want_up;
+      check.detail = controller_->crashed() ? "controller is down" : "controller is up";
+    } else if (what == "app") {
+      if (!lego_) return fail(cmd, "'expect app' needs architecture legosdn");
+      auto idx = parse_uint(cmd.tokens.size() > 2 ? cmd.tokens[2] : "");
+      if (!idx || *idx >= lego_->appvisor().entries().size())
+        return fail(cmd, "bad app index");
+      const bool alive = lego_->appvisor().entries()[*idx].domain->alive();
+      const bool want_alive = cmd.tokens.size() > 3 && cmd.tokens[3] == "alive";
+      check.passed = alive == want_alive;
+      check.detail = alive ? "app alive" : "app down";
+    } else {
+      // numeric comparisons: expect <metric> [arg] <op> <n>
+      std::size_t i = 2;
+      std::uint64_t actual = 0;
+      if (what == "delivered") {
+        auto h = parse_uint(cmd.tokens.size() > 2 ? cmd.tokens[2] : "");
+        if (!h || *h >= net_->hosts().size()) return fail(cmd, "bad host index");
+        actual = net_->hosts()[*h].rx_packets;
+        i = 3;
+      } else if (what == "crashes") {
+        actual = lego_ ? lego_->lego_stats().failstop_crashes
+                       : controller_->stats().controller_crashes;
+      } else if (what == "byzantine") {
+        if (!lego_) return fail(cmd, "'expect byzantine' needs legosdn");
+        actual = lego_->lego_stats().byzantine_failures;
+      } else if (what == "tickets") {
+        if (!lego_) return fail(cmd, "'expect tickets' needs legosdn");
+        actual = lego_->tickets().count();
+      } else if (what == "recoveries") {
+        if (!lego_) return fail(cmd, "'expect recoveries' needs legosdn");
+        actual = lego_->lego_stats().recoveries;
+      } else if (what == "ignored") {
+        if (!lego_) return fail(cmd, "'expect ignored' needs legosdn");
+        actual = lego_->lego_stats().events_ignored;
+      } else if (what == "transformed") {
+        if (!lego_) return fail(cmd, "'expect transformed' needs legosdn");
+        actual = lego_->lego_stats().events_transformed;
+      } else if (what == "punts") {
+        actual = net_->totals().punted;
+      } else {
+        return fail(cmd, "unknown metric '" + what + "'");
+      }
+      if (cmd.tokens.size() < i + 2) return fail(cmd, "expected <op> <n>");
+      auto n = parse_uint(cmd.tokens[i + 1]);
+      if (!n) return fail(cmd, "bad number");
+      check.passed = compare(actual, cmd.tokens[i], *n);
+      check.detail = "actual " + std::to_string(actual);
+    }
+    log_ << (check.passed ? "PASS " : "FAIL ") << cmd.raw;
+    if (!check.passed) log_ << "   (" << check.detail << ")";
+    log_ << "\n";
+    result_.checks.push_back(std::move(check));
+    return true;
+  }
+
+  std::unique_ptr<netsim::Network> net_;
+  std::vector<ctl::AppPtr> pending_;
+  std::unique_ptr<ctl::Controller> controller_;
+  lego::LegoController* lego_ = nullptr;
+  lego::LegoConfig cfg_;
+  std::string policy_text_;
+  bool lego_mode_ = true;
+  RunResult result_;
+  std::ostringstream log_;
+};
+
+RunResult Scenario::run() const { return Interpreter{}.execute(commands_); }
+
+} // namespace legosdn::scenario

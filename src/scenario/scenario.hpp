@@ -1,0 +1,95 @@
+// Scenario DSL: drive a full LegoSDN (or monolithic) deployment from a
+// small text script — topology, apps, fault wrappers, traffic, failures,
+// and assertions — without writing C++.
+//
+//   # crash containment in six lines
+//   topology linear 3 1
+//   app learning-switch
+//   wrap crashy tp_dst=666
+//   start
+//   send 0 2 80
+//   send 2 0 80
+//   send 0 2 666
+//   expect controller up
+//   expect crashes == 1
+//   send 0 2 80
+//   expect delivered 2 >= 2
+//
+// Grammar (one command per line, '#' comments):
+//   topology (linear|ring|star|fat_tree) <n> [hosts_per_switch]
+//   architecture (legosdn|monolithic)
+//   backend (inprocess|process)
+//   netlog (undo-log|delay-buffer)
+//   checkpoint every <k>
+//   limits max_messages=<n> max_faults=<n>
+//   policy <rule...>              # appended to the policy program
+//   app (hub|flooder|learning-switch|router|discovery|firewall [deny_tp=<p>]
+//        |load-balancer)
+//   wrap crashy [tp_dst=<p>] [event=<type>] [skip=<n>] [transient]
+//   wrap byzantine (blackhole|loop|dropall) [tp_dst=<p>] [event=<type>]
+//   wrap chatty <burst> [tp_dst=<p>]
+//   start
+//   send <src_host> <dst_host> [tp_dst]
+//   switch (down|up) <dpid>
+//   link (down|up) <dpid> <port>
+//   advance <seconds>
+//   upgrade                        # controller restart (legosdn keeps state)
+//   expect controller (up|down)
+//   expect app <index> (alive|down)
+//   expect (delivered <host>|crashes|byzantine|tickets|recoveries|ignored
+//           |transformed|punts) (==|!=|>=|<=|>|<) <n>
+//
+// parse() reports syntax errors with line numbers; run() executes and
+// returns per-assertion outcomes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "legosdn/lego_controller.hpp"
+
+namespace legosdn::scenario {
+
+struct CheckResult {
+  std::size_t line = 0;
+  std::string text;    ///< the expect command as written
+  bool passed = false;
+  std::string detail;  ///< actual value rendered for failures
+};
+
+struct RunResult {
+  bool ok = false;                 ///< all assertions passed, no runtime error
+  std::string error;               ///< runtime error (bad host index, ...)
+  std::vector<CheckResult> checks;
+  std::string transcript;          ///< human-readable execution log
+
+  std::size_t failed_checks() const {
+    std::size_t n = 0;
+    for (const auto& c : checks)
+      if (!c.passed) ++n;
+    return n;
+  }
+};
+
+class Scenario {
+public:
+  /// Parse a script. Syntax errors carry line numbers.
+  static Result<Scenario> parse(std::string_view text);
+
+  /// Execute. Each call builds a fresh network/controller.
+  RunResult run() const;
+
+private:
+  struct Command {
+    std::size_t line = 0;
+    std::vector<std::string> tokens;
+    std::string raw;
+  };
+
+  std::vector<Command> commands_;
+  friend class Interpreter;
+};
+
+} // namespace legosdn::scenario

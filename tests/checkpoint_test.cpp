@@ -1,0 +1,103 @@
+// Checkpoint module tests: snapshot store bounds/lookup and the event log.
+#include <gtest/gtest.h>
+
+#include "checkpoint/event_log.hpp"
+#include "checkpoint/snapshot_store.hpp"
+#include "helpers.hpp"
+
+namespace legosdn::checkpoint {
+namespace {
+
+Snapshot snap(std::uint64_t seq, std::uint8_t fill, std::size_t n = 4) {
+  return {seq, kSimStart, std::vector<std::uint8_t>(n, fill)};
+}
+
+TEST(SnapshotStore, LatestAndCount) {
+  SnapshotStore store(4);
+  const AppId app{1};
+  EXPECT_EQ(store.latest(app), nullptr);
+  store.put(app, snap(1, 0xA));
+  store.put(app, snap(2, 0xB));
+  ASSERT_NE(store.latest(app), nullptr);
+  EXPECT_EQ(store.latest(app)->event_seq, 2u);
+  EXPECT_EQ(store.count(app), 2u);
+}
+
+TEST(SnapshotStore, BoundedHistoryEvictsOldest) {
+  SnapshotStore store(3);
+  const AppId app{1};
+  for (std::uint64_t i = 1; i <= 5; ++i) store.put(app, snap(i, 0));
+  EXPECT_EQ(store.count(app), 3u);
+  EXPECT_EQ(store.history(app)->front().event_seq, 3u);
+  EXPECT_EQ(store.latest(app)->event_seq, 5u);
+}
+
+TEST(SnapshotStore, AtOrBeforeFindsRightCheckpoint) {
+  SnapshotStore store(8);
+  const AppId app{1};
+  store.put(app, snap(10, 0xA));
+  store.put(app, snap(20, 0xB));
+  store.put(app, snap(30, 0xC));
+  EXPECT_EQ(store.at_or_before(app, 25)->event_seq, 20u);
+  EXPECT_EQ(store.at_or_before(app, 30)->event_seq, 30u);
+  EXPECT_EQ(store.at_or_before(app, 9), nullptr);
+  EXPECT_EQ(store.at_or_before(app, 1000)->event_seq, 30u);
+}
+
+TEST(SnapshotStore, TotalBytesAccounting) {
+  SnapshotStore store(2);
+  const AppId app{1};
+  store.put(app, snap(1, 0, 100));
+  store.put(app, snap(2, 0, 200));
+  EXPECT_EQ(store.total_bytes(), 300u);
+  store.put(app, snap(3, 0, 50)); // evicts the 100-byte one
+  EXPECT_EQ(store.total_bytes(), 250u);
+  store.clear(app);
+  EXPECT_EQ(store.total_bytes(), 0u);
+}
+
+TEST(SnapshotStore, AppsAreIndependent) {
+  SnapshotStore store(4);
+  store.put(AppId{1}, snap(1, 0xA));
+  store.put(AppId{2}, snap(7, 0xB));
+  EXPECT_EQ(store.latest(AppId{1})->event_seq, 1u);
+  EXPECT_EQ(store.latest(AppId{2})->event_seq, 7u);
+  store.clear(AppId{1});
+  EXPECT_EQ(store.latest(AppId{1}), nullptr);
+  EXPECT_NE(store.latest(AppId{2}), nullptr);
+}
+
+TEST(EventLog, AppendAndRange) {
+  EventLog log;
+  const AppId app{1};
+  for (std::uint64_t i = 0; i < 10; ++i)
+    log.append(app, i, ctl::Event{ctl::SwitchDown{DatapathId{i}}});
+  auto r = log.range(app, 3, 7);
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_EQ(r.front().seq, 3u);
+  EXPECT_EQ(r.back().seq, 6u);
+  EXPECT_EQ(std::get<ctl::SwitchDown>(r.front().event).dpid, DatapathId{3});
+}
+
+TEST(EventLog, TruncateDropsPrefix) {
+  EventLog log;
+  const AppId app{1};
+  for (std::uint64_t i = 0; i < 10; ++i)
+    log.append(app, i, ctl::Event{of::PacketIn{}});
+  log.truncate(app, 6);
+  EXPECT_EQ(log.count(app), 4u);
+  EXPECT_TRUE(log.range(app, 0, 6).empty());
+  EXPECT_EQ(log.range(app, 0, 100).size(), 4u);
+}
+
+TEST(EventLog, BoundedCapacity) {
+  EventLog log(16);
+  const AppId app{1};
+  for (std::uint64_t i = 0; i < 100; ++i)
+    log.append(app, i, ctl::Event{of::PacketIn{}});
+  EXPECT_EQ(log.count(app), 16u);
+  EXPECT_EQ(log.range(app, 0, 1000).front().seq, 84u);
+}
+
+} // namespace
+} // namespace legosdn::checkpoint

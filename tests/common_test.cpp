@@ -1,0 +1,211 @@
+// Unit tests for the common substrate: byte codec, RNG, result, clock, stats.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace legosdn {
+namespace {
+
+TEST(Bytes, RoundTripScalars) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  ByteReader r(w.span());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Bytes, BigEndianLayout) {
+  ByteWriter w;
+  w.u16(0x0102);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(w.data()[0], 0x01);
+  EXPECT_EQ(w.data()[1], 0x02);
+}
+
+TEST(Bytes, MacRoundTrip) {
+  const MacAddress m = MacAddress::from_uint64(0x0A0B0C0D0E0FULL);
+  ByteWriter w;
+  w.mac(m);
+  ByteReader r(w.span());
+  EXPECT_EQ(r.mac(), m);
+}
+
+TEST(Bytes, BlobAndString) {
+  ByteWriter w;
+  w.blob(std::vector<std::uint8_t>{1, 2, 3});
+  w.str("hello");
+  ByteReader r(w.span());
+  EXPECT_EQ(r.blob(), (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Bytes, TruncatedReadSetsErrorAndReturnsZero) {
+  ByteWriter w;
+  w.u16(0x1234);
+  ByteReader r(w.span());
+  EXPECT_EQ(r.u32(), 0u); // needs 4 bytes, only 2 available
+  EXPECT_TRUE(r.error());
+  // Further reads stay zero and never crash.
+  EXPECT_EQ(r.u64(), 0u);
+  EXPECT_TRUE(r.blob().empty());
+}
+
+TEST(Bytes, BlobLengthBeyondBufferIsError) {
+  ByteWriter w;
+  w.u32(1000); // claims 1000 bytes follow
+  w.u8(1);
+  ByteReader r(w.span());
+  EXPECT_TRUE(r.blob().empty());
+  EXPECT_TRUE(r.error());
+}
+
+TEST(Bytes, PatchU16) {
+  ByteWriter w;
+  w.u16(0);
+  w.u32(42);
+  w.patch_u16(0, 0xCAFE);
+  ByteReader r(w.span());
+  EXPECT_EQ(r.u16(), 0xCAFE);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(99);
+  std::array<int, 10> buckets{};
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) buckets[rng.below(10)] += 1;
+  for (int b : buckets) {
+    EXPECT_GT(b, kN / 10 * 0.9);
+    EXPECT_LT(b, kN / 10 * 1.1);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(13);
+  double sum = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / kN, 5.0, 0.1);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(21);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  Result<int> bad(Error{Error::Code::kTimeout, "late"});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, Error::Code::kTimeout);
+  EXPECT_EQ(bad.value_or(-1), -1);
+  EXPECT_EQ(ok.value_or(-1), 42);
+}
+
+TEST(Result, StatusDefaultsToSuccess) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  Status bad = Error{Error::Code::kIo, "disk"};
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().to_string(), "io: disk");
+}
+
+TEST(Clock, AdvancesMonotonically) {
+  SimClock c;
+  EXPECT_EQ(c.now(), kSimStart);
+  c.advance_by(std::chrono::milliseconds(5));
+  EXPECT_EQ(to_ms(c.now()), 5.0);
+  c.advance_to(SimTime{1'000'000}); // in the past: ignored
+  EXPECT_EQ(to_ms(c.now()), 5.0);
+  c.advance_to(from_ms(10));
+  EXPECT_EQ(to_ms(c.now()), 10.0);
+}
+
+TEST(Types, MacHelpers) {
+  const MacAddress broadcast{{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}};
+  EXPECT_TRUE(broadcast.is_broadcast());
+  EXPECT_FALSE(MacAddress::from_uint64(0x1234).is_broadcast());
+  const MacAddress mcast{{0x01, 0, 0, 0, 0, 5}};
+  EXPECT_TRUE(mcast.is_multicast());
+  const MacAddress m = MacAddress::from_uint64(0xA1B2C3D4E5F6ULL);
+  EXPECT_EQ(m.to_uint64(), 0xA1B2C3D4E5F6ULL);
+  EXPECT_EQ(m.to_string(), "a1:b2:c3:d4:e5:f6");
+}
+
+TEST(Types, IpFormatting) {
+  EXPECT_EQ(IpV4::from_octets(10, 1, 2, 3).to_string(), "10.1.2.3");
+  EXPECT_EQ(IpV4::from_octets(255, 255, 255, 0).addr, 0xFFFFFF00u);
+}
+
+TEST(Stats, SummaryStatistics) {
+  Summary s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);
+  EXPECT_NEAR(s.stddev(), 1.5811, 1e-3);
+}
+
+TEST(Stats, EmptySummaryIsSafe) {
+  Summary s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.percentile(99), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+} // namespace
+} // namespace legosdn

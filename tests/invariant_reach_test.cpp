@@ -1,0 +1,243 @@
+// Additional invariant-checker coverage: flood semantics in reachability,
+// delivered_any aggregation, empty-port handling, and checks on larger
+// topologies under realistic rule sets.
+#include <gtest/gtest.h>
+
+#include "apps/learning_switch.hpp"
+#include "apps/shortest_path_router.hpp"
+#include "controller/controller.hpp"
+#include "helpers.hpp"
+#include "invariant/invariant.hpp"
+
+namespace legosdn::invariant {
+namespace {
+
+of::FlowMod flood_rule(DatapathId d) {
+  of::FlowMod mod;
+  mod.dpid = d;
+  mod.match = of::Match::any();
+  mod.priority = 1;
+  mod.actions = of::output_to(ports::kFlood);
+  return mod;
+}
+
+TEST(Reachability, FloodDeliverySatisfiesPairDespiteEmptyPorts) {
+  // linear(2) has unconnected trunk ports at both chain ends; flood copies
+  // die there, but the pair is still reachable via the flood.
+  auto net = netsim::Network::linear(2, 1);
+  net->send_to_switch({1, flood_rule(DatapathId{1})});
+  net->send_to_switch({2, flood_rule(DatapathId{2})});
+  InvariantConfig cfg;
+  cfg.must_reach.push_back({net->hosts()[0].mac, net->hosts()[1].mac});
+  InvariantChecker checker(*net);
+  EXPECT_TRUE(checker.check(cfg).empty());
+}
+
+TEST(Reachability, TraceReportsDeliveredAnyOnFloods) {
+  auto net = netsim::Network::linear(2, 1);
+  net->send_to_switch({1, flood_rule(DatapathId{1})});
+  net->send_to_switch({2, flood_rule(DatapathId{2})});
+  InvariantChecker checker(*net);
+  of::PacketHeader h;
+  h.eth_src = net->hosts()[0].mac;
+  h.eth_dst = net->hosts()[1].mac;
+  auto tr = checker.trace(net->hosts()[0].attach, h);
+  EXPECT_TRUE(tr.delivered_any);
+}
+
+TEST(Reachability, EmptyPortOutputAloneIsNotABlackHole) {
+  // A rule pointing at an up-but-unconnected port: harmless drop, not a
+  // no-black-holes violation (that is reserved for down/nonexistent ports).
+  auto net = netsim::Network::linear(2, 1);
+  of::FlowMod mod;
+  mod.dpid = DatapathId{1};
+  mod.match = of::Match::any();
+  mod.priority = 5;
+  mod.actions = of::output_to(PortNo{2}); // s1's left trunk: nothing attached
+  net->send_to_switch({1, mod});
+  InvariantChecker checker(*net);
+  EXPECT_TRUE(checker.check_basic().empty());
+  // But a must-reach pair through that rule IS violated.
+  InvariantConfig cfg;
+  cfg.must_reach.push_back({net->hosts()[0].mac, net->hosts()[1].mac});
+  auto violations = checker.check(cfg);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, InvariantKind::kReachability);
+}
+
+TEST(Reachability, RouterInstalledPathsPassOnFatTree) {
+  auto net = netsim::Network::fat_tree(4);
+  ctl::Controller c(*net);
+  std::vector<apps::ShortestPathRouter::LinkInfo> links;
+  for (const auto& l : net->links()) links.push_back({l.a, l.b});
+  c.register_app(std::make_shared<apps::ShortestPathRouter>(links));
+  c.start();
+  while (c.run() > 0) {
+  }
+  // Drive a few cross-pod pairs so real paths get installed.
+  auto send = [&](std::size_t s, std::size_t d) {
+    net->inject_from_host(net->hosts()[s].mac, legosdn::test::host_packet(*net, s, d));
+    while (c.run() > 0) {
+    }
+  };
+  for (std::size_t i = 0; i < 8; ++i) {
+    send(i, 15 - i);
+    send(15 - i, i);
+    send(i, 15 - i);
+  }
+  InvariantChecker checker(*net);
+  EXPECT_TRUE(checker.check_basic().empty());
+
+  // Every pair that exchanged traffic is reachable via installed rules.
+  InvariantConfig cfg;
+  for (std::size_t i = 0; i < 8; ++i) {
+    cfg.must_reach.push_back({net->hosts()[i].mac, net->hosts()[15 - i].mac});
+  }
+  EXPECT_TRUE(checker.check(cfg).empty());
+}
+
+TEST(Reachability, DetectsBrokenPairAfterManualCorruption) {
+  auto net = netsim::Network::fat_tree(4);
+  ctl::Controller c(*net);
+  std::vector<apps::ShortestPathRouter::LinkInfo> links;
+  for (const auto& l : net->links()) links.push_back({l.a, l.b});
+  c.register_app(std::make_shared<apps::ShortestPathRouter>(links));
+  c.start();
+  while (c.run() > 0) {
+  }
+  auto send = [&](std::size_t s, std::size_t d) {
+    net->inject_from_host(net->hosts()[s].mac, legosdn::test::host_packet(*net, s, d));
+    while (c.run() > 0) {
+    }
+  };
+  send(0, 15);
+  send(15, 0);
+  send(0, 15);
+
+  // Corrupt the path at the destination edge switch: hijack the pair's
+  // traffic into a drop rule.
+  of::FlowMod drop;
+  drop.dpid = net->hosts()[15].attach.dpid;
+  drop.match = of::Match{}.with_eth_dst(net->hosts()[15].mac);
+  drop.priority = 0xF000;
+  drop.actions = {};
+  net->send_to_switch({99, drop});
+
+  InvariantConfig cfg;
+  cfg.must_reach.push_back({net->hosts()[0].mac, net->hosts()[15].mac});
+  InvariantChecker checker(*net);
+  auto violations = checker.check(cfg);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].kind, InvariantKind::kReachability);
+}
+
+TEST(Incremental, CheckFlowModsFindsOnlyNewViolations) {
+  auto net = netsim::Network::linear(2, 1);
+  // Pre-existing black-hole (installed outside any checked transaction).
+  of::FlowMod stale;
+  stale.dpid = DatapathId{2};
+  stale.match = of::Match{}.with_tp_dst(1);
+  stale.priority = 50;
+  stale.actions = of::output_to(PortNo{0xEE00});
+  net->send_to_switch({1, stale});
+
+  InvariantChecker checker(*net);
+  InvariantConfig cfg;
+
+  // A clean new rule: no violations attributed.
+  of::FlowMod clean;
+  clean.dpid = DatapathId{1};
+  clean.match = of::Match{}.with_tp_dst(2);
+  clean.priority = 60;
+  clean.actions = of::output_to(PortNo{1});
+  net->send_to_switch({2, clean});
+  EXPECT_TRUE(checker.check_flow_mods(cfg, std::vector{clean}).empty());
+
+  // A new black-hole rule: attributed, while the stale one stays unblamed.
+  of::FlowMod bad;
+  bad.dpid = DatapathId{1};
+  bad.match = of::Match{}.with_tp_dst(3);
+  bad.priority = 70;
+  bad.actions = of::output_to(PortNo{0xEE00});
+  net->send_to_switch({3, bad});
+  auto violations = checker.check_flow_mods(cfg, std::vector{bad});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, InvariantKind::kNoBlackHoles);
+  EXPECT_EQ(violations[0].where, DatapathId{1});
+}
+
+TEST(Incremental, CheckFlowModsFindsLoopThroughNewRule) {
+  auto net = netsim::Network::linear(2, 1);
+  const of::Match m = of::Match{}.with_eth_dst(MacAddress::from_uint64(9));
+  // Existing half of the loop at s2.
+  of::FlowMod half;
+  half.dpid = DatapathId{2};
+  half.match = m;
+  half.priority = 80;
+  half.actions = of::output_to(PortNo{2}); // back toward s1
+  net->send_to_switch({1, half});
+  InvariantChecker checker(*net);
+  EXPECT_TRUE(checker.check_flow_mods({}, std::vector{half}).empty());
+
+  // The new rule at s1 completes the cycle; tracing from it finds the loop.
+  of::FlowMod other;
+  other.dpid = DatapathId{1};
+  other.match = m;
+  other.priority = 80;
+  other.actions = of::output_to(PortNo{3}); // toward s2
+  net->send_to_switch({2, other});
+  auto violations = checker.check_flow_mods({}, std::vector{other});
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].kind, InvariantKind::kNoLoops);
+}
+
+TEST(Incremental, DeletesAreNeverBlamed) {
+  auto net = netsim::Network::linear(2, 1);
+  InvariantChecker checker(*net);
+  of::FlowMod del;
+  del.dpid = DatapathId{1};
+  del.command = of::FlowModCommand::kDelete;
+  del.match = of::Match::any();
+  EXPECT_TRUE(checker.check_flow_mods({}, std::vector{del}).empty());
+}
+
+TEST(Incremental, ScopedCheckCoversOnlyGivenSwitches) {
+  auto net = netsim::Network::linear(3, 1);
+  of::FlowMod bad;
+  bad.dpid = DatapathId{3};
+  bad.match = of::Match::any();
+  bad.priority = 90;
+  bad.actions = of::output_to(PortNo{0xEE00});
+  net->send_to_switch({1, bad});
+  InvariantChecker checker(*net);
+  const std::vector<DatapathId> only_s1{DatapathId{1}};
+  EXPECT_TRUE(checker.check_scoped({}, only_s1).empty());
+  const std::vector<DatapathId> s3{DatapathId{3}};
+  EXPECT_FALSE(checker.check_scoped({}, s3).empty());
+}
+
+TEST(Checker, LearningSwitchRulesNeverViolateOnTrees) {
+  for (int topo = 0; topo < 2; ++topo) {
+    auto net = topo == 0 ? netsim::Network::linear(4, 2) : netsim::Network::star(4, 2);
+    ctl::Controller c(*net);
+    c.register_app(std::make_shared<apps::LearningSwitch>());
+    c.start();
+    while (c.run() > 0) {
+    }
+    for (std::size_t i = 0; i + 1 < net->hosts().size(); ++i) {
+      net->inject_from_host(net->hosts()[i].mac,
+                            legosdn::test::host_packet(*net, i, i + 1));
+      while (c.run() > 0) {
+      }
+      net->inject_from_host(net->hosts()[i + 1].mac,
+                            legosdn::test::host_packet(*net, i + 1, i));
+      while (c.run() > 0) {
+      }
+    }
+    InvariantChecker checker(*net);
+    EXPECT_TRUE(checker.check_basic().empty()) << "topology " << topo;
+  }
+}
+
+} // namespace
+} // namespace legosdn::invariant

@@ -1,0 +1,175 @@
+// Invariant checker (VeriFlow-lite) tests: loop / black-hole / reachability
+// detection over installed rules.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "invariant/invariant.hpp"
+
+namespace legosdn::invariant {
+namespace {
+
+of::FlowMod rule(DatapathId dpid, const of::Match& m, PortNo out,
+                 std::uint16_t prio = 100) {
+  of::FlowMod mod;
+  mod.dpid = dpid;
+  mod.match = m;
+  mod.priority = prio;
+  mod.actions = of::output_to(out);
+  return mod;
+}
+
+TEST(RepresentativeHeader, SatisfiesItsMatch) {
+  legosdn::test::MessageGen gen(3);
+  for (int i = 0; i < 500; ++i) {
+    of::Match m = gen.random_match();
+    m.ip_src_prefix = 32; // representative uses the exact network address
+    m.ip_dst_prefix = 32;
+    const of::PacketHeader h = representative_header(m);
+    const PortNo port = m.wildcarded(of::kWcInPort) ? PortNo{1} : m.in_port;
+    EXPECT_TRUE(m.matches(port, h)) << m.to_string();
+  }
+}
+
+TEST(Checker, CleanNetworkHasNoViolations) {
+  auto net = netsim::Network::linear(3, 1);
+  const MacAddress dst = net->hosts()[2].mac;
+  net->send_to_switch({1, rule(DatapathId{1}, of::Match{}.with_eth_dst(dst), PortNo{3})});
+  net->send_to_switch({2, rule(DatapathId{2}, of::Match{}.with_eth_dst(dst), PortNo{3})});
+  net->send_to_switch({3, rule(DatapathId{3}, of::Match{}.with_eth_dst(dst), PortNo{1})});
+  InvariantChecker checker(*net);
+  EXPECT_TRUE(checker.check_basic().empty());
+}
+
+TEST(Checker, DetectsForwardingLoop) {
+  auto net = netsim::Network::linear(2, 1);
+  const MacAddress dst = MacAddress::from_uint64(0x99);
+  const of::Match m = of::Match{}.with_eth_dst(dst);
+  net->send_to_switch({1, rule(DatapathId{1}, m, PortNo{3})}); // to s2
+  net->send_to_switch({2, rule(DatapathId{2}, m, PortNo{2})}); // back to s1
+  InvariantChecker checker(*net);
+  auto violations = checker.check_basic();
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].kind, InvariantKind::kNoLoops);
+}
+
+TEST(Checker, DetectsBlackHoleIntoNonexistentPort) {
+  auto net = netsim::Network::linear(2, 1);
+  net->send_to_switch(
+      {1, rule(DatapathId{1}, of::Match::any(), PortNo{0xEE00})}); // no such port
+  InvariantChecker checker(*net);
+  auto violations = checker.check_basic();
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].kind, InvariantKind::kNoBlackHoles);
+  EXPECT_EQ(violations[0].where, DatapathId{1});
+}
+
+TEST(Checker, DetectsBlackHoleIntoDownLink) {
+  auto net = netsim::Network::linear(2, 1);
+  const MacAddress dst = net->hosts()[1].mac;
+  net->send_to_switch({1, rule(DatapathId{1}, of::Match{}.with_eth_dst(dst), PortNo{3})});
+  net->send_to_switch({2, rule(DatapathId{2}, of::Match{}.with_eth_dst(dst), PortNo{1})});
+  InvariantChecker checker(*net);
+  EXPECT_TRUE(checker.check_basic().empty());
+  net->set_link_state({DatapathId{1}, PortNo{3}}, false);
+  auto violations = checker.check_basic();
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].kind, InvariantKind::kNoBlackHoles);
+}
+
+TEST(Checker, TableMissIsNotAViolation) {
+  auto net = netsim::Network::linear(2, 1);
+  InvariantChecker checker(*net);
+  EXPECT_TRUE(checker.check_basic().empty()); // empty tables: only misses
+}
+
+TEST(Checker, ReachabilityViolatedByDropRule) {
+  auto net = netsim::Network::linear(2, 1);
+  const MacAddress src = net->hosts()[0].mac;
+  const MacAddress dst = net->hosts()[1].mac;
+  InvariantConfig cfg;
+  cfg.must_reach.push_back({src, dst});
+  InvariantChecker checker(*net);
+  EXPECT_TRUE(checker.check(cfg).empty()); // miss -> controller decides: OK
+
+  of::FlowMod drop;
+  drop.dpid = DatapathId{1};
+  drop.match = of::Match{}.with_eth_dst(dst);
+  drop.priority = 0xF000;
+  drop.actions = {};
+  net->send_to_switch({1, drop});
+  auto violations = checker.check(cfg);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, InvariantKind::kReachability);
+}
+
+TEST(Checker, ReachabilitySatisfiedByWorkingPath) {
+  auto net = netsim::Network::linear(2, 1);
+  const MacAddress src = net->hosts()[0].mac;
+  const MacAddress dst = net->hosts()[1].mac;
+  net->send_to_switch({1, rule(DatapathId{1}, of::Match{}.with_eth_dst(dst), PortNo{3})});
+  net->send_to_switch({2, rule(DatapathId{2}, of::Match{}.with_eth_dst(dst), PortNo{1})});
+  InvariantConfig cfg;
+  cfg.must_reach.push_back({src, dst});
+  InvariantChecker checker(*net);
+  EXPECT_TRUE(checker.check(cfg).empty());
+}
+
+TEST(Checker, UnknownHostInSpecIsReported) {
+  auto net = netsim::Network::linear(2, 1);
+  InvariantConfig cfg;
+  cfg.must_reach.push_back({MacAddress::from_uint64(0xDEAD), net->hosts()[0].mac});
+  InvariantChecker checker(*net);
+  auto violations = checker.check(cfg);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, InvariantKind::kReachability);
+}
+
+TEST(Checker, TraceReportsPath) {
+  auto net = netsim::Network::linear(3, 1);
+  const MacAddress dst = net->hosts()[2].mac;
+  const of::Match m = of::Match{}.with_eth_dst(dst);
+  net->send_to_switch({1, rule(DatapathId{1}, m, PortNo{3})});
+  net->send_to_switch({2, rule(DatapathId{2}, m, PortNo{3})});
+  net->send_to_switch({3, rule(DatapathId{3}, m, PortNo{1})});
+  InvariantChecker checker(*net);
+  of::PacketHeader h;
+  h.eth_src = net->hosts()[0].mac;
+  h.eth_dst = dst;
+  auto tr = checker.trace({DatapathId{1}, PortNo{1}}, h);
+  EXPECT_EQ(tr.outcome, TraceOutcome::kDelivered);
+  EXPECT_EQ(tr.path.size(), 3u);
+}
+
+TEST(Checker, FloodRulesDoNotFalselyLoopOnTrees) {
+  auto net = netsim::Network::star(3, 1);
+  // Flood rule on every switch: fine on a tree (no cycles).
+  for (const auto dpid : net->switch_ids()) {
+    of::FlowMod mod;
+    mod.dpid = dpid;
+    mod.match = of::Match::any();
+    mod.priority = 1;
+    mod.actions = of::output_to(ports::kFlood);
+    net->send_to_switch({1, mod});
+  }
+  InvariantChecker checker(*net);
+  EXPECT_TRUE(checker.check_basic().empty());
+}
+
+TEST(Checker, FloodRulesLoopOnRings) {
+  auto net = netsim::Network::ring(4, 1);
+  for (const auto dpid : net->switch_ids()) {
+    of::FlowMod mod;
+    mod.dpid = dpid;
+    mod.match = of::Match::any();
+    mod.priority = 1;
+    mod.actions = of::output_to(ports::kFlood);
+    net->send_to_switch({1, mod});
+  }
+  InvariantChecker checker(*net);
+  auto violations = checker.check_basic();
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0].kind, InvariantKind::kNoLoops);
+}
+
+} // namespace
+} // namespace legosdn::invariant

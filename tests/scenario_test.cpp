@@ -1,0 +1,218 @@
+// Scenario DSL tests: parsing, execution, assertions, and the canonical
+// paper stories expressed as scripts.
+#include <gtest/gtest.h>
+
+#include "scenario/scenario.hpp"
+
+namespace legosdn::scenario {
+namespace {
+
+RunResult run_script(const char* text) {
+  auto sc = Scenario::parse(text);
+  EXPECT_TRUE(sc.ok()) << (sc.ok() ? "" : sc.error().to_string());
+  if (!sc.ok()) return {};
+  return sc.value().run();
+}
+
+TEST(Parse, RejectsUnknownCommand) {
+  auto sc = Scenario::parse("topology linear 2\nfrobnicate 1\n");
+  ASSERT_FALSE(sc.ok());
+  EXPECT_NE(sc.error().message.find("line 2"), std::string::npos);
+  EXPECT_NE(sc.error().message.find("frobnicate"), std::string::npos);
+}
+
+TEST(Parse, RejectsMissingArguments) {
+  auto sc = Scenario::parse("topology linear\n");
+  ASSERT_FALSE(sc.ok());
+  EXPECT_NE(sc.error().message.find("topology"), std::string::npos);
+}
+
+TEST(Parse, CommentsAndBlanksIgnored) {
+  auto sc = Scenario::parse("# a comment\n\n  \ntopology linear 2 1\n");
+  ASSERT_TRUE(sc.ok());
+}
+
+TEST(Run, SemanticErrorsCarryLineNumbers) {
+  auto res = run_script("topology linear 2 1\napp learning-switch\nstart\nsend 0 9\n");
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("line 4"), std::string::npos);
+
+  res = run_script("send 0 1\n");
+  EXPECT_NE(res.error.find("before start"), std::string::npos);
+
+  res = run_script("topology linear 2 1\nwrap crashy\n");
+  EXPECT_NE(res.error.find("before any 'app'"), std::string::npos);
+}
+
+TEST(Run, QuickstartStory) {
+  const char* script = R"(
+# the quickstart, as a script
+topology linear 3 1
+app learning-switch
+wrap crashy tp_dst=666
+start
+send 0 2 80
+send 2 0 80
+send 0 2 666
+expect controller up
+expect crashes == 1
+expect tickets == 1
+send 0 2 80
+expect delivered 2 >= 2
+expect app 0 alive
+)";
+  const RunResult res = run_script(script);
+  EXPECT_TRUE(res.ok) << res.error << "\n" << res.transcript;
+  EXPECT_EQ(res.failed_checks(), 0u);
+  EXPECT_EQ(res.checks.size(), 5u);
+}
+
+TEST(Run, MonolithicFateSharingStory) {
+  const char* script = R"(
+topology linear 3 1
+architecture monolithic
+app learning-switch
+wrap crashy tp_dst=666
+start
+send 0 2 666
+expect controller down
+expect crashes == 1
+send 0 2 80
+expect delivered 2 == 0
+)";
+  const RunResult res = run_script(script);
+  EXPECT_TRUE(res.ok) << res.error << "\n" << res.transcript;
+}
+
+TEST(Run, ByzantineRollbackStory) {
+  const char* script = R"(
+topology linear 2 1
+app learning-switch
+wrap byzantine blackhole tp_dst=666
+start
+send 0 1 80
+send 1 0 80
+send 0 1 666
+expect byzantine == 1
+expect controller up
+send 0 1 80
+expect delivered 1 >= 2
+)";
+  const RunResult res = run_script(script);
+  EXPECT_TRUE(res.ok) << res.error << "\n" << res.transcript;
+}
+
+TEST(Run, PolicyAndEquivalenceStory) {
+  const char* script = R"(
+topology ring 4 1
+policy app=* event=switch-down policy=equivalence
+policy default=absolute
+app router
+wrap crashy event=switch-down
+start
+send 0 1 80
+send 1 0 80
+switch down 3
+expect controller up
+expect crashes >= 1
+expect transformed == 1
+)";
+  const RunResult res = run_script(script);
+  EXPECT_TRUE(res.ok) << res.error << "\n" << res.transcript;
+}
+
+TEST(Run, LimitsAndBreakerStory) {
+  const char* script = R"(
+topology linear 2 1
+limits max_faults=2
+app learning-switch
+wrap crashy tp_dst=666
+start
+send 0 1 666
+send 0 1 666
+send 0 1 666
+expect crashes == 2
+expect app 0 down
+expect controller up
+)";
+  const RunResult res = run_script(script);
+  EXPECT_TRUE(res.ok) << res.error << "\n" << res.transcript;
+}
+
+TEST(Run, UpgradeKeepsStateUnderLego) {
+  const char* script = R"(
+topology linear 2 1
+app learning-switch
+start
+send 0 1 80
+send 1 0 80
+upgrade
+expect controller up
+send 0 1 80
+expect delivered 1 >= 2
+)";
+  const RunResult res = run_script(script);
+  EXPECT_TRUE(res.ok) << res.error << "\n" << res.transcript;
+}
+
+TEST(Run, FailedExpectationIsReportedNotFatal) {
+  const char* script = R"(
+topology linear 2 1
+app hub
+start
+send 0 1 80
+expect delivered 1 == 99
+expect controller up
+)";
+  const RunResult res = run_script(script);
+  EXPECT_FALSE(res.ok);
+  EXPECT_TRUE(res.error.empty()); // no runtime error — just a failed check
+  ASSERT_EQ(res.checks.size(), 2u);
+  EXPECT_FALSE(res.checks[0].passed);
+  EXPECT_NE(res.checks[0].detail.find("actual 1"), std::string::npos);
+  EXPECT_TRUE(res.checks[1].passed);
+}
+
+TEST(Run, TranscriptNarratesExecution) {
+  const RunResult res = run_script(
+      "topology star 3 1\napp hub\nstart\nsend 0 1 80\nexpect controller up\n");
+  EXPECT_NE(res.transcript.find("topology star"), std::string::npos);
+  EXPECT_NE(res.transcript.find("send h0 -> h1"), std::string::npos);
+  EXPECT_NE(res.transcript.find("PASS"), std::string::npos);
+}
+
+TEST(Run, ProcessBackendStory) {
+  // The same crash-containment story over real fork()ed stubs.
+  const char* script = R"(
+topology linear 2 1
+backend process
+app learning-switch
+wrap crashy tp_dst=666
+start
+send 0 1 80
+send 1 0 80
+send 0 1 666
+expect controller up
+expect crashes == 1
+send 0 1 80
+expect delivered 1 >= 2
+expect app 0 alive
+)";
+  const RunResult res = run_script(script);
+  EXPECT_TRUE(res.ok) << res.error << "\n" << res.transcript;
+}
+
+TEST(Run, AdvanceExpiresIdleRules) {
+  const char* script = R"(
+topology linear 2 1
+app flooder
+start
+send 0 1 80
+advance 30
+expect controller up
+)";
+  EXPECT_TRUE(run_script(script).ok);
+}
+
+} // namespace
+} // namespace legosdn::scenario

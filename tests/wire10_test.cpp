@@ -1,0 +1,287 @@
+// OpenFlow 1.0 wire codec tests: spec-conformant golden bytes, round-trips
+// through real OF1.0 frames, frame synthesis/parsing, and fuzz.
+#include <gtest/gtest.h>
+
+#include <iomanip>
+#include <sstream>
+
+#include "helpers.hpp"
+#include "openflow/wire10.hpp"
+
+namespace legosdn::of::wire10 {
+namespace {
+
+using legosdn::test::MessageGen;
+
+std::string hex(std::span<const std::uint8_t> bytes) {
+  std::ostringstream os;
+  for (auto b : bytes) os << std::hex << std::setw(2) << std::setfill('0') << int(b);
+  return os.str();
+}
+
+TEST(Wire10Golden, HelloIsEightByteHeader) {
+  auto bytes = encode({0x01020304, Hello{}});
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(hex(bytes.value()), "0100000801020304");
+}
+
+TEST(Wire10Golden, BarrierRequestHeaderOnly) {
+  auto bytes = encode({0xAB, BarrierRequest{DatapathId{9}}});
+  ASSERT_TRUE(bytes.ok());
+  // version=01 type=18(0x12) len=0008 xid=000000ab — dpid is connection state.
+  EXPECT_EQ(hex(bytes.value()), "01120008000000ab");
+}
+
+TEST(Wire10Golden, EchoRequestCarriesPayload) {
+  auto bytes = encode({1, EchoRequest{0x1122334455667788ULL}});
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(hex(bytes.value()), "01020010000000011122334455667788");
+}
+
+TEST(Wire10Golden, FlowModLayout) {
+  of::FlowMod mod;
+  mod.dpid = DatapathId{1};
+  mod.match = of::Match{}.with_tp_dst(80); // everything else wildcarded
+  mod.priority = 0x8000;
+  mod.actions = of::output_to(PortNo{2});
+  auto bytes = encode({0, mod});
+  ASSERT_TRUE(bytes.ok());
+  const auto& b = bytes.value();
+  // header(8) + match(40) + body(24) + one output action(8) = 80 bytes.
+  ASSERT_EQ(b.size(), 80u);
+  EXPECT_EQ(b[1], 14); // OFPT_FLOW_MOD
+  // wildcards: all except TP_DST, with VLAN/PCP/TOS forced wild and both
+  // nw prefixes at 32 bits: 0x0030_1f7f & ~TP_DST(0x80) ... compute:
+  // in_port|dl_vlan|dl_src|dl_dst|dl_type|nw_proto|tp_src = 0x7F minus
+  // tp_dst(0x80 not set), nw bits 32<<8 | 32<<14 = 0x2000 + 0x80000 ->
+  // 0x2000|0x80000 = 0x082000... plus pcp(1<<20)+tos(1<<21)=0x300000.
+  const std::uint32_t wc = (std::uint32_t{b[8]} << 24) | (std::uint32_t{b[9]} << 16) |
+                           (std::uint32_t{b[10]} << 8) | b[11];
+  EXPECT_EQ(wc, 0x0038207Fu);
+  // Action at offset 72: type=0, len=8, port=2, max_len=0.
+  EXPECT_EQ(hex(std::span(b).subspan(72, 8)), "0000000800020000");
+}
+
+TEST(Wire10Golden, PacketInSynthesizesRealTcpFrame) {
+  of::PacketIn pin;
+  pin.dpid = DatapathId{3};
+  pin.buffer_id = 7;
+  pin.in_port = PortNo{2};
+  pin.packet = legosdn::test::packet_between(MacAddress::from_uint64(0xA),
+                                             MacAddress::from_uint64(0xB), 80, 42);
+  pin.packet.hdr.ip_src = IpV4::from_octets(10, 0, 0, 1);
+  pin.packet.hdr.ip_dst = IpV4::from_octets(10, 0, 0, 2);
+  auto bytes = encode({9, pin});
+  ASSERT_TRUE(bytes.ok());
+  const auto& b = bytes.value();
+  EXPECT_EQ(b[1], 10); // OFPT_PACKET_IN
+  // Frame starts at offset 18: Ethernet dst comes first on the wire.
+  EXPECT_EQ(hex(std::span(b).subspan(18, 6)), "00000000000b"); // eth_dst
+  EXPECT_EQ(hex(std::span(b).subspan(24, 6)), "00000000000a"); // eth_src
+  EXPECT_EQ(hex(std::span(b).subspan(30, 2)), "0800");         // ethertype
+  // IPv4 header checksum must validate (sum to zero over the header).
+  std::span<const std::uint8_t> ip(b.data() + 32, 20);
+  EXPECT_EQ(internet_checksum(ip), 0);
+}
+
+TEST(Wire10, FrameSynthesisRoundTrip) {
+  MessageGen gen(11);
+  for (int i = 0; i < 300; ++i) {
+    of::Packet pkt;
+    pkt.hdr = gen.random_header();
+    pkt.hdr.eth_type = of::kEthTypeIpv4;
+    pkt.hdr.ip_proto = (i % 3 == 0) ? of::kIpProtoTcp
+                       : (i % 3 == 1) ? of::kIpProtoUdp
+                                      : of::kIpProtoIcmp;
+    pkt.size_bytes = 64 + static_cast<std::uint32_t>(i);
+    pkt.trace_tag = gen.rng().next();
+    auto frame = synthesize_frame(pkt);
+    auto parsed = parse_frame(frame, static_cast<std::uint16_t>(pkt.size_bytes));
+    ASSERT_TRUE(parsed.ok());
+    if (pkt.hdr.ip_proto != of::kIpProtoTcp && pkt.hdr.ip_proto != of::kIpProtoUdp) {
+      // non-TCP/UDP carries no ports on a real wire
+      pkt.hdr.tp_src = 0;
+      pkt.hdr.tp_dst = 0;
+    }
+    EXPECT_EQ(parsed.value().hdr, pkt.hdr) << i;
+    EXPECT_EQ(parsed.value().trace_tag, pkt.trace_tag) << i;
+    EXPECT_EQ(parsed.value().size_bytes, pkt.size_bytes) << i;
+  }
+}
+
+TEST(Wire10, NonIpFrameRoundTrip) {
+  of::Packet pkt;
+  pkt.hdr.eth_src = MacAddress::from_uint64(1);
+  pkt.hdr.eth_dst = MacAddress::from_uint64(2);
+  pkt.hdr.eth_type = of::kEthTypeArp;
+  pkt.hdr.ip_src = IpV4{};
+  pkt.hdr.ip_dst = IpV4{};
+  pkt.hdr.ip_proto = 0;
+  pkt.hdr.tp_src = 0;
+  pkt.hdr.tp_dst = 0;
+  pkt.trace_tag = 0xCAFEBABE;
+  pkt.size_bytes = 22;
+  auto frame = synthesize_frame(pkt);
+  auto parsed = parse_frame(frame, 22);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), pkt);
+}
+
+/// Canonicalize fields OF 1.0 genuinely cannot carry, so round-trip
+/// comparisons test exactly what the wire can represent.
+Message canonicalize(Message msg) {
+  // Wildcarded IP fields carry no prefix on the wire (and /0 is semantically
+  // a full wildcard): normalize both to the form decode() produces.
+  auto fix_match = [](Match& m) {
+    if (m.wildcarded(kWcIpSrc) || m.ip_src_prefix == 0) {
+      m.wildcards |= kWcIpSrc;
+      m.ip_src_prefix = 32;
+    }
+    if (m.wildcarded(kWcIpDst) || m.ip_dst_prefix == 0) {
+      m.wildcards |= kWcIpDst;
+      m.ip_dst_prefix = 32;
+    }
+  };
+  std::visit(
+      [&](auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, FlowMod> || std::is_same_v<T, FlowRemoved> ||
+                      std::is_same_v<T, StatsRequest>) {
+          fix_match(m.match);
+        }
+        if constexpr (std::is_same_v<T, StatsRequest>) {
+          // The wire carries only the active section of the stats union.
+          if (m.kind == StatsKind::kPort) m.match = Match{};
+        }
+        if constexpr (std::is_same_v<T, StatsReply>) {
+          for (auto& f : m.flows) fix_match(f.match);
+          switch (m.kind) {
+            case StatsKind::kFlow:
+              m.ports.clear();
+              m.aggregate = {};
+              break;
+            case StatsKind::kAggregate:
+              m.flows.clear();
+              m.ports.clear();
+              break;
+            case StatsKind::kPort:
+              m.flows.clear();
+              m.aggregate = {};
+              break;
+          }
+        }
+        if constexpr (std::is_same_v<T, Hello>) {
+          m.version = 1;
+        } else if constexpr (std::is_same_v<T, PacketIn> || std::is_same_v<T, PacketOut>) {
+          m.packet.hdr.eth_type = kEthTypeIpv4;
+          if (m.packet.hdr.ip_proto != kIpProtoTcp &&
+              m.packet.hdr.ip_proto != kIpProtoUdp) {
+            m.packet.hdr.ip_proto = kIpProtoTcp;
+          }
+          if constexpr (std::is_same_v<T, PacketIn>) {
+            m.packet.size_bytes &= 0xFFFF; // total_len is u16 on the wire
+          } else {
+            // data only travels when unbuffered; total_len not carried at all
+            m.buffer_id = PacketIn::kNoBuffer;
+            auto frame = synthesize_frame(m.packet);
+            m.packet.size_bytes = static_cast<std::uint32_t>(frame.size());
+          }
+        } else if constexpr (std::is_same_v<T, FeaturesReply> ||
+                             std::is_same_v<T, PortStatus>) {
+          auto fix_port = [](PortDesc& p) {
+            if (p.name.size() > 15) p.name.resize(15);
+          };
+          if constexpr (std::is_same_v<T, FeaturesReply>) {
+            for (auto& p : m.ports) fix_port(p);
+          } else {
+            fix_port(m.desc);
+          }
+        }
+      },
+      msg.body);
+  return msg;
+}
+
+class Wire10RoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Wire10RoundTrip, RandomMessagesSurviveRealOf10Encoding) {
+  MessageGen gen(GetParam());
+  int done = 0;
+  for (int i = 0; i < 600; ++i) {
+    Message msg = canonicalize(gen.random_message());
+    auto bytes = encode(msg);
+    ASSERT_TRUE(bytes.ok()) << of::type_name(msg.body);
+    // Recover the dpid the connection would know.
+    DatapathId dpid{};
+    std::visit(
+        [&](const auto& m) {
+          if constexpr (requires { m.dpid; }) dpid = m.dpid;
+        },
+        msg.body);
+    auto decoded = decode(bytes.value(), dpid);
+    ASSERT_TRUE(decoded.ok())
+        << of::type_name(msg.body) << ": " << decoded.error().to_string();
+    EXPECT_EQ(decoded.value(), msg)
+        << "seed=" << GetParam() << " type=" << of::type_name(msg.body);
+    ++done;
+  }
+  EXPECT_EQ(done, 600);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Wire10RoundTrip, ::testing::Values(7, 21, 63));
+
+TEST(Wire10, FrameLengthPeeking) {
+  auto bytes = encode({1, EchoRequest{5}});
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(frame_length(bytes.value()), bytes.value().size());
+  EXPECT_EQ(frame_length(std::vector<std::uint8_t>{1, 2}), 0u);
+}
+
+TEST(Wire10, RejectsWrongVersionAndBadLength) {
+  auto bytes = encode({1, Hello{}});
+  ASSERT_TRUE(bytes.ok());
+  auto frame = bytes.value();
+  frame[0] = 0x04; // OF 1.3
+  EXPECT_FALSE(decode(frame, DatapathId{1}).ok());
+  frame[0] = 0x01;
+  frame.push_back(0);
+  EXPECT_FALSE(decode(frame, DatapathId{1}).ok());
+}
+
+TEST(Wire10, FuzzNeverCrashes) {
+  Rng rng(77);
+  for (int i = 0; i < 4000; ++i) {
+    std::vector<std::uint8_t> junk(rng.below(160));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.below(256));
+    (void)decode(junk, DatapathId{1});
+    (void)parse_frame(junk, 0);
+  }
+}
+
+TEST(Wire10, BitFlipFuzzOnValidFrames) {
+  MessageGen gen(31337);
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    Message msg = canonicalize(gen.random_message());
+    auto bytes = encode(msg);
+    ASSERT_TRUE(bytes.ok());
+    auto frame = bytes.value();
+    for (int k = 0; k < 4; ++k)
+      frame[rng.below(frame.size())] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+    (void)decode(frame, DatapathId{1}); // must not crash/hang
+  }
+}
+
+TEST(Wire10, InternetChecksumKnownVectors) {
+  // RFC 1071 example: 0x0001 0xf203 0xf4f5 0xf6f7 -> checksum 0x220d.
+  const std::vector<std::uint8_t> data{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+  // Checksum over data + its checksum is zero.
+  std::vector<std::uint8_t> with_sum = data;
+  with_sum.push_back(0x22);
+  with_sum.push_back(0x0d);
+  EXPECT_EQ(internet_checksum(with_sum), 0);
+}
+
+} // namespace
+} // namespace legosdn::of::wire10

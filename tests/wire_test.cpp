@@ -1,0 +1,145 @@
+// Wire-format regression tests: byte-exact golden encodings (so codec
+// changes that break on-the-wire compatibility fail loudly) and fuzz sweeps
+// over every decoder in the system.
+#include <gtest/gtest.h>
+
+#include <iomanip>
+#include <sstream>
+
+#include "appvisor/rpc.hpp"
+#include "controller/event_codec.hpp"
+#include "helpers.hpp"
+#include "openflow/codec.hpp"
+
+namespace legosdn {
+namespace {
+
+std::string hex(std::span<const std::uint8_t> bytes) {
+  std::ostringstream os;
+  for (auto b : bytes) os << std::hex << std::setw(2) << std::setfill('0') << int(b);
+  return os.str();
+}
+
+TEST(Golden, HelloFrame) {
+  // version=1 type=0 len=0x000a xid=0x00000001 | tag already in header,
+  // body: version byte.
+  const auto bytes = of::encode({1, of::Hello{}});
+  EXPECT_EQ(hex(bytes), "01000009000000010"
+                        "1"); // 9 bytes total: hdr(8) + version(1)
+}
+
+TEST(Golden, EchoRequestFrame) {
+  const auto bytes = of::encode({0x42, of::EchoRequest{0x0102030405060708ULL}});
+  EXPECT_EQ(hex(bytes), "0101001000000042"
+                        "0102030405060708");
+}
+
+TEST(Golden, BarrierRequestFrame) {
+  const auto bytes = of::encode({7, of::BarrierRequest{DatapathId{0xAB}}});
+  EXPECT_EQ(hex(bytes), "010c001000000007"
+                        "00000000000000ab");
+}
+
+TEST(Golden, FlowModAddFrame) {
+  of::FlowMod mod;
+  mod.dpid = DatapathId{2};
+  mod.match = of::Match{}.with_tp_dst(80);
+  mod.priority = 0x1234;
+  mod.actions = of::output_to(PortNo{3});
+  const auto bytes = of::encode({0x10, mod});
+  // Spot-check the envelope, then require decode-equality (full golden body
+  // strings for flow-mods are long; the envelope bytes are the contract).
+  EXPECT_EQ(bytes[0], 0x01); // version
+  EXPECT_EQ(bytes[1], 0x07); // flow-mod wire tag
+  const std::uint16_t len = static_cast<std::uint16_t>((bytes[2] << 8) | bytes[3]);
+  EXPECT_EQ(len, bytes.size());
+  EXPECT_EQ(hex(std::span(bytes).subspan(4, 4)), "00000010"); // xid
+  auto decoded = of::decode(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded.value().get_if<of::FlowMod>(), mod);
+}
+
+TEST(Golden, WireTagsAreStable) {
+  // The type tag in byte 1 is wire ABI; renumbering the variant breaks it.
+  auto tag = [](of::MessageBody body) { return of::encode({0, std::move(body)})[1]; };
+  EXPECT_EQ(tag(of::Hello{}), 0);
+  EXPECT_EQ(tag(of::EchoRequest{}), 1);
+  EXPECT_EQ(tag(of::EchoReply{}), 2);
+  EXPECT_EQ(tag(of::FeaturesRequest{}), 3);
+  EXPECT_EQ(tag(of::FeaturesReply{}), 4);
+  EXPECT_EQ(tag(of::PacketIn{}), 5);
+  EXPECT_EQ(tag(of::PacketOut{}), 6);
+  EXPECT_EQ(tag(of::FlowMod{}), 7);
+  EXPECT_EQ(tag(of::FlowRemoved{}), 8);
+  EXPECT_EQ(tag(of::PortStatus{}), 9);
+  EXPECT_EQ(tag(of::StatsRequest{}), 10);
+  EXPECT_EQ(tag(of::StatsReply{}), 11);
+  EXPECT_EQ(tag(of::BarrierRequest{}), 12);
+  EXPECT_EQ(tag(of::BarrierReply{}), 13);
+  EXPECT_EQ(tag(of::OfError{}), 14);
+}
+
+// ---------------------------------------------------------------------------
+// Decoder fuzzing: no input may crash, hang, or overrun.
+// ---------------------------------------------------------------------------
+
+class DecoderFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DecoderFuzz, RandomBytesNeverCrashAnyDecoder) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 3000; ++i) {
+    std::vector<std::uint8_t> junk(rng.below(192));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.below(256));
+    (void)of::decode(junk);
+    (void)ctl::decode_event(junk);
+    (void)appvisor::decode_frame(junk);
+    (void)appvisor::decode_register(junk);
+    (void)appvisor::decode_event_done(junk);
+    (void)appvisor::decode_deliver(junk);
+    std::vector<std::uint8_t> stream = junk;
+    (void)of::decode_stream(stream);
+  }
+}
+
+TEST_P(DecoderFuzz, BitFlippedValidFramesNeverCrash) {
+  legosdn::test::MessageGen gen(GetParam());
+  Rng rng(GetParam() ^ 0xF00D);
+  for (int i = 0; i < 1500; ++i) {
+    auto bytes = of::encode(gen.random_message());
+    // Flip a few random bits/bytes.
+    for (int k = 0; k < 3; ++k) {
+      bytes[rng.below(bytes.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.below(8));
+    }
+    (void)of::decode(bytes);
+  }
+}
+
+TEST_P(DecoderFuzz, TruncatedValidFramesAlwaysRejected) {
+  legosdn::test::MessageGen gen(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    const auto bytes = of::encode(gen.random_message());
+    for (std::size_t cut = 0; cut < bytes.size(); cut += 3) {
+      std::vector<std::uint8_t> shortened(bytes.begin(),
+                                          bytes.begin() + static_cast<long>(cut));
+      EXPECT_FALSE(of::decode(shortened).ok());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecoderFuzz, ::testing::Values(101, 202, 303));
+
+TEST(RpcFuzz, EventCodecSurvivesEmbeddedGarbage) {
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    // Valid tag byte followed by garbage payload.
+    std::vector<std::uint8_t> frame{static_cast<std::uint8_t>(rng.below(5))};
+    const std::size_t n = rng.below(64);
+    for (std::size_t k = 0; k < n; ++k)
+      frame.push_back(static_cast<std::uint8_t>(rng.below(256)));
+    (void)ctl::decode_event(frame);
+  }
+}
+
+} // namespace
+} // namespace legosdn

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_app_portfolio.dir/bench_app_portfolio.cpp.o"
+  "CMakeFiles/bench_app_portfolio.dir/bench_app_portfolio.cpp.o.d"
+  "bench_app_portfolio"
+  "bench_app_portfolio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_app_portfolio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

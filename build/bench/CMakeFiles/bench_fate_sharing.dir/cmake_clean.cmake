@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fate_sharing.dir/bench_fate_sharing.cpp.o"
+  "CMakeFiles/bench_fate_sharing.dir/bench_fate_sharing.cpp.o.d"
+  "bench_fate_sharing"
+  "bench_fate_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fate_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_isolation_latency.dir/bench_isolation_latency.cpp.o"
+  "CMakeFiles/bench_isolation_latency.dir/bench_isolation_latency.cpp.o.d"
+  "bench_isolation_latency"
+  "bench_isolation_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_isolation_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

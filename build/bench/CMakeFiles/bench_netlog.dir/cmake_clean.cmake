@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_netlog.dir/bench_netlog.cpp.o"
+  "CMakeFiles/bench_netlog.dir/bench_netlog.cpp.o.d"
+  "bench_netlog"
+  "bench_netlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_netlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

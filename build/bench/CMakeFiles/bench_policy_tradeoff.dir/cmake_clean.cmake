@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_policy_tradeoff.dir/bench_policy_tradeoff.cpp.o"
+  "CMakeFiles/bench_policy_tradeoff.dir/bench_policy_tradeoff.cpp.o.d"
+  "bench_policy_tradeoff"
+  "bench_policy_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_policy_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

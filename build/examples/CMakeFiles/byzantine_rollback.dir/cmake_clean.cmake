@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byzantine_rollback.dir/byzantine_rollback.cpp.o"
+  "CMakeFiles/byzantine_rollback.dir/byzantine_rollback.cpp.o.d"
+  "byzantine_rollback"
+  "byzantine_rollback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byzantine_rollback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

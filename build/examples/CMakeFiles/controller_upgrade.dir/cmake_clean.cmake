@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controller_upgrade.dir/controller_upgrade.cpp.o"
+  "CMakeFiles/controller_upgrade.dir/controller_upgrade.cpp.o.d"
+  "controller_upgrade"
+  "controller_upgrade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controller_upgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

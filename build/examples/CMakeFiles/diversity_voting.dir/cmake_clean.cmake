@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diversity_voting.dir/diversity_voting.cpp.o"
+  "CMakeFiles/diversity_voting.dir/diversity_voting.cpp.o.d"
+  "diversity_voting"
+  "diversity_voting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diversity_voting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("openflow")
+subdirs("netsim")
+subdirs("invariant")
+subdirs("controller")
+subdirs("apps")
+subdirs("appvisor")
+subdirs("checkpoint")
+subdirs("netlog")
+subdirs("crashpad")
+subdirs("legosdn")
+subdirs("scenario")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/fault_injection.cpp" "src/apps/CMakeFiles/legosdn_apps.dir/fault_injection.cpp.o" "gcc" "src/apps/CMakeFiles/legosdn_apps.dir/fault_injection.cpp.o.d"
+  "/root/repo/src/apps/firewall.cpp" "src/apps/CMakeFiles/legosdn_apps.dir/firewall.cpp.o" "gcc" "src/apps/CMakeFiles/legosdn_apps.dir/firewall.cpp.o.d"
+  "/root/repo/src/apps/hub.cpp" "src/apps/CMakeFiles/legosdn_apps.dir/hub.cpp.o" "gcc" "src/apps/CMakeFiles/legosdn_apps.dir/hub.cpp.o.d"
+  "/root/repo/src/apps/learning_switch.cpp" "src/apps/CMakeFiles/legosdn_apps.dir/learning_switch.cpp.o" "gcc" "src/apps/CMakeFiles/legosdn_apps.dir/learning_switch.cpp.o.d"
+  "/root/repo/src/apps/link_discovery.cpp" "src/apps/CMakeFiles/legosdn_apps.dir/link_discovery.cpp.o" "gcc" "src/apps/CMakeFiles/legosdn_apps.dir/link_discovery.cpp.o.d"
+  "/root/repo/src/apps/load_balancer.cpp" "src/apps/CMakeFiles/legosdn_apps.dir/load_balancer.cpp.o" "gcc" "src/apps/CMakeFiles/legosdn_apps.dir/load_balancer.cpp.o.d"
+  "/root/repo/src/apps/shortest_path_router.cpp" "src/apps/CMakeFiles/legosdn_apps.dir/shortest_path_router.cpp.o" "gcc" "src/apps/CMakeFiles/legosdn_apps.dir/shortest_path_router.cpp.o.d"
+  "/root/repo/src/apps/stats_monitor.cpp" "src/apps/CMakeFiles/legosdn_apps.dir/stats_monitor.cpp.o" "gcc" "src/apps/CMakeFiles/legosdn_apps.dir/stats_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/controller/CMakeFiles/legosdn_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/legosdn_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/legosdn_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/legosdn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

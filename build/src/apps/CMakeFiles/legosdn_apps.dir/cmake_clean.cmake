@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legosdn_apps.dir/fault_injection.cpp.o"
+  "CMakeFiles/legosdn_apps.dir/fault_injection.cpp.o.d"
+  "CMakeFiles/legosdn_apps.dir/firewall.cpp.o"
+  "CMakeFiles/legosdn_apps.dir/firewall.cpp.o.d"
+  "CMakeFiles/legosdn_apps.dir/hub.cpp.o"
+  "CMakeFiles/legosdn_apps.dir/hub.cpp.o.d"
+  "CMakeFiles/legosdn_apps.dir/learning_switch.cpp.o"
+  "CMakeFiles/legosdn_apps.dir/learning_switch.cpp.o.d"
+  "CMakeFiles/legosdn_apps.dir/link_discovery.cpp.o"
+  "CMakeFiles/legosdn_apps.dir/link_discovery.cpp.o.d"
+  "CMakeFiles/legosdn_apps.dir/load_balancer.cpp.o"
+  "CMakeFiles/legosdn_apps.dir/load_balancer.cpp.o.d"
+  "CMakeFiles/legosdn_apps.dir/shortest_path_router.cpp.o"
+  "CMakeFiles/legosdn_apps.dir/shortest_path_router.cpp.o.d"
+  "CMakeFiles/legosdn_apps.dir/stats_monitor.cpp.o"
+  "CMakeFiles/legosdn_apps.dir/stats_monitor.cpp.o.d"
+  "liblegosdn_apps.a"
+  "liblegosdn_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legosdn_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

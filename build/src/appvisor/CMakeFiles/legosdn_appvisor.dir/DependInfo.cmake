@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/appvisor/appvisor.cpp" "src/appvisor/CMakeFiles/legosdn_appvisor.dir/appvisor.cpp.o" "gcc" "src/appvisor/CMakeFiles/legosdn_appvisor.dir/appvisor.cpp.o.d"
+  "/root/repo/src/appvisor/inprocess_domain.cpp" "src/appvisor/CMakeFiles/legosdn_appvisor.dir/inprocess_domain.cpp.o" "gcc" "src/appvisor/CMakeFiles/legosdn_appvisor.dir/inprocess_domain.cpp.o.d"
+  "/root/repo/src/appvisor/process_domain.cpp" "src/appvisor/CMakeFiles/legosdn_appvisor.dir/process_domain.cpp.o" "gcc" "src/appvisor/CMakeFiles/legosdn_appvisor.dir/process_domain.cpp.o.d"
+  "/root/repo/src/appvisor/rpc.cpp" "src/appvisor/CMakeFiles/legosdn_appvisor.dir/rpc.cpp.o" "gcc" "src/appvisor/CMakeFiles/legosdn_appvisor.dir/rpc.cpp.o.d"
+  "/root/repo/src/appvisor/udp_channel.cpp" "src/appvisor/CMakeFiles/legosdn_appvisor.dir/udp_channel.cpp.o" "gcc" "src/appvisor/CMakeFiles/legosdn_appvisor.dir/udp_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/controller/CMakeFiles/legosdn_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/legosdn_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/legosdn_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/legosdn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legosdn_appvisor.dir/appvisor.cpp.o"
+  "CMakeFiles/legosdn_appvisor.dir/appvisor.cpp.o.d"
+  "CMakeFiles/legosdn_appvisor.dir/inprocess_domain.cpp.o"
+  "CMakeFiles/legosdn_appvisor.dir/inprocess_domain.cpp.o.d"
+  "CMakeFiles/legosdn_appvisor.dir/process_domain.cpp.o"
+  "CMakeFiles/legosdn_appvisor.dir/process_domain.cpp.o.d"
+  "CMakeFiles/legosdn_appvisor.dir/rpc.cpp.o"
+  "CMakeFiles/legosdn_appvisor.dir/rpc.cpp.o.d"
+  "CMakeFiles/legosdn_appvisor.dir/udp_channel.cpp.o"
+  "CMakeFiles/legosdn_appvisor.dir/udp_channel.cpp.o.d"
+  "liblegosdn_appvisor.a"
+  "liblegosdn_appvisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legosdn_appvisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legosdn_checkpoint.dir/event_log.cpp.o"
+  "CMakeFiles/legosdn_checkpoint.dir/event_log.cpp.o.d"
+  "CMakeFiles/legosdn_checkpoint.dir/snapshot_store.cpp.o"
+  "CMakeFiles/legosdn_checkpoint.dir/snapshot_store.cpp.o.d"
+  "liblegosdn_checkpoint.a"
+  "liblegosdn_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legosdn_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

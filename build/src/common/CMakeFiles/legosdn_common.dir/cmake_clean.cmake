@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legosdn_common.dir/rng.cpp.o"
+  "CMakeFiles/legosdn_common.dir/rng.cpp.o.d"
+  "CMakeFiles/legosdn_common.dir/types.cpp.o"
+  "CMakeFiles/legosdn_common.dir/types.cpp.o.d"
+  "liblegosdn_common.a"
+  "liblegosdn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legosdn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legosdn_controller.dir/controller.cpp.o"
+  "CMakeFiles/legosdn_controller.dir/controller.cpp.o.d"
+  "CMakeFiles/legosdn_controller.dir/event.cpp.o"
+  "CMakeFiles/legosdn_controller.dir/event.cpp.o.d"
+  "CMakeFiles/legosdn_controller.dir/event_codec.cpp.o"
+  "CMakeFiles/legosdn_controller.dir/event_codec.cpp.o.d"
+  "liblegosdn_controller.a"
+  "liblegosdn_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legosdn_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

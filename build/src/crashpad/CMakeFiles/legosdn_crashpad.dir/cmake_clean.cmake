@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legosdn_crashpad.dir/policy.cpp.o"
+  "CMakeFiles/legosdn_crashpad.dir/policy.cpp.o.d"
+  "CMakeFiles/legosdn_crashpad.dir/ticket.cpp.o"
+  "CMakeFiles/legosdn_crashpad.dir/ticket.cpp.o.d"
+  "CMakeFiles/legosdn_crashpad.dir/transform.cpp.o"
+  "CMakeFiles/legosdn_crashpad.dir/transform.cpp.o.d"
+  "liblegosdn_crashpad.a"
+  "liblegosdn_crashpad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legosdn_crashpad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

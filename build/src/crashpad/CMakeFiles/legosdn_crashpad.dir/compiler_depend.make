@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for legosdn_crashpad.
+# This may be replaced when dependencies are built.

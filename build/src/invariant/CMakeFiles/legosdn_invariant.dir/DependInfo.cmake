@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/invariant/invariant.cpp" "src/invariant/CMakeFiles/legosdn_invariant.dir/invariant.cpp.o" "gcc" "src/invariant/CMakeFiles/legosdn_invariant.dir/invariant.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/legosdn_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/legosdn_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/legosdn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

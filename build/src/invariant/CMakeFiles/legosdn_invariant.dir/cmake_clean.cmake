@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legosdn_invariant.dir/invariant.cpp.o"
+  "CMakeFiles/legosdn_invariant.dir/invariant.cpp.o.d"
+  "liblegosdn_invariant.a"
+  "liblegosdn_invariant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legosdn_invariant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for legosdn_invariant.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legosdn_core.dir/delta_debug.cpp.o"
+  "CMakeFiles/legosdn_core.dir/delta_debug.cpp.o.d"
+  "CMakeFiles/legosdn_core.dir/diversity.cpp.o"
+  "CMakeFiles/legosdn_core.dir/diversity.cpp.o.d"
+  "CMakeFiles/legosdn_core.dir/lego_controller.cpp.o"
+  "CMakeFiles/legosdn_core.dir/lego_controller.cpp.o.d"
+  "liblegosdn_core.a"
+  "liblegosdn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legosdn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

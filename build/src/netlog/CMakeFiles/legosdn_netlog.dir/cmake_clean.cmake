@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legosdn_netlog.dir/netlog.cpp.o"
+  "CMakeFiles/legosdn_netlog.dir/netlog.cpp.o.d"
+  "liblegosdn_netlog.a"
+  "liblegosdn_netlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legosdn_netlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legosdn_netsim.dir/flow_table.cpp.o"
+  "CMakeFiles/legosdn_netsim.dir/flow_table.cpp.o.d"
+  "CMakeFiles/legosdn_netsim.dir/network.cpp.o"
+  "CMakeFiles/legosdn_netsim.dir/network.cpp.o.d"
+  "CMakeFiles/legosdn_netsim.dir/switch.cpp.o"
+  "CMakeFiles/legosdn_netsim.dir/switch.cpp.o.d"
+  "CMakeFiles/legosdn_netsim.dir/traffic.cpp.o"
+  "CMakeFiles/legosdn_netsim.dir/traffic.cpp.o.d"
+  "liblegosdn_netsim.a"
+  "liblegosdn_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legosdn_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

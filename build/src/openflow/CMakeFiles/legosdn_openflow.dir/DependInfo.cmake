@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/openflow/actions.cpp" "src/openflow/CMakeFiles/legosdn_openflow.dir/actions.cpp.o" "gcc" "src/openflow/CMakeFiles/legosdn_openflow.dir/actions.cpp.o.d"
+  "/root/repo/src/openflow/codec.cpp" "src/openflow/CMakeFiles/legosdn_openflow.dir/codec.cpp.o" "gcc" "src/openflow/CMakeFiles/legosdn_openflow.dir/codec.cpp.o.d"
+  "/root/repo/src/openflow/match.cpp" "src/openflow/CMakeFiles/legosdn_openflow.dir/match.cpp.o" "gcc" "src/openflow/CMakeFiles/legosdn_openflow.dir/match.cpp.o.d"
+  "/root/repo/src/openflow/messages.cpp" "src/openflow/CMakeFiles/legosdn_openflow.dir/messages.cpp.o" "gcc" "src/openflow/CMakeFiles/legosdn_openflow.dir/messages.cpp.o.d"
+  "/root/repo/src/openflow/packet.cpp" "src/openflow/CMakeFiles/legosdn_openflow.dir/packet.cpp.o" "gcc" "src/openflow/CMakeFiles/legosdn_openflow.dir/packet.cpp.o.d"
+  "/root/repo/src/openflow/wire10.cpp" "src/openflow/CMakeFiles/legosdn_openflow.dir/wire10.cpp.o" "gcc" "src/openflow/CMakeFiles/legosdn_openflow.dir/wire10.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/legosdn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

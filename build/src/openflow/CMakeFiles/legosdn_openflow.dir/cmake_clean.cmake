@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legosdn_openflow.dir/actions.cpp.o"
+  "CMakeFiles/legosdn_openflow.dir/actions.cpp.o.d"
+  "CMakeFiles/legosdn_openflow.dir/codec.cpp.o"
+  "CMakeFiles/legosdn_openflow.dir/codec.cpp.o.d"
+  "CMakeFiles/legosdn_openflow.dir/match.cpp.o"
+  "CMakeFiles/legosdn_openflow.dir/match.cpp.o.d"
+  "CMakeFiles/legosdn_openflow.dir/messages.cpp.o"
+  "CMakeFiles/legosdn_openflow.dir/messages.cpp.o.d"
+  "CMakeFiles/legosdn_openflow.dir/packet.cpp.o"
+  "CMakeFiles/legosdn_openflow.dir/packet.cpp.o.d"
+  "CMakeFiles/legosdn_openflow.dir/wire10.cpp.o"
+  "CMakeFiles/legosdn_openflow.dir/wire10.cpp.o.d"
+  "liblegosdn_openflow.a"
+  "liblegosdn_openflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legosdn_openflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legosdn_scenario.dir/scenario.cpp.o"
+  "CMakeFiles/legosdn_scenario.dir/scenario.cpp.o.d"
+  "liblegosdn_scenario.a"
+  "liblegosdn_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legosdn_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

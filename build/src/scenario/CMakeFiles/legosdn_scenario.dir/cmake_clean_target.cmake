@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblegosdn_scenario.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appvisor_test.dir/appvisor_test.cpp.o"
+  "CMakeFiles/appvisor_test.dir/appvisor_test.cpp.o.d"
+  "appvisor_test"
+  "appvisor_test.pdb"
+  "appvisor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appvisor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

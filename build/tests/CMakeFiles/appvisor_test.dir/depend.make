@@ -1,0 +1,2 @@
+# Empty dependencies file for appvisor_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crashpad_test.dir/crashpad_test.cpp.o"
+  "CMakeFiles/crashpad_test.dir/crashpad_test.cpp.o.d"
+  "crashpad_test"
+  "crashpad_test.pdb"
+  "crashpad_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crashpad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

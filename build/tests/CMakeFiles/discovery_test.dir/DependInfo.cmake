@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/discovery_test.cpp" "tests/CMakeFiles/discovery_test.dir/discovery_test.cpp.o" "gcc" "tests/CMakeFiles/discovery_test.dir/discovery_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/legosdn/CMakeFiles/legosdn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenario/CMakeFiles/legosdn_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/appvisor/CMakeFiles/legosdn_appvisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/checkpoint/CMakeFiles/legosdn_checkpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlog/CMakeFiles/legosdn_netlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/crashpad/CMakeFiles/legosdn_crashpad.dir/DependInfo.cmake"
+  "/root/repo/build/src/invariant/CMakeFiles/legosdn_invariant.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/legosdn_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/legosdn_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/legosdn_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/openflow/CMakeFiles/legosdn_openflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/legosdn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legosdn_test.dir/legosdn_test.cpp.o"
+  "CMakeFiles/legosdn_test.dir/legosdn_test.cpp.o.d"
+  "legosdn_test"
+  "legosdn_test.pdb"
+  "legosdn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legosdn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

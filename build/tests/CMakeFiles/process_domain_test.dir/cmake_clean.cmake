@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_domain_test.dir/process_domain_test.cpp.o"
+  "CMakeFiles/process_domain_test.dir/process_domain_test.cpp.o.d"
+  "process_domain_test"
+  "process_domain_test.pdb"
+  "process_domain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_domain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_topology_test.dir/random_topology_test.cpp.o"
+  "CMakeFiles/random_topology_test.dir/random_topology_test.cpp.o.d"
+  "random_topology_test"
+  "random_topology_test.pdb"
+  "random_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

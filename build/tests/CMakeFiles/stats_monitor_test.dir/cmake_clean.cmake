@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_monitor_test.dir/stats_monitor_test.cpp.o"
+  "CMakeFiles/stats_monitor_test.dir/stats_monitor_test.cpp.o.d"
+  "stats_monitor_test"
+  "stats_monitor_test.pdb"
+  "stats_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

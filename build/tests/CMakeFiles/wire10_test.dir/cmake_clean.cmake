@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire10_test.dir/wire10_test.cpp.o"
+  "CMakeFiles/wire10_test.dir/wire10_test.cpp.o.d"
+  "wire10_test"
+  "wire10_test.pdb"
+  "wire10_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire10_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

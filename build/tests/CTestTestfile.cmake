@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/openflow_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_table_test[1]_include.cmake")
+include("/root/repo/build/tests/netsim_test[1]_include.cmake")
+include("/root/repo/build/tests/invariant_test[1]_include.cmake")
+include("/root/repo/build/tests/controller_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/appvisor_test[1]_include.cmake")
+include("/root/repo/build/tests/process_domain_test[1]_include.cmake")
+include("/root/repo/build/tests/checkpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/netlog_test[1]_include.cmake")
+include("/root/repo/build/tests/crashpad_test[1]_include.cmake")
+include("/root/repo/build/tests/legosdn_test[1]_include.cmake")
+include("/root/repo/build/tests/discovery_test[1]_include.cmake")
+include("/root/repo/build/tests/limits_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/invariant_reach_test[1]_include.cmake")
+include("/root/repo/build/tests/resilience_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_monitor_test[1]_include.cmake")
+include("/root/repo/build/tests/netlog_property_test[1]_include.cmake")
+include("/root/repo/build/tests/random_topology_test[1]_include.cmake")
+include("/root/repo/build/tests/wire10_test[1]_include.cmake")

@@ -59,6 +59,68 @@ inline std::string fmt_pct(double v, int decimals = 1) {
   return fmt(v * 100.0, decimals) + "%";
 }
 
+/// Tiny append-only JSON builder for machine-readable bench output (one
+/// object per bench, printed as a single line so harnesses can grep it).
+class Json {
+public:
+  Json& begin_obj(const char* key = nullptr) { return open(key, '{'); }
+  Json& end_obj() { return close('}'); }
+  Json& begin_arr(const char* key = nullptr) { return open(key, '['); }
+  Json& end_arr() { return close(']'); }
+
+  Json& kv(const char* key, double v, int decimals = 2) {
+    prefix(key);
+    s_ += fmt_num(v, decimals);
+    return *this;
+  }
+  Json& kv(const char* key, std::uint64_t v) {
+    prefix(key);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+    s_ += buf;
+    return *this;
+  }
+  Json& kv(const char* key, const std::string& v) {
+    prefix(key);
+    s_ += '"';
+    s_ += v; // bench strings carry no characters needing escapes
+    s_ += '"';
+    return *this;
+  }
+
+  const std::string& str() const noexcept { return s_; }
+
+private:
+  Json& open(const char* key, char c) {
+    prefix(key);
+    s_ += c;
+    need_comma_ = false;
+    return *this;
+  }
+  Json& close(char c) {
+    s_ += c;
+    need_comma_ = true;
+    return *this;
+  }
+  void prefix(const char* key) {
+    if (need_comma_) s_ += ',';
+    if (key) {
+      s_ += '"';
+      s_ += key;
+      s_ += "\":";
+    }
+    need_comma_ = true; // the value that follows completes this element
+  }
+  static std::string fmt_num(double v, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+  }
+
+  std::string s_;
+  bool need_comma_ = false;
+};
+
 inline void section(const std::string& title) {
   std::printf("\n== %s ==\n\n", title.c_str());
 }

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 verify flow: plain build + full test suite, then the same suite
+# under ASan+UBSan (skip the sanitizer pass with LEGOSDN_SKIP_ASAN=1).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset default
+cmake --build --preset default -j
+ctest --preset default
+
+if [ "${LEGOSDN_SKIP_ASAN:-0}" != "1" ]; then
+  cmake --preset asan
+  cmake --build --preset asan -j
+  ctest --preset asan
+fi

@@ -42,6 +42,14 @@ AppEntry* AppVisor::entry(AppId id) {
   return nullptr;
 }
 
+TransportStats AppVisor::transport_stats() const {
+  TransportStats total;
+  for (const auto& e : entries_) {
+    if (const TransportStats* ts = e.domain->transport_stats()) total += *ts;
+  }
+  return total;
+}
+
 std::vector<AppEntry*> AppVisor::subscribers(ctl::EventType type) {
   std::vector<AppEntry*> out;
   const auto idx = static_cast<std::size_t>(type);

@@ -56,6 +56,10 @@ public:
   /// Apps subscribed to an event type, in registration (dispatch) order.
   std::vector<AppEntry*> subscribers(ctl::EventType type);
 
+  /// Sum of the transport counters of every domain with a real channel
+  /// (process backend); in-process domains contribute nothing.
+  TransportStats transport_stats() const;
+
 private:
   std::vector<AppEntry> entries_;
 };

@@ -1,0 +1,46 @@
+#include "appvisor/faulty_channel.hpp"
+
+#include <unistd.h>
+
+namespace legosdn::appvisor {
+
+FaultyChannel::~FaultyChannel() = default;
+
+Status FaultyChannel::release_held() {
+  if (!held_) return Status::success();
+  Held h = std::move(*held_);
+  held_.reset();
+  return transmit(h.to, h.bytes);
+}
+
+Status FaultyChannel::send_datagram(const PeerAddr& to,
+                                    std::span<const std::uint8_t> datagram) {
+  if (spec_.drop > 0 && rng_.chance(spec_.drop)) {
+    injected_.drops += 1;
+    return Status::success(); // silently lost; the RPC retry layer recovers
+  }
+  if (spec_.delay > 0 && rng_.chance(spec_.delay)) {
+    injected_.delays += 1;
+    if (spec_.delay_us > 0) ::usleep(static_cast<useconds_t>(spec_.delay_us));
+  }
+  if (spec_.reorder > 0 && !held_ && rng_.chance(spec_.reorder)) {
+    injected_.reorders += 1;
+    held_ = Held{to, {datagram.begin(), datagram.end()}};
+    return Status::success(); // released after the next datagram (or flush)
+  }
+  if (auto st = transmit(to, datagram); !st) return st;
+  if (auto st = release_held(); !st) return st;
+  if (spec_.duplicate > 0 && rng_.chance(spec_.duplicate)) {
+    injected_.duplicates += 1;
+    return transmit(to, datagram);
+  }
+  return Status::success();
+}
+
+void FaultyChannel::flush_datagrams(const PeerAddr&) {
+  // End of a frame: a datagram held for reordering must still make it out,
+  // otherwise a hold on the final chunk would turn into an unintended drop.
+  release_held();
+}
+
+} // namespace legosdn::appvisor

@@ -1,0 +1,71 @@
+// Deterministic fault injection for the AppVisor transport.
+//
+// FaultyChannel is a UdpChannel whose *outgoing* datagrams pass through a
+// seeded fault model: each chunk can be dropped, duplicated, held back and
+// released after the next chunk (reorder), or delayed on the wire. Receiving
+// is untouched — to perturb both directions of a proxy/stub pair, both ends
+// use a FaultyChannel (ProcessDomain::Config::faults does exactly that).
+//
+// All randomness comes from one explicitly seeded Rng so lossy-channel tests
+// and the loss-rate bench sweep are reproducible run-to-run.
+#pragma once
+
+#include <optional>
+
+#include "appvisor/udp_channel.hpp"
+#include "common/rng.hpp"
+
+namespace legosdn::appvisor {
+
+/// Per-datagram fault probabilities. All zero (the default) means the
+/// channel behaves exactly like a plain UdpChannel.
+struct FaultSpec {
+  double drop = 0;      ///< datagram vanishes
+  double duplicate = 0; ///< datagram is sent twice back-to-back
+  double reorder = 0;   ///< datagram is held and released after the next one
+  double delay = 0;     ///< datagram is sent after sleeping delay_us
+  int delay_us = 2000;  ///< wire delay applied on a delay fault
+  std::uint64_t seed = 0x51E55EDULL;
+
+  bool enabled() const noexcept {
+    return drop > 0 || duplicate > 0 || reorder > 0 || delay > 0;
+  }
+};
+
+/// Counters for the faults actually injected (useful in assertions: a test
+/// at 10% drop over 1000 chunks should have seen roughly 100 drops).
+struct InjectedFaults {
+  std::uint64_t drops = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t reorders = 0;
+  std::uint64_t delays = 0;
+};
+
+class FaultyChannel : public UdpChannel {
+public:
+  explicit FaultyChannel(FaultSpec spec) : spec_(spec), rng_(spec.seed) {}
+  ~FaultyChannel() override;
+
+  const FaultSpec& spec() const noexcept { return spec_; }
+  const InjectedFaults& injected() const noexcept { return injected_; }
+
+protected:
+  Status send_datagram(const PeerAddr& to,
+                       std::span<const std::uint8_t> datagram) override;
+  void flush_datagrams(const PeerAddr& to) override;
+
+private:
+  struct Held {
+    PeerAddr to;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  Status release_held();
+
+  FaultSpec spec_;
+  Rng rng_;
+  InjectedFaults injected_;
+  std::optional<Held> held_;
+};
+
+} // namespace legosdn::appvisor

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "appvisor/transport_stats.hpp"
 #include "common/clock.hpp"
 #include "common/result.hpp"
 #include "controller/app.hpp"
@@ -92,6 +93,10 @@ public:
 
   /// Orderly shutdown (kills the stub process, if any).
   virtual void shutdown() = 0;
+
+  /// Transport counters for domains backed by a real channel (ProcessDomain);
+  /// nullptr for in-process domains, which have no transport.
+  virtual const TransportStats* transport_stats() const { return nullptr; }
 };
 
 using DomainPtr = std::unique_ptr<IsolationDomain>;

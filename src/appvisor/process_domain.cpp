@@ -4,19 +4,35 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 
 #include "common/log.hpp"
 
 namespace legosdn::appvisor {
+namespace {
+
+std::unique_ptr<UdpChannel> make_channel(const FaultSpec& faults) {
+  if (faults.enabled()) return std::make_unique<FaultyChannel>(faults);
+  return std::make_unique<UdpChannel>();
+}
+
+} // namespace
 
 // ---------------------------------------------------------------------------
 // Stub (child side)
 // ---------------------------------------------------------------------------
 
-void run_stub(ctl::App& app, std::uint16_t proxy_port, int heartbeat_interval_ms) {
-  UdpChannel chan;
+void run_stub(ctl::App& app, std::uint16_t proxy_port,
+              const ProcessDomain::Config& cfg) {
+  // The stub perturbs its own outgoing datagrams too, so fault injection
+  // covers both directions of the exchange. Distinct seed: identical fault
+  // sequences on both sides would correlate request and reply loss.
+  FaultSpec stub_faults = cfg.faults;
+  stub_faults.seed = cfg.faults.seed * 0x9E3779B97F4A7C15ULL + 1;
+  std::unique_ptr<UdpChannel> chan_owner = make_channel(stub_faults);
+  UdpChannel& chan = *chan_owner;
   if (!chan.open()) _exit(70);
   const PeerAddr proxy{0, proxy_port};
 
@@ -26,7 +42,7 @@ void run_stub(ctl::App& app, std::uint16_t proxy_port, int heartbeat_interval_ms
   if (!chan.send_frame(proxy, encode_frame(frame))) _exit(71);
 
   // Wait for the ack; re-send a few times in case the proxy was not yet
-  // in its receive loop.
+  // in its receive loop (or the register/ack datagram was lost).
   bool acked = false;
   for (int attempt = 0; attempt < 50 && !acked; ++attempt) {
     auto rcv = chan.recv_frame(100);
@@ -39,9 +55,24 @@ void run_stub(ctl::App& app, std::uint16_t proxy_port, int heartbeat_interval_ms
   }
   if (!acked) _exit(72);
 
+  // Duplicate suppression: the proxy retransmits a silent request with the
+  // same seq. Requests are strictly serialized, so one cached reply is
+  // enough — a retransmit of the last handled request replays the cached
+  // reply without re-executing the (non-idempotent) handler; anything older
+  // was already answered and superseded, so it is dropped.
+  std::uint64_t last_seq = 0;
+  bool have_reply = false;
+  std::vector<std::uint8_t> last_reply_wire;
+  auto reply = [&](RpcFrame f) {
+    last_seq = f.seq;
+    last_reply_wire = encode_frame(f);
+    have_reply = true;
+    chan.send_frame(proxy, last_reply_wire);
+  };
+
   std::uint32_t xid = 1;
   for (;;) {
-    auto rcv = chan.recv_frame(heartbeat_interval_ms);
+    auto rcv = chan.recv_frame(cfg.heartbeat_interval_ms);
     if (!rcv) {
       if (rcv.error().code == Error::Code::kTimeout) {
         chan.send_frame(proxy, encode_frame({RpcType::kHeartbeat, 0, {}}));
@@ -52,6 +83,16 @@ void run_stub(ctl::App& app, std::uint16_t proxy_port, int heartbeat_interval_ms
     auto fr = decode_frame(rcv.value().frame);
     if (!fr) continue; // malformed; ignore
     const RpcFrame& req = fr.value();
+    const bool is_request = req.type == RpcType::kDeliverEvent ||
+                            req.type == RpcType::kSnapshotRequest ||
+                            req.type == RpcType::kRestoreRequest;
+    if (is_request && have_reply) {
+      if (req.seq == last_seq) {
+        chan.send_frame(proxy, last_reply_wire);
+        continue;
+      }
+      if (req.seq < last_seq) continue; // ancient retransmit; superseded
+    }
     switch (req.type) {
       case RpcType::kDeliverEvent: {
         auto del = decode_deliver(req.payload);
@@ -73,19 +114,17 @@ void run_stub(ctl::App& app, std::uint16_t proxy_port, int heartbeat_interval_ms
                           encode_frame({RpcType::kCrashNotice, req.seq, payload}));
           _exit(134); // mimic SIGABRT's exit status
         }
-        chan.send_frame(
-            proxy, encode_frame({RpcType::kEventDone, req.seq, encode_event_done(done)}));
+        reply({RpcType::kEventDone, req.seq, encode_event_done(done)});
         break;
       }
       case RpcType::kSnapshotRequest: {
-        chan.send_frame(proxy, encode_frame({RpcType::kSnapshotReply, req.seq,
-                                             app.snapshot_state()}));
+        reply({RpcType::kSnapshotReply, req.seq, app.snapshot_state()});
         break;
       }
       case RpcType::kRestoreRequest: {
         app.reset();
         app.restore_state(req.payload);
-        chan.send_frame(proxy, encode_frame({RpcType::kRestoreAck, req.seq, {}}));
+        reply({RpcType::kRestoreAck, req.seq, {}});
         break;
       }
       case RpcType::kShutdown:
@@ -101,12 +140,12 @@ void run_stub(ctl::App& app, std::uint16_t proxy_port, int heartbeat_interval_ms
 // ---------------------------------------------------------------------------
 
 ProcessDomain::ProcessDomain(ctl::AppPtr app, Config cfg)
-    : app_(std::move(app)), cfg_(cfg) {}
+    : app_(std::move(app)), cfg_(cfg), chan_(make_channel(cfg.faults)) {}
 
 ProcessDomain::~ProcessDomain() { shutdown(); }
 
 Status ProcessDomain::start() {
-  if (auto st = chan_.open(); !st) return st;
+  if (auto st = chan_->open(); !st) return st;
   return spawn();
 }
 
@@ -115,24 +154,24 @@ Status ProcessDomain::spawn() {
   if (pid < 0) return Error{Error::Code::kIo, "fork: " + std::string(strerror(errno))};
   if (pid == 0) {
     // Child: drop the proxy's socket, run the stub forever.
-    const std::uint16_t proxy_port = chan_.local_port();
-    chan_.close();
-    run_stub(*app_, proxy_port, cfg_.heartbeat_interval_ms);
+    const std::uint16_t proxy_port = chan_->local_port();
+    chan_->close();
+    run_stub(*app_, proxy_port, cfg_);
     // not reached
   }
   child_pid_ = pid;
   // Handshake: wait for the stub's Register.
   const auto deadline_ms = cfg_.rpc_timeout_ms;
-  auto rcv = chan_.recv_frame(deadline_ms);
+  auto rcv = chan_->recv_frame(deadline_ms);
   while (rcv) {
     auto fr = decode_frame(rcv.value().frame);
     if (fr && fr.value().type == RpcType::kRegister) {
       stub_addr_ = rcv.value().from;
-      chan_.send_frame(stub_addr_, encode_frame({RpcType::kRegisterAck, 0, {}}));
+      chan_->send_frame(stub_addr_, encode_frame({RpcType::kRegisterAck, 0, {}}));
       alive_ = true;
       return Status::success();
     }
-    rcv = chan_.recv_frame(deadline_ms);
+    rcv = chan_->recv_frame(deadline_ms);
   }
   kill_child();
   return Error{Error::Code::kTimeout, "stub did not register"};
@@ -165,19 +204,26 @@ Result<RpcFrame> ProcessDomain::call(RpcType req, std::span<const std::uint8_t> 
     return Error{Error::Code::kCrashed, "stub not running"};
   const std::uint64_t seq = next_seq_++;
   std::vector<std::uint8_t> p(payload.begin(), payload.end());
-  if (auto st = chan_.send_frame(stub_addr_, encode_frame({req, seq, std::move(p)}));
-      !st)
-    return st.error();
+  const std::vector<std::uint8_t> wire = encode_frame({req, seq, std::move(p)});
+  tstats_.rpc_calls += 1;
+  const auto t0 = std::chrono::steady_clock::now();
+  if (auto st = chan_->send_frame(stub_addr_, wire); !st) return st.error();
 
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  const auto deadline = t0 + std::chrono::milliseconds(timeout_ms);
+  double attempt_ms = std::max(1, cfg_.retry_initial_timeout_ms);
+  auto attempt_deadline =
+      t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double, std::milli>(attempt_ms));
+  int retransmits = 0;
   for (;;) {
-    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-                          deadline - std::chrono::steady_clock::now())
-                          .count();
-    if (left <= 0) {
-      // Deadline passed: either the child died or it is wedged. Both are
-      // failures from the proxy's perspective; a wedged child is killed.
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      // Deadline passed with retries exhausted: either the child died or it
+      // is wedged. Both are failures from the proxy's perspective; a wedged
+      // child is killed. Transport flakes never reach this point — they were
+      // absorbed by the retransmits below.
+      tstats_.rpc_timeouts += 1;
+      tstats_.channel = chan_->stats();
       if (child_exited()) {
         alive_ = false;
         return Error{Error::Code::kCrashed, last_crash_info_.empty()
@@ -187,9 +233,33 @@ Result<RpcFrame> ProcessDomain::call(RpcType req, std::span<const std::uint8_t> 
       kill_child();
       return Error{Error::Code::kTimeout, "stub unresponsive; killed"};
     }
-    auto rcv = chan_.recv_frame(static_cast<int>(left));
+    if (now >= attempt_deadline && retransmits < cfg_.retry_max) {
+      // Transport flake suspected: the request or its reply may have been
+      // lost. The child still being alive distinguishes this from a crash.
+      if (child_exited()) {
+        alive_ = false;
+        tstats_.channel = chan_->stats();
+        return Error{Error::Code::kCrashed, last_crash_info_.empty()
+                                                ? "stub process died"
+                                                : last_crash_info_};
+      }
+      chan_->send_frame(stub_addr_, wire); // same seq: the stub dedups
+      retransmits += 1;
+      tstats_.retransmits += 1;
+      attempt_ms *= std::max(1.0, cfg_.retry_backoff);
+      attempt_deadline =
+          now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(attempt_ms));
+    }
+    const auto wait_until = retransmits < cfg_.retry_max
+                                ? std::min(deadline, attempt_deadline)
+                                : deadline;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          wait_until - std::chrono::steady_clock::now())
+                          .count();
+    auto rcv = chan_->recv_frame(static_cast<int>(std::max<long long>(left, 1)));
     if (!rcv) {
-      if (rcv.error().code == Error::Code::kTimeout) continue; // loop hits deadline
+      if (rcv.error().code == Error::Code::kTimeout) continue; // retry/deadline
       return rcv.error();
     }
     auto fr = decode_frame(rcv.value().frame);
@@ -199,16 +269,30 @@ Result<RpcFrame> ProcessDomain::call(RpcType req, std::span<const std::uint8_t> 
       last_heartbeat_ = std::chrono::steady_clock::now();
       continue;
     }
+    if (f.type == RpcType::kRegister) {
+      // Our RegisterAck was lost and the stub is still re-sending Register;
+      // ack again or it will give up and exit.
+      chan_->send_frame(stub_addr_, encode_frame({RpcType::kRegisterAck, 0, {}}));
+      continue;
+    }
     if (f.type == RpcType::kCrashNotice) {
       last_crash_info_.assign(f.payload.begin(), f.payload.end());
       // Let the child finish dying, then reap it.
       for (int i = 0; i < 100 && !child_exited(); ++i) ::usleep(1000);
       if (!child_exited()) kill_child();
       alive_ = false;
+      tstats_.channel = chan_->stats();
       return Error{Error::Code::kCrashed, last_crash_info_};
     }
-    if (f.type == expect && f.seq == seq) return f;
-    // Stale reply from a previous request; skip.
+    if (f.type == expect && f.seq == seq) {
+      if (retransmits > 0) tstats_.flakes_recovered += 1;
+      tstats_.rtt_us.add(std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count());
+      tstats_.channel = chan_->stats();
+      return f;
+    }
+    // Stale reply from a previous request (or a duplicate of one); skip.
   }
 }
 
@@ -222,12 +306,16 @@ bool ProcessDomain::poll_liveness() {
   }
   // Drain whatever the stub pushed since we last listened.
   for (;;) {
-    auto rcv = chan_.recv_frame(/*timeout_ms=*/1);
+    auto rcv = chan_->recv_frame(/*timeout_ms=*/1);
     if (!rcv) break; // timeout: queue drained
     auto fr = decode_frame(rcv.value().frame);
     if (!fr) continue;
     if (fr.value().type == RpcType::kHeartbeat) {
       last_heartbeat_ = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (fr.value().type == RpcType::kRegister) {
+      chan_->send_frame(stub_addr_, encode_frame({RpcType::kRegisterAck, 0, {}}));
       continue;
     }
     if (fr.value().type == RpcType::kCrashNotice) {
@@ -299,12 +387,12 @@ Status ProcessDomain::restart() {
 }
 
 void ProcessDomain::shutdown() {
-  if (alive_ && stub_addr_.valid() && chan_.is_open()) {
-    chan_.send_frame(stub_addr_, encode_frame({RpcType::kShutdown, 0, {}}));
+  if (alive_ && stub_addr_.valid() && chan_->is_open()) {
+    chan_->send_frame(stub_addr_, encode_frame({RpcType::kShutdown, 0, {}}));
     for (int i = 0; i < 50 && !child_exited(); ++i) ::usleep(1000);
   }
   kill_child();
-  chan_.close();
+  chan_->close();
 }
 
 } // namespace legosdn::appvisor

@@ -7,6 +7,14 @@
 // controller keeps running — the fate-sharing relationship is severed by a
 // real OS process boundary.
 //
+// The RPC exchange survives a lossy channel: a request that draws no reply
+// within the per-attempt timeout is retransmitted with the *same* sequence
+// number under exponential backoff; the stub deduplicates by sequence number
+// and replays its cached reply, so a handler is never executed twice for one
+// request. Only when retries are exhausted does the proxy classify the stub
+// as crashed (child exited) or wedged (killed) — a transport flake is not a
+// fail-stop crash.
+//
 // Checkpoint/restore: instead of CRIU (unavailable here; see DESIGN.md §5)
 // the stub serializes the app's logical state through snapshot_state() and a
 // re-spawned stub installs it through restore_state().
@@ -15,9 +23,12 @@
 #include <sys/types.h>
 
 #include <chrono>
+#include <memory>
 
+#include "appvisor/faulty_channel.hpp"
 #include "appvisor/isolation.hpp"
 #include "appvisor/rpc.hpp"
+#include "appvisor/transport_stats.hpp"
 #include "appvisor/udp_channel.hpp"
 
 namespace legosdn::appvisor {
@@ -28,6 +39,17 @@ public:
     int deliver_timeout_ms = 5000; ///< event-handling deadline
     int rpc_timeout_ms = 5000;     ///< snapshot/restore/handshake deadline
     int heartbeat_interval_ms = 50;
+
+    // Retry policy for one RPC call: the first retransmit fires after
+    // retry_initial_timeout_ms of silence, then backs off geometrically,
+    // all bounded by the overall deliver/rpc deadline above.
+    int retry_initial_timeout_ms = 250;
+    int retry_max = 6;
+    double retry_backoff = 2.0;
+
+    /// Fault injection applied to *both* directions (proxy->stub and
+    /// stub->proxy) when enabled; all-zero (default) uses plain channels.
+    FaultSpec faults{};
   };
 
   explicit ProcessDomain(ctl::AppPtr app) : ProcessDomain(std::move(app), Config{}) {}
@@ -48,6 +70,8 @@ public:
   Status restart() override;
   void shutdown() override;
 
+  const TransportStats* transport_stats() const override { return &tstats_; }
+
   pid_t child_pid() const noexcept { return child_pid_; }
 
   /// Non-blocking liveness check between deliveries: drains pending
@@ -66,23 +90,26 @@ private:
   bool child_exited();
 
   /// Send a request and wait for a frame of `expect` type (heartbeats and
-  /// stale frames are skipped). Crash notices surface as kCrashed errors.
+  /// stale frames are skipped; a lost RegisterAck is re-sent). Silent
+  /// attempts are retransmitted with backoff before the overall deadline
+  /// declares the stub crashed (child exited) or wedged (killed).
   Result<RpcFrame> call(RpcType req, std::span<const std::uint8_t> payload,
                         RpcType expect, int timeout_ms);
 
   ctl::AppPtr app_; ///< pristine template; mutated only inside children
   Config cfg_;
-  UdpChannel chan_;
+  std::unique_ptr<UdpChannel> chan_; ///< FaultyChannel when cfg_.faults enabled
   PeerAddr stub_addr_{};
   pid_t child_pid_ = -1;
   bool alive_ = false;
   std::uint64_t next_seq_ = 1;
   std::string last_crash_info_;
   std::chrono::steady_clock::time_point last_heartbeat_{};
+  TransportStats tstats_;
 };
 
 /// The stub main loop; runs in the child and never returns.
 [[noreturn]] void run_stub(ctl::App& app, std::uint16_t proxy_port,
-                           int heartbeat_interval_ms);
+                           const ProcessDomain::Config& cfg);
 
 } // namespace legosdn::appvisor

@@ -13,8 +13,6 @@
 namespace legosdn::appvisor {
 namespace {
 
-constexpr std::size_t kChunkHeader = 16; // frame_id + idx + count
-
 void put_u64(std::uint8_t* p, std::uint64_t v) {
   for (int i = 7; i >= 0; --i) {
     p[i] = static_cast<std::uint8_t>(v & 0xFF);
@@ -63,6 +61,10 @@ Status UdpChannel::open() {
     return Error{Error::Code::kIo, "getsockname: " + std::string(strerror(errno))};
   }
   local_port_ = ntohs(addr.sin_port);
+  // Frame ids are namespaced by the sender's port so a respawned peer (fresh
+  // channel, ids restarting at 1) cannot collide with ids the receiver has
+  // already completed or is assembling.
+  next_frame_id_ = (static_cast<std::uint64_t>(local_port_) << 32) | 1;
   return Status::success();
 }
 
@@ -73,13 +75,29 @@ void UdpChannel::close() {
   }
 }
 
-Status UdpChannel::send_frame(const PeerAddr& to, std::span<const std::uint8_t> frame) {
+Status UdpChannel::transmit(const PeerAddr& to, std::span<const std::uint8_t> datagram) {
   if (fd_ < 0) return Error{Error::Code::kIo, "channel not open"};
   sockaddr_in dst{};
   dst.sin_family = AF_INET;
   dst.sin_addr.s_addr = htonl(to.ip == 0 ? INADDR_LOOPBACK : to.ip);
   dst.sin_port = htons(to.port);
+  const ssize_t sent = ::sendto(fd_, datagram.data(), datagram.size(), 0,
+                                reinterpret_cast<sockaddr*>(&dst), sizeof(dst));
+  if (sent < 0)
+    return Error{Error::Code::kIo, "sendto: " + std::string(strerror(errno))};
+  stats_.chunks_sent += 1;
+  return Status::success();
+}
 
+Status UdpChannel::send_datagram(const PeerAddr& to,
+                                 std::span<const std::uint8_t> datagram) {
+  return transmit(to, datagram);
+}
+
+void UdpChannel::flush_datagrams(const PeerAddr&) {}
+
+Status UdpChannel::send_frame(const PeerAddr& to, std::span<const std::uint8_t> frame) {
+  if (fd_ < 0) return Error{Error::Code::kIo, "channel not open"};
   const std::uint64_t id = next_frame_id_++;
   const std::size_t n_chunks =
       frame.empty() ? 1 : (frame.size() + kChunkPayload - 1) / kChunkPayload;
@@ -91,12 +109,10 @@ Status UdpChannel::send_frame(const PeerAddr& to, std::span<const std::uint8_t> 
     put_u32(buf.data() + 8, static_cast<std::uint32_t>(c));
     put_u32(buf.data() + 12, static_cast<std::uint32_t>(n_chunks));
     if (len) std::memcpy(buf.data() + kChunkHeader, frame.data() + off, len);
-    const ssize_t sent =
-        ::sendto(fd_, buf.data(), kChunkHeader + len, 0,
-                 reinterpret_cast<sockaddr*>(&dst), sizeof(dst));
-    if (sent < 0)
-      return Error{Error::Code::kIo, "sendto: " + std::string(strerror(errno))};
+    if (auto st = send_datagram(to, {buf.data(), kChunkHeader + len}); !st) return st;
   }
+  flush_datagrams(to);
+  stats_.frames_sent += 1;
   return Status::success();
 }
 
@@ -136,30 +152,58 @@ Result<UdpChannel::Received> UdpChannel::recv_frame(int timeout_ms) {
     const std::uint32_t idx = get_u32(buf.data() + 8);
     const std::uint32_t count = get_u32(buf.data() + 12);
     if (count == 0 || idx >= count) continue; // malformed; ignore
+    stats_.chunks_received += 1;
+
+    if (has_completed_ && id == last_completed_id_) {
+      // Straggler duplicate of the frame we just finished: a retransmitted
+      // chunk must not open a bogus partial assembly.
+      stats_.stale_chunks_dropped += 1;
+      continue;
+    }
 
     PeerAddr from{ntohl(src.sin_addr.s_addr), ntohs(src.sin_port)};
-    if (id != assembling_id_) {
-      // New frame begins; drop any partial one.
+    if (!assembling_active_ || id != assembling_id_) {
+      // New frame begins; drop any partial one (the sender retried with a
+      // fresh frame id, so the partial can never complete).
+      if (assembling_active_) stats_.reassembly_aborts += 1;
+      assembling_active_ = true;
       assembling_id_ = id;
       assembling_count_ = count;
       assembling_have_ = 0;
+      assembling_received_.assign(count, false);
+      assembling_have_final_ = false;
+      assembling_final_len_ = 0;
       assembling_.assign(static_cast<std::size_t>(count) * kChunkPayload, 0);
       assembling_from_ = from;
+    }
+    if (count != assembling_count_) continue; // corrupt header; ignore chunk
+    if (assembling_received_[idx]) {
+      // Duplicate of a chunk we already hold. Counting it again (the old
+      // bare-counter scheme) let a frame "complete" with a zero-filled hole.
+      stats_.dup_chunks_dropped += 1;
+      continue;
     }
     const std::size_t len = static_cast<std::size_t>(n) - kChunkHeader;
     std::memcpy(assembling_.data() + static_cast<std::size_t>(idx) * kChunkPayload,
                 buf.data() + kChunkHeader, len);
+    assembling_received_[idx] = true;
     assembling_have_ += 1;
     if (idx == assembling_count_ - 1) {
-      // Final chunk defines the true frame length.
-      assembling_.resize(static_cast<std::size_t>(idx) * kChunkPayload + len);
+      // Final chunk defines the true frame length; it may arrive out of
+      // order, so the resize happens only at completion.
+      assembling_have_final_ = true;
+      assembling_final_len_ = len;
     }
     if (assembling_have_ == assembling_count_) {
+      assembling_.resize(
+          static_cast<std::size_t>(assembling_count_ - 1) * kChunkPayload +
+          assembling_final_len_);
       Received out{std::move(assembling_), assembling_from_};
       assembling_.clear();
-      assembling_id_ = 0;
-      assembling_count_ = 0;
-      assembling_have_ = 0;
+      assembling_active_ = false;
+      has_completed_ = true;
+      last_completed_id_ = assembling_id_;
+      stats_.frames_received += 1;
       return out;
     }
   }

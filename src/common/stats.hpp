@@ -60,4 +60,75 @@ private:
   double sum_ = 0;
 };
 
+/// Bounded-memory latency histogram with power-of-two microsecond buckets.
+/// Unlike Summary it never grows, so long-lived transports (millions of RPCs)
+/// can record every round trip. Percentiles are bucket-resolution estimates:
+/// the geometric midpoint of the bucket holding the requested rank.
+class LatencyHistogram {
+public:
+  void add(double us) {
+    count_ += 1;
+    sum_ += us;
+    max_ = std::max(max_, us);
+    buckets_[bucket_of(us)] += 1;
+  }
+
+  void merge(const LatencyHistogram& o) {
+    count_ += o.count_;
+    sum_ += o.sum_;
+    max_ = std::max(max_, o.max_);
+    for (int i = 0; i < kBuckets; ++i) buckets_[i] += o.buckets_[i];
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  double max() const noexcept { return max_; }
+
+  /// p in [0, 100]; nearest-rank over the bucket counts.
+  double percentile(double p) const {
+    if (count_ == 0) return 0.0;
+    const auto rank = static_cast<std::uint64_t>(
+        p / 100.0 * static_cast<double>(count_ - 1));
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      seen += buckets_[i];
+      if (seen > rank) {
+        // Bucket i covers (2^(i-1), 2^i]; report its geometric midpoint,
+        // clamped to the observed maximum so p100 is never an overestimate.
+        const double hi = static_cast<double>(1ULL << i);
+        return std::min(i == 0 ? 1.0 : hi / 1.414213562373095, max_);
+      }
+    }
+    return max_;
+  }
+
+  void clear() {
+    count_ = 0;
+    sum_ = 0;
+    max_ = 0;
+    for (auto& b : buckets_) b = 0;
+  }
+
+private:
+  static constexpr int kBuckets = 40; ///< up to ~2^39 us ≈ 6.4 days
+
+  static int bucket_of(double us) noexcept {
+    if (us <= 1.0) return 0;
+    int b = 0;
+    std::uint64_t v = static_cast<std::uint64_t>(us);
+    while (v > 0 && b < kBuckets - 1) {
+      v >>= 1;
+      ++b;
+    }
+    return b;
+  }
+
+  std::uint64_t buckets_[kBuckets]{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double max_ = 0;
+};
+
 } // namespace legosdn

@@ -124,12 +124,23 @@ ctl::Disposition LegoController::guarded_deliver(appvisor::AppEntry& entry,
   entry.events_delivered += 1;
   auto outcome = entry.domain->deliver(e, net_.now());
   if (!outcome.ok()) {
-    // Fail-stop crash (exception, process death, or wedged stub).
+    // The transport layer already retried silent attempts, so what remains is
+    // either a fail-stop crash (exception, process death) or a stub that
+    // stayed unresponsive past the whole deliver deadline. Both recover the
+    // same way, but they are counted apart: a timeout blames the channel or a
+    // wedged handler, not a crashing app.
     entry.crashes += 1;
-    lego_stats_.failstop_crashes += 1;
-    LEGOSDN_LOG_INFO("crash-pad", "app '%s' crashed on %s: %s",
-                     entry.domain->app_name().c_str(), ctl::describe(e).c_str(),
-                     outcome.crash_info.c_str());
+    if (outcome.kind == appvisor::EventOutcome::Kind::kTimeout) {
+      lego_stats_.stub_timeouts += 1;
+    } else {
+      lego_stats_.failstop_crashes += 1;
+    }
+    LEGOSDN_LOG_INFO("crash-pad", "app '%s' %s on %s: %s",
+                     entry.domain->app_name().c_str(),
+                     outcome.kind == appvisor::EventOutcome::Kind::kTimeout
+                         ? "timed out"
+                         : "crashed",
+                     ctl::describe(e).c_str(), outcome.crash_info.c_str());
     if (allow_recovery) recover(entry, e, outcome.crash_info, /*byzantine=*/false);
     return ctl::Disposition::kContinue;
   }

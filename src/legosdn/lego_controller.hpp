@@ -117,8 +117,17 @@ public:
     std::uint64_t txns_rolled_back = 0;
     std::uint64_t quota_violations = 0;   ///< message-quota breaches
     std::uint64_t breaker_disables = 0;   ///< apps shut down by the fault breaker
+    std::uint64_t stub_timeouts = 0;      ///< deliver deadline exhausted after
+                                          ///< transport retries (wedged stub or
+                                          ///< loss beyond the retry budget) —
+                                          ///< distinct from fail-stop crashes
   };
   const LegoStats& lego_stats() const noexcept { return lego_stats_; }
+
+  /// Aggregated proxy<->stub transport counters (retransmits, duplicate
+  /// chunks dropped, reassembly aborts, RPC round-trip histogram) across all
+  /// process-backed domains. Empty when only in-process domains exist.
+  appvisor::TransportStats transport_stats() const { return visor_.transport_stats(); }
 
 protected:
   void dispatch(ctl::Event e) override;

@@ -138,7 +138,10 @@ TEST(Wedged, ProcessDeadlineKillsAndRecovers) {
   EXPECT_TRUE(send_and_pump(*net, c, 0, 1)); // benign events fine
 
   send_and_pump(*net, c, 0, 1, 666); // wedges the stub; proxy kills it
-  EXPECT_EQ(c.lego_stats().failstop_crashes, 1u);
+  // A deadline exhaustion is a *timeout*, not a fail-stop crash: the retry
+  // layer already ruled out a transport flake before the kill.
+  EXPECT_EQ(c.lego_stats().stub_timeouts, 1u);
+  EXPECT_EQ(c.lego_stats().failstop_crashes, 0u);
   EXPECT_FALSE(c.crashed());
   // Recovered: a fresh stub serves traffic again.
   EXPECT_TRUE(c.appvisor().entries()[0].domain->alive());

@@ -10,10 +10,19 @@
 // Part 2 sweeps the checkpoint period k and reports (a) amortized overhead
 // per event and (b) crash-recovery cost (restore + replay of up to k-1
 // events) — the trade-off the §5 extension navigates.
+// Part 3 is the pipeline sweep: sync-full (encode inline on the event path)
+// vs async-delta (capture + handoff only; chunk hashing, delta diffing and
+// store insertion on the background worker) across state sizes, with a
+// restore-correctness check per row. The JSON line at the end carries the
+// p50 event-path latencies the CI trajectory tracks.
+#include <thread>
+
 #include "appvisor/inprocess_domain.hpp"
 #include "appvisor/process_domain.hpp"
 #include "apps/fault_injection.hpp"
 #include "bench_util.hpp"
+#include "checkpoint/checkpoint_worker.hpp"
+#include "checkpoint/snapshot_store.hpp"
 #include "controller/controller.hpp"
 #include "netsim/network.hpp"
 
@@ -31,27 +40,113 @@ ctl::Event make_packet_in(std::uint64_t i) {
   return pin;
 }
 
+struct PipelineRow {
+  std::size_t state_bytes = 0;
+  Summary sync_us;        ///< event-path cost, inline full encode
+  Summary async_us;       ///< event-path cost, capture + handoff
+  double encode_lag_p50_us = 0;
+  std::uint64_t fulls = 0;
+  std::uint64_t deltas = 0;
+  std::uint64_t raw_bytes = 0;
+  std::uint64_t stored_bytes = 0;
+  bool restore_ok = false;
+};
+
+/// Run `events` packet-ins through a StatefulApp, checkpointing before every
+/// event through the given pipeline mode, and measure the event-path
+/// checkpoint cost (capture + submit). Returns p50/… samples plus worker
+/// stats and an end-to-end restore correctness check.
+///
+/// Events are spaced by a state-size-proportional think time (the rest of
+/// the control loop: app handlers, NetLog, invariant checks). Checkpoints
+/// arriving back-to-back with zero gap would only measure allocator
+/// contention against the worker's backlog — the encode-lag column is where
+/// a worker that cannot keep up shows honestly.
+PipelineRow run_pipeline(std::size_t state_bytes, bool async, int events,
+                         int warmup) {
+  PipelineRow row;
+  row.state_bytes = state_bytes;
+
+  checkpoint::CodecConfig codec;
+  codec.full_every = async ? 8 : 1; // sync mode = legacy full-copy snapshots
+  codec.compress = true; // same codec either way; only the scheduling differs
+  checkpoint::SnapshotStore store(16, codec);
+  checkpoint::CheckpointWorker::Config wcfg;
+  wcfg.async = async;
+  wcfg.max_queue = 1024; // queue must absorb the bench burst, not backpressure
+  checkpoint::CheckpointWorker worker(store, wcfg);
+
+  // ~6% of pages dirtied per event: a working set small relative to state,
+  // which is what delta encoding exploits (touch_pages=0 would dirty every
+  // page and degenerate deltas to fulls — worth knowing, not worth timing).
+  const std::size_t pages = std::max<std::size_t>(1, state_bytes / 4096);
+  auto app = std::make_shared<apps::StatefulApp>(
+      state_bytes, std::max<std::size_t>(1, pages / 16));
+  appvisor::InProcessDomain d(app);
+  d.start();
+
+  const auto think = std::chrono::microseconds(state_bytes / 1024);
+  Summary& on_path = async ? row.async_us : row.sync_us;
+  for (int i = 0; i < events; ++i) {
+    bench::Stopwatch sw;
+    sw.start();
+    auto snap = d.snapshot();
+    if (snap.ok()) {
+      worker.submit(AppId{1}, static_cast<std::uint64_t>(i), kSimStart,
+                    std::move(snap).value());
+    }
+    if (i >= warmup) on_path.add(sw.elapsed_us());
+    d.deliver(make_packet_in(static_cast<std::uint64_t>(i)), kSimStart);
+    std::this_thread::sleep_for(think);
+  }
+  worker.flush();
+
+  const auto ws = worker.stats();
+  row.encode_lag_p50_us = ws.encode_lag_us.percentile(50);
+  row.fulls = ws.full_snapshots;
+  row.deltas = ws.delta_snapshots;
+  row.raw_bytes = ws.raw_bytes;
+  row.stored_bytes = ws.stored_bytes;
+
+  // Correctness: submit one final capture, then composing the newest stored
+  // snapshot (base + deltas) must reproduce it byte-for-byte.
+  auto expect = d.snapshot();
+  if (expect.ok()) {
+    worker.submit(AppId{1}, static_cast<std::uint64_t>(events), kSimStart,
+                  std::vector<std::uint8_t>(expect.value()));
+    worker.flush();
+    auto latest = store.latest(AppId{1});
+    row.restore_ok = latest && latest->state == expect.value();
+  }
+  return row;
+}
+
 } // namespace
 
 int main() {
+  const int kPart1Inproc = bench::iters(300, 30);
+  const int kPart1Proc = bench::iters(120, 12);
+
   bench::section("C2: per-event checkpoint cost vs app state size (§4.1)");
   {
     bench::Table table({"state size", "in-process snap (us, p50)",
                         "process+UDP snap (us, p50)", "snapshot bytes"});
-    for (const std::size_t size :
-         {std::size_t{1} << 10, std::size_t{1} << 14, std::size_t{1} << 17,
-          std::size_t{1} << 20, std::size_t{4} << 20}) {
+    std::vector<std::size_t> sizes = {std::size_t{1} << 10, std::size_t{1} << 14,
+                                      std::size_t{1} << 17, std::size_t{1} << 20,
+                                      std::size_t{4} << 20};
+    if (bench::smoke()) sizes = {std::size_t{1} << 10, std::size_t{1} << 17};
+    for (const std::size_t size : sizes) {
       // In-process.
       Summary inproc;
       {
         appvisor::InProcessDomain d(std::make_shared<apps::StatefulApp>(size));
         d.start();
-        for (int i = 0; i < 300; ++i) {
+        for (int i = 0; i < kPart1Inproc; ++i) {
           d.deliver(make_packet_in(i), kSimStart);
           bench::Stopwatch sw;
           sw.start();
           auto snap = d.snapshot();
-          if (i >= 50 && snap.ok()) inproc.add(sw.elapsed_us());
+          if (i >= kPart1Inproc / 6 && snap.ok()) inproc.add(sw.elapsed_us());
         }
       }
       // Across the process boundary.
@@ -59,12 +154,12 @@ int main() {
       {
         appvisor::ProcessDomain d(std::make_shared<apps::StatefulApp>(size));
         if (!d.start()) return 1;
-        for (int i = 0; i < 120; ++i) {
+        for (int i = 0; i < kPart1Proc; ++i) {
           d.deliver(make_packet_in(i), kSimStart);
           bench::Stopwatch sw;
           sw.start();
           auto snap = d.snapshot();
-          if (i >= 20 && snap.ok()) proc.add(sw.elapsed_us());
+          if (i >= kPart1Proc / 6 && snap.ok()) proc.add(sw.elapsed_us());
         }
         d.shutdown();
       }
@@ -86,6 +181,7 @@ int main() {
                         "amortized overhead (us/event)", "recovery cost (us, p50)",
                         "events replayed on crash"});
     constexpr std::size_t kState = 1 << 17; // 128 KiB of app state
+    const int kEvents = bench::iters(1000, 100);
     for (const std::uint64_t k : {1u, 2u, 5u, 10u, 25u, 100u}) {
       appvisor::InProcessDomain d(std::make_shared<apps::StatefulApp>(kState));
       d.start();
@@ -95,7 +191,7 @@ int main() {
       std::vector<ctl::Event> since_checkpoint;
       Summary recovery_us;
       std::uint64_t replayed = 0;
-      constexpr int kEvents = 1000;
+      std::uint64_t crashes = 0;
       for (int i = 0; i < kEvents; ++i) {
         if (static_cast<std::uint64_t>(i) % k == 0) {
           bench::Stopwatch sw;
@@ -110,9 +206,11 @@ int main() {
         since_checkpoint.push_back(e);
         d.deliver(e, kSimStart);
 
-        // Every 250 events, simulate a crash and measure recovery:
-        // restore the last snapshot + replay the events since it.
-        if (i % 250 == 249) {
+        // Every 250 events (25 under smoke), simulate a crash and measure
+        // recovery: restore the last snapshot + replay the events since it.
+        const int crash_period = kEvents / 4;
+        if (i % crash_period == crash_period - 1) {
+          crashes += 1;
           bench::Stopwatch sw;
           sw.start();
           d.restore(last_snapshot);
@@ -126,7 +224,7 @@ int main() {
       table.row({std::to_string(k), std::to_string(snapshots),
                  bench::fmt(snap_cost_total_us / kEvents),
                  bench::fmt(recovery_us.percentile(50)),
-                 std::to_string(replayed / 4)});
+                 std::to_string(replayed / (crashes ? crashes : 1))});
     }
     table.print();
     std::printf("\n");
@@ -134,5 +232,73 @@ int main() {
     bench::note("recovery cost grows with k (restore + up to k-1 replayed events) —");
     bench::note("exactly the trade-off §5 proposes to navigate.");
   }
+
+  bench::section("C8: sync-full vs async-delta checkpoint pipeline (§5)");
+  std::vector<PipelineRow> rows;
+  {
+    std::vector<std::size_t> sizes = {std::size_t{1} << 16, std::size_t{1} << 18,
+                                      std::size_t{1} << 20, std::size_t{4} << 20};
+    if (bench::smoke()) sizes = {std::size_t{1} << 14, std::size_t{1} << 17};
+    const int events = bench::iters(160, 24);
+    const int warmup = bench::iters(20, 4);
+
+    bench::Table table({"state size", "sync-full on-path (us, p50)",
+                        "async-delta on-path (us, p50)", "speedup",
+                        "encode lag (us, p50)", "delta/full", "bytes saved",
+                        "restore"});
+    for (const std::size_t size : sizes) {
+      PipelineRow sync = run_pipeline(size, /*async=*/false, events, warmup);
+      PipelineRow async = run_pipeline(size, /*async=*/true, events, warmup);
+      PipelineRow merged = async;
+      merged.sync_us = sync.sync_us;
+      if (!sync.restore_ok) merged.restore_ok = false;
+
+      const double sync_p50 = merged.sync_us.percentile(50);
+      const double async_p50 = merged.async_us.percentile(50);
+      const double saved_pct =
+          merged.raw_bytes
+              ? 100.0 * (1.0 - double(merged.stored_bytes) / double(merged.raw_bytes))
+              : 0.0;
+      const std::string label =
+          size >= (1 << 20) ? bench::fmt(double(size) / (1 << 20), 0) + " MiB"
+                            : bench::fmt(double(size) / 1024, 0) + " KiB";
+      table.row({label, bench::fmt(sync_p50), bench::fmt(async_p50),
+                 bench::fmt(async_p50 > 0 ? sync_p50 / async_p50 : 0, 1) + "x",
+                 bench::fmt(merged.encode_lag_p50_us),
+                 std::to_string(merged.deltas) + "/" + std::to_string(merged.fulls),
+                 bench::fmt(saved_pct, 1) + "%",
+                 merged.restore_ok ? "ok" : "MISMATCH"});
+      rows.push_back(std::move(merged));
+    }
+    table.print();
+    std::printf("\n");
+    bench::note("Shape: sync-full pays capture + chunk hashing + store insertion on");
+    bench::note("the event path; async-delta pays capture + handoff only, and the");
+    bench::note("delta store retains far fewer bytes for sparse-write apps.");
+  }
+
+  // Machine-readable result line (one JSON object) for harnesses.
+  bench::Json j;
+  j.begin_obj().kv("bench", std::string("checkpoint")).begin_arr("pipeline");
+  for (const auto& r : rows) {
+    const double sync_p50 = r.sync_us.percentile(50);
+    const double async_p50 = r.async_us.percentile(50);
+    j.begin_obj()
+        .kv("state_bytes", static_cast<std::uint64_t>(r.state_bytes))
+        .kv("sync_full_p50_us", sync_p50)
+        .kv("sync_full_p95_us", r.sync_us.percentile(95))
+        .kv("async_delta_p50_us", async_p50)
+        .kv("async_delta_p95_us", r.async_us.percentile(95))
+        .kv("speedup_p50", async_p50 > 0 ? sync_p50 / async_p50 : 0.0)
+        .kv("encode_lag_p50_us", r.encode_lag_p50_us)
+        .kv("delta_snapshots", r.deltas)
+        .kv("full_snapshots", r.fulls)
+        .kv("raw_bytes", r.raw_bytes)
+        .kv("stored_bytes", r.stored_bytes)
+        .kv("restore_ok", std::string(r.restore_ok ? "true" : "false"))
+        .end_obj();
+  }
+  j.end_arr().end_obj();
+  bench::emit_json(j);
   return 0;
 }

@@ -48,9 +48,9 @@ struct LatencyRow {
 
 int main() {
   bench::section("F1/C1: control-loop latency of the proxy/stub indirection (§3.1)");
-  constexpr int kWarmup = 200;
-  constexpr int kIters = 3000;
-  constexpr int kProcIters = 1500;
+  const int kWarmup = bench::iters(200, 10);
+  const int kIters = bench::iters(3000, 60);
+  const int kProcIters = bench::iters(1500, 40);
 
   std::vector<LatencyRow> rows;
 
@@ -156,7 +156,7 @@ int main() {
     std::uint64_t dup_chunks = 0;   ///< duplicate of an in-flight chunk
     std::uint64_t stale_chunks = 0; ///< straggler of a completed frame
   };
-  constexpr int kLossIters = 600;
+  const int kLossIters = bench::iters(600, 30);
   std::vector<LossRow> loss_rows;
   for (double loss : {0.0, 0.05, 0.10, 0.20}) {
     appvisor::ProcessDomain::Config cfg;
@@ -239,6 +239,6 @@ int main() {
         .end_obj();
   }
   j.end_arr().end_obj();
-  std::printf("%s\n", j.str().c_str());
+  bench::emit_json(j);
   return 0;
 }

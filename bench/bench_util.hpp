@@ -5,6 +5,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -120,6 +121,30 @@ private:
   std::string s_;
   bool need_comma_ = false;
 };
+
+/// True when the harness asked for a tiny run (the CI bench-smoke job sets
+/// LEGOSDN_BENCH_SMOKE=1): benches shrink iteration counts and sweeps so the
+/// binary exercises every code path in seconds, not minutes.
+inline bool smoke() {
+  const char* v = std::getenv("LEGOSDN_BENCH_SMOKE");
+  return v && *v && *v != '0';
+}
+
+/// Pick an iteration count: `full` normally, `tiny` under smoke.
+inline int iters(int full, int tiny) { return smoke() ? tiny : full; }
+
+/// Print the machine-readable result line and, when LEGOSDN_BENCH_JSON names
+/// a path, also write it there (the CI bench-smoke job uploads the file as a
+/// workflow artifact — the BENCH_*.json trajectory).
+inline void emit_json(const Json& j) {
+  std::printf("%s\n", j.str().c_str());
+  if (const char* path = std::getenv("LEGOSDN_BENCH_JSON")) {
+    if (FILE* f = std::fopen(path, "w")) {
+      std::fprintf(f, "%s\n", j.str().c_str());
+      std::fclose(f);
+    }
+  }
+}
 
 inline void section(const std::string& title) {
   std::printf("\n== %s ==\n\n", title.c_str());

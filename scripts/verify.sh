@@ -1,15 +1,89 @@
 #!/usr/bin/env bash
-# Tier-1 verify flow: plain build + full test suite, then the same suite
-# under ASan+UBSan (skip the sanitizer pass with LEGOSDN_SKIP_ASAN=1).
+# Single verification entry point — CI calls exactly this script, so a local
+# `scripts/verify.sh <cmd>` reproduces any CI job bit-for-bit.
+#
+# Usage: scripts/verify.sh [command]
+#
+#   (none)       tier-1 flow: build + asan (the pre-commit gate)
+#   build        configure + build + ctest. Honours BUILD_TYPE (default
+#                RelWithDebInfo), CC/CXX, and CMAKE_CXX_COMPILER_LAUNCHER
+#                (CI sets ccache); out-of-source in build-ci/ when any of
+#                those is set, the plain `default` preset otherwise.
+#   asan         the asan preset (ASan+UBSan) build + ctest.
+#   bench-smoke  run bench_checkpoint and bench_isolation_latency with tiny
+#                iteration counts (LEGOSDN_BENCH_SMOKE=1), assert exit 0 and
+#                that each emits parseable JSON into bench-out/.
+#   format       clang-format --dry-run -Werror over src/ tests/ bench/.
+#                Skips (exit 0) when clang-format is not installed locally;
+#                CI pins a version so the check is authoritative there.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake --preset default
-cmake --build --preset default -j
-ctest --preset default
+cmd_build() {
+  if [ -n "${BUILD_TYPE:-}" ] || [ -n "${CC:-}" ] || [ -n "${CXX:-}" ] ||
+     [ -n "${CMAKE_CXX_COMPILER_LAUNCHER:-}" ]; then
+    local dir="build-ci"
+    cmake -B "$dir" -S . \
+      -DCMAKE_BUILD_TYPE="${BUILD_TYPE:-RelWithDebInfo}" \
+      ${CMAKE_CXX_COMPILER_LAUNCHER:+-DCMAKE_CXX_COMPILER_LAUNCHER="$CMAKE_CXX_COMPILER_LAUNCHER"} \
+      ${CMAKE_CXX_COMPILER_LAUNCHER:+-DCMAKE_C_COMPILER_LAUNCHER="$CMAKE_CXX_COMPILER_LAUNCHER"}
+    cmake --build "$dir" -j "$(nproc)"
+    ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+  else
+    cmake --preset default
+    cmake --build --preset default -j "$(nproc)"
+    ctest --preset default
+  fi
+}
 
-if [ "${LEGOSDN_SKIP_ASAN:-0}" != "1" ]; then
+cmd_asan() {
   cmake --preset asan
-  cmake --build --preset asan -j
+  cmake --build --preset asan -j "$(nproc)"
   ctest --preset asan
-fi
+}
+
+cmd_bench_smoke() {
+  local dir="build"
+  [ -d build-ci ] && dir="build-ci"
+  cmake --build "$dir" -j "$(nproc)" --target bench_checkpoint bench_isolation_latency
+  mkdir -p bench-out
+  local bench
+  for bench in bench_checkpoint bench_isolation_latency; do
+    local json="bench-out/BENCH_${bench#bench_}.json"
+    LEGOSDN_BENCH_SMOKE=1 LEGOSDN_BENCH_JSON="$json" "./$dir/bench/$bench"
+    python3 -c "
+import json, sys
+with open('$json') as f:
+    doc = json.load(f)
+assert isinstance(doc, dict) and doc, '$json: expected a non-empty JSON object'
+print('$json: ok,', len(json.dumps(doc)), 'bytes')
+"
+  done
+}
+
+cmd_format() {
+  if ! command -v clang-format >/dev/null 2>&1; then
+    echo "clang-format not installed; skipping format check (CI enforces it)"
+    return 0
+  fi
+  clang-format --version
+  find src tests bench -name '*.cpp' -o -name '*.hpp' | xargs \
+    clang-format --dry-run -Werror
+}
+
+case "${1:-all}" in
+  build)       cmd_build ;;
+  asan)        cmd_asan ;;
+  bench-smoke) cmd_bench_smoke ;;
+  format)      cmd_format ;;
+  all)
+    cmd_build
+    if [ "${LEGOSDN_SKIP_ASAN:-0}" != "1" ]; then
+      cmd_asan
+    fi
+    ;;
+  *)
+    echo "unknown command: $1 (expected build|asan|bench-smoke|format)" >&2
+    exit 2
+    ;;
+esac

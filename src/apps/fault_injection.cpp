@@ -208,17 +208,28 @@ ctl::Disposition WedgedApp::handle_event(const ctl::Event& e, ctl::ServiceApi& a
 // StatefulApp
 // ---------------------------------------------------------------------------
 
-StatefulApp::StatefulApp(std::size_t state_bytes) : blob_(state_bytes, 0) {}
+StatefulApp::StatefulApp(std::size_t state_bytes, std::size_t touch_pages)
+    : blob_(state_bytes, 0), touch_pages_(touch_pages) {}
 
 ctl::Disposition StatefulApp::handle_event(const ctl::Event& e,
                                            ctl::ServiceApi& api) {
   const auto* pin = std::get_if<of::PacketIn>(&e);
   if (!pin) return ctl::Disposition::kContinue;
-  // Touch a spread of the state so snapshots cannot be trivially deduped.
   mutations_ += 1;
   if (!blob_.empty()) {
-    for (std::size_t i = 0; i < blob_.size(); i += 4096) {
-      blob_[i] = static_cast<std::uint8_t>(mutations_ + i);
+    constexpr std::size_t kPage = 4096;
+    if (touch_pages_ == 0) {
+      // Touch a spread of the state so snapshots cannot be trivially deduped.
+      for (std::size_t i = 0; i < blob_.size(); i += kPage) {
+        blob_[i] = static_cast<std::uint8_t>(mutations_ + i);
+      }
+    } else {
+      // Sparse working set: rotate through `touch_pages_` pages per event.
+      const std::size_t pages = (blob_.size() + kPage - 1) / kPage;
+      for (std::size_t p = 0; p < touch_pages_; ++p) {
+        const std::size_t page = (mutations_ * touch_pages_ + p) % pages;
+        blob_[page * kPage] = static_cast<std::uint8_t>(mutations_ + page);
+      }
     }
     blob_[mutations_ % blob_.size()] ^= 0x5A;
   }

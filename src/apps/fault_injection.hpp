@@ -175,9 +175,14 @@ private:
 
 /// A hub carrying `state_bytes` of opaque state that it mutates every event.
 /// Checkpoint cost is proportional to state size; this app sweeps that axis.
+///
+/// `touch_pages` controls the write pattern: 0 (default) dirties every 4 KiB
+/// page per event — the worst case for incremental snapshots — while N > 0
+/// dirties only N rotating pages per event, modelling an app whose working
+/// set is a small slice of its state (the case delta encoding exploits).
 class StatefulApp : public ctl::App {
 public:
-  explicit StatefulApp(std::size_t state_bytes);
+  explicit StatefulApp(std::size_t state_bytes, std::size_t touch_pages = 0);
 
   std::string name() const override { return "stateful-app"; }
   std::vector<ctl::EventType> subscriptions() const override {
@@ -196,6 +201,7 @@ public:
 
 private:
   std::vector<std::uint8_t> blob_;
+  std::size_t touch_pages_ = 0;
   std::uint64_t mutations_ = 0;
 };
 

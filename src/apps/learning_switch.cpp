@@ -1,5 +1,7 @@
 #include "apps/learning_switch.hpp"
 
+#include <algorithm>
+
 #include "common/bytes.hpp"
 
 namespace legosdn::apps {
@@ -66,9 +68,18 @@ const PortNo* LearningSwitch::lookup(DatapathId dpid, const MacAddress& mac) con
 }
 
 std::vector<std::uint8_t> LearningSwitch::snapshot_state() const {
+  // Canonical (sorted) encoding: the hash map's iteration order depends on
+  // its construction history, and two logically equal tables must serialize
+  // byte-identically — restore paths compare snapshots, and the delta
+  // encoder diffs consecutive ones chunk-by-chunk.
+  std::vector<std::pair<Key, PortNo>> entries(table_.begin(), table_.end());
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    if (a.first.dpid != b.first.dpid) return a.first.dpid < b.first.dpid;
+    return a.first.mac.to_uint64() < b.first.mac.to_uint64();
+  });
   ByteWriter w;
-  w.u32(static_cast<std::uint32_t>(table_.size()));
-  for (const auto& [k, port] : table_) {
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& [k, port] : entries) {
     w.u64(raw(k.dpid));
     w.mac(k.mac);
     w.u16(raw(port));

@@ -1,0 +1,126 @@
+#include "checkpoint/checkpoint_worker.hpp"
+
+namespace legosdn::checkpoint {
+
+CheckpointWorker::CheckpointWorker(SnapshotStore& store, Config cfg)
+    : store_(store), cfg_(cfg) {
+  if (cfg_.max_queue == 0) cfg_.max_queue = 1;
+  if (cfg_.async) thread_ = std::thread([this] { run(); });
+}
+
+CheckpointWorker::~CheckpointWorker() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void CheckpointWorker::submit(AppId app, std::uint64_t event_seq,
+                              SimTime taken_at, Bytes state) {
+  Job job{app, event_seq, taken_at, std::move(state),
+          std::chrono::steady_clock::now()};
+  if (cfg_.async) {
+    bool backpressure = false;
+    {
+      std::lock_guard lock(mu_);
+      stats_.submitted += 1;
+      stats_.raw_bytes += job.state.size();
+      if (queue_.size() < cfg_.max_queue) {
+        queue_.push_back(std::move(job));
+      } else {
+        backpressure = true;
+        stats_.inline_encodes += 1;
+      }
+    }
+    if (!backpressure) {
+      work_cv_.notify_one();
+      return;
+    }
+    // Queue full: encoding inline would race the worker for this app's chain
+    // tail, so drain the queue first — the hot path pays for the backlog,
+    // which is exactly what backpressure means.
+    flush();
+    encode_and_store(std::move(job), /*via_queue=*/false);
+    return;
+  }
+  {
+    std::lock_guard lock(mu_);
+    stats_.submitted += 1;
+    stats_.raw_bytes += job.state.size();
+  }
+  encode_and_store(std::move(job), /*via_queue=*/false);
+}
+
+void CheckpointWorker::run() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return; // stop_ && drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      active_ += 1;
+    }
+    encode_and_store(std::move(job), /*via_queue=*/true);
+    {
+      std::lock_guard lock(mu_);
+      active_ -= 1;
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+void CheckpointWorker::encode_and_store(Job job, bool via_queue) {
+  if (cfg_.encode_delay.count() > 0)
+    std::this_thread::sleep_for(cfg_.encode_delay);
+
+  const CodecConfig& codec = store_.codec();
+  auto base = store_.base_info(job.app);
+  const bool delta_ok = codec.full_every > 1 && base &&
+                        base->deltas_since_full + 1 < codec.full_every;
+  EncodedSnapshot snap =
+      delta_ok ? encode_delta(job.event_seq, job.taken_at, std::move(job.state),
+                              base->hashes, base->state_size, codec)
+               : encode_full(job.event_seq, job.taken_at, std::move(job.state),
+                             codec);
+  const std::size_t stored = snap.stored_bytes();
+  const bool is_full = snap.is_full;
+  store_.put(job.app, std::move(snap));
+
+  const double lag_us = std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - job.submitted_at)
+                            .count();
+  std::lock_guard lock(mu_);
+  if (via_queue) {
+    stats_.encoded_async += 1;
+  } else {
+    stats_.encoded_inline += 1;
+  }
+  if (is_full) {
+    stats_.full_snapshots += 1;
+  } else {
+    stats_.delta_snapshots += 1;
+  }
+  stats_.stored_bytes += stored;
+  stats_.encode_lag_us.add(lag_us);
+}
+
+void CheckpointWorker::flush() {
+  std::unique_lock lock(mu_);
+  drain_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+std::size_t CheckpointWorker::in_flight() const {
+  std::lock_guard lock(mu_);
+  return queue_.size() + active_;
+}
+
+CheckpointWorker::Stats CheckpointWorker::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+} // namespace legosdn::checkpoint

@@ -1,0 +1,102 @@
+// Asynchronous checkpoint encoding pipeline (§5).
+//
+// The event hot path should pay only for *capturing* app state, never for
+// encoding it: the controller hands the raw capture to this worker, which
+// chunk-hashes, delta-diffs, (optionally) compresses, and inserts into the
+// SnapshotStore on a background thread. Per-app ordering is preserved by a
+// single FIFO worker, which is what keeps the store's delta chains valid —
+// every delta is diffed against the snapshot encoded immediately before it.
+//
+// Backpressure: the queue is bounded; when it is full the submit encodes
+// inline on the caller's thread instead of blocking or dropping (a checkpoint
+// is never lost, the hot path just temporarily degrades to the synchronous
+// cost — `stats().inline_encodes` counts how often).
+//
+// Sync mode (Config::async = false) encodes every submit inline; it exists
+// so benches and determinism tests can run the identical codec path with and
+// without the thread hop.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "checkpoint/snapshot_store.hpp"
+#include "common/stats.hpp"
+
+namespace legosdn::checkpoint {
+
+class CheckpointWorker {
+public:
+  struct Config {
+    bool async = true;
+    /// Queue depth beyond which submits encode inline (backpressure).
+    std::size_t max_queue = 64;
+    /// Artificial per-encode delay, for tests that need a snapshot to be
+    /// observably "in flight" when a crash hits.
+    std::chrono::microseconds encode_delay{0};
+  };
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t encoded_async = 0;
+    std::uint64_t encoded_inline = 0; ///< sync mode or queue backpressure
+    std::uint64_t inline_encodes = 0; ///< backpressure-only subset
+    std::uint64_t full_snapshots = 0;
+    std::uint64_t delta_snapshots = 0;
+    std::uint64_t raw_bytes = 0;    ///< captured state bytes submitted
+    std::uint64_t stored_bytes = 0; ///< encoded bytes handed to the store
+    /// Time from submit to the snapshot landing in the store. In sync mode
+    /// this is just the encode cost; in async mode it includes queue wait.
+    LatencyHistogram encode_lag_us;
+  };
+
+  CheckpointWorker(SnapshotStore& store, Config cfg);
+  ~CheckpointWorker();
+
+  CheckpointWorker(const CheckpointWorker&) = delete;
+  CheckpointWorker& operator=(const CheckpointWorker&) = delete;
+
+  /// Hand off one captured state. Cheap in async mode: a move plus a
+  /// condition-variable signal. `event_seq` follows SnapshotStore semantics
+  /// (capture happened *before* this event).
+  void submit(AppId app, std::uint64_t event_seq, SimTime taken_at, Bytes state);
+
+  /// Block until every submitted snapshot is in the store.
+  void flush();
+
+  /// Snapshots submitted but not yet stored (0 in sync mode).
+  std::size_t in_flight() const;
+
+  Stats stats() const;
+
+private:
+  struct Job {
+    AppId app{};
+    std::uint64_t event_seq = 0;
+    SimTime taken_at{};
+    Bytes state;
+    std::chrono::steady_clock::time_point submitted_at;
+  };
+
+  void run();
+  void encode_and_store(Job job, bool via_queue);
+
+  SnapshotStore& store_;
+  Config cfg_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< signals the worker: job or stop
+  std::condition_variable drain_cv_; ///< signals flush(): queue drained
+  std::deque<Job> queue_;
+  std::size_t active_ = 0; ///< jobs dequeued but not yet stored
+  bool stop_ = false;
+  Stats stats_{};
+
+  std::thread thread_; ///< last member: joins before the rest tears down
+};
+
+} // namespace legosdn::checkpoint

@@ -1,0 +1,198 @@
+#include "checkpoint/delta_codec.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace legosdn::checkpoint {
+
+std::uint64_t chunk_hash(std::span<const std::uint8_t> bytes) noexcept {
+  // FNV-1a 64.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::vector<std::uint64_t> chunk_hashes(std::span<const std::uint8_t> state,
+                                        std::size_t chunk_size) {
+  std::vector<std::uint64_t> out;
+  if (chunk_size == 0) chunk_size = 1;
+  out.reserve((state.size() + chunk_size - 1) / chunk_size);
+  for (std::size_t off = 0; off < state.size(); off += chunk_size) {
+    const std::size_t n = std::min(chunk_size, state.size() - off);
+    out.push_back(chunk_hash(state.subspan(off, n)));
+  }
+  return out;
+}
+
+namespace {
+
+// RLE token byte: 0x00..0x7F = literal run of (t+1) bytes following;
+// 0x80..0xFF = the next byte repeated (t - 0x80 + 3) times.
+constexpr std::size_t kMaxLiteral = 128;
+constexpr std::size_t kMinRun = 3;
+constexpr std::size_t kMaxRun = 130;
+
+} // namespace
+
+Bytes rle_compress(std::span<const std::uint8_t> in) {
+  Bytes out;
+  out.reserve(in.size() / 2 + 8);
+  std::size_t lit_start = 0; // start of the pending literal run
+  std::size_t i = 0;
+
+  auto flush_literals = [&](std::size_t end) {
+    while (lit_start < end) {
+      const std::size_t n = std::min(kMaxLiteral, end - lit_start);
+      out.push_back(static_cast<std::uint8_t>(n - 1));
+      out.insert(out.end(), in.begin() + static_cast<std::ptrdiff_t>(lit_start),
+                 in.begin() + static_cast<std::ptrdiff_t>(lit_start + n));
+      lit_start += n;
+    }
+  };
+
+  while (i < in.size()) {
+    std::size_t run = 1;
+    while (i + run < in.size() && in[i + run] == in[i] && run < kMaxRun) ++run;
+    if (run >= kMinRun) {
+      flush_literals(i);
+      out.push_back(static_cast<std::uint8_t>(0x80 + (run - kMinRun)));
+      out.push_back(in[i]);
+      i += run;
+      lit_start = i;
+    } else {
+      i += run;
+    }
+  }
+  flush_literals(in.size());
+  return out;
+}
+
+Result<Bytes> rle_decompress(std::span<const std::uint8_t> in,
+                             std::size_t expected_size) {
+  Bytes out;
+  out.reserve(expected_size);
+  std::size_t i = 0;
+  while (i < in.size()) {
+    const std::uint8_t t = in[i++];
+    if (t < 0x80) {
+      const std::size_t n = std::size_t{t} + 1;
+      if (i + n > in.size())
+        return Error{Error::Code::kTruncated, "rle literal run past input end"};
+      out.insert(out.end(), in.begin() + static_cast<std::ptrdiff_t>(i),
+                 in.begin() + static_cast<std::ptrdiff_t>(i + n));
+      i += n;
+    } else {
+      if (i >= in.size())
+        return Error{Error::Code::kTruncated, "rle run missing repeat byte"};
+      out.insert(out.end(), std::size_t{t} - 0x80 + kMinRun, in[i++]);
+    }
+    if (out.size() > expected_size)
+      return Error{Error::Code::kParse, "rle output exceeds expected size"};
+  }
+  if (out.size() != expected_size)
+    return Error{Error::Code::kParse, "rle output shorter than expected size"};
+  return out;
+}
+
+std::size_t EncodedSnapshot::stored_bytes() const noexcept {
+  std::size_t n = full.size() + hashes.size() * sizeof(std::uint64_t);
+  for (const auto& c : dirty) n += c.data.size() + sizeof(DirtyChunk);
+  return n;
+}
+
+EncodedSnapshot encode_full(std::uint64_t event_seq, SimTime taken_at,
+                            Bytes state, const CodecConfig& cfg) {
+  EncodedSnapshot snap;
+  snap.event_seq = event_seq;
+  snap.taken_at = taken_at;
+  snap.is_full = true;
+  snap.state_size = state.size();
+  snap.hashes = chunk_hashes(state, cfg.chunk_size);
+  if (cfg.compress) {
+    Bytes packed = rle_compress(state);
+    if (packed.size() < state.size()) {
+      snap.compressed = true;
+      snap.full = std::move(packed);
+      return snap;
+    }
+  }
+  snap.full = std::move(state);
+  return snap;
+}
+
+EncodedSnapshot encode_delta(std::uint64_t event_seq, SimTime taken_at,
+                             Bytes state,
+                             const std::vector<std::uint64_t>& base_hashes,
+                             std::size_t base_size, const CodecConfig& cfg) {
+  EncodedSnapshot snap;
+  snap.event_seq = event_seq;
+  snap.taken_at = taken_at;
+  snap.is_full = false;
+  snap.state_size = state.size();
+  snap.hashes = chunk_hashes(state, cfg.chunk_size);
+
+  const std::size_t chunk = cfg.chunk_size == 0 ? 1 : cfg.chunk_size;
+  for (std::size_t idx = 0; idx < snap.hashes.size(); ++idx) {
+    const std::size_t off = idx * chunk;
+    const std::size_t n = std::min(chunk, state.size() - off);
+    // A base chunk is reusable only when it covered the same byte range:
+    // the base's tail chunk may be shorter (or longer) than ours, and a
+    // hash over a different length must not be trusted even if it matches.
+    const std::size_t base_n =
+        off < base_size ? std::min(chunk, base_size - off) : 0;
+    const bool clean = idx < base_hashes.size() && n == base_n &&
+                       base_hashes[idx] == snap.hashes[idx];
+    if (clean) continue;
+    DirtyChunk dc;
+    dc.index = static_cast<std::uint32_t>(idx);
+    dc.raw_size = static_cast<std::uint32_t>(n);
+    std::span<const std::uint8_t> payload(state.data() + off, n);
+    if (cfg.compress) {
+      Bytes packed = rle_compress(payload);
+      if (packed.size() < n) {
+        dc.compressed = true;
+        dc.data = std::move(packed);
+        snap.dirty.push_back(std::move(dc));
+        continue;
+      }
+    }
+    dc.data.assign(payload.begin(), payload.end());
+    snap.dirty.push_back(std::move(dc));
+  }
+  return snap;
+}
+
+Result<Bytes> decode_full(const EncodedSnapshot& snap) {
+  if (!snap.is_full)
+    return Error{Error::Code::kConflict, "decode_full on a delta snapshot"};
+  if (!snap.compressed) return snap.full;
+  return rle_decompress(snap.full, snap.state_size);
+}
+
+Status apply_delta(Bytes& state, const EncodedSnapshot& delta,
+                   std::size_t chunk_size) {
+  if (delta.is_full)
+    return Error{Error::Code::kConflict, "apply_delta on a full snapshot"};
+  const std::size_t chunk = chunk_size == 0 ? 1 : chunk_size;
+  state.resize(delta.state_size, 0);
+  for (const auto& dc : delta.dirty) {
+    const std::size_t off = std::size_t{dc.index} * chunk;
+    if (off + dc.raw_size > state.size())
+      return Error{Error::Code::kParse, "delta chunk past state end"};
+    if (dc.compressed) {
+      auto raw = rle_decompress(dc.data, dc.raw_size);
+      if (!raw) return raw.error();
+      std::memcpy(state.data() + off, raw.value().data(), dc.raw_size);
+    } else {
+      if (dc.data.size() != dc.raw_size)
+        return Error{Error::Code::kParse, "delta chunk size mismatch"};
+      std::memcpy(state.data() + off, dc.data.data(), dc.raw_size);
+    }
+  }
+  return Status::success();
+}
+
+} // namespace legosdn::checkpoint

@@ -2,47 +2,178 @@
 
 namespace legosdn::checkpoint {
 
-void SnapshotStore::put(AppId app, Snapshot snap) {
+void SnapshotStore::put(AppId app, EncodedSnapshot snap) {
+  std::lock_guard lock(mu_);
   auto& q = by_app_[app];
-  total_bytes_ += snap.state.size();
+  if (!snap.is_full && q.empty()) {
+    // Chain invariant 1: the front must be a full base. A delta with no
+    // predecessor (cleared app, first snapshot) has nothing to chain to.
+    stats_.orphan_deltas_dropped += 1;
+    return;
+  }
+  if (snap.is_full) {
+    stats_.fulls_stored += 1;
+  } else {
+    stats_.deltas_stored += 1;
+  }
+  total_bytes_ += snap.stored_bytes();
+  stats_.logical_bytes += snap.state_size;
   q.push_back(std::move(snap));
-  while (q.size() > keep_) {
-    total_bytes_ -= q.front().state.size();
-    q.pop_front();
+  while (q.size() > keep_) evict_front(q);
+}
+
+void SnapshotStore::evict_front(Chain& q) {
+  // Chain invariant 2: q[1] (if a delta) is diffed against q[0]. Rebase it
+  // into a full snapshot before the base disappears.
+  if (q.size() >= 2 && !q[1].is_full) {
+    std::optional<Bytes> composed = materialize(q, 1);
+    if (!composed) {
+      // Corrupt chain: drop the front and every delta chained onto it so
+      // the new front is a full base again.
+      do {
+        total_bytes_ -= q.front().stored_bytes();
+        stats_.logical_bytes -= q.front().state_size;
+        q.pop_front();
+      } while (!q.empty() && !q.front().is_full);
+      return;
+    }
+    // Account for the delta before its parts are moved out of q[1] below —
+    // stored_bytes() counts the chunk map, and moving hashes first would
+    // make the subtraction undercount, leaking total_bytes_ on every rebase.
+    total_bytes_ -= q[1].stored_bytes();
+    EncodedSnapshot rebased;
+    rebased.event_seq = q[1].event_seq;
+    rebased.taken_at = q[1].taken_at;
+    rebased.is_full = true;
+    rebased.state_size = composed->size();
+    rebased.hashes = std::move(q[1].hashes); // same state, same chunk map
+    if (codec_.compress) {
+      Bytes packed = rle_compress(*composed);
+      if (packed.size() < composed->size()) {
+        rebased.compressed = true;
+        rebased.full = std::move(packed);
+      }
+    }
+    if (rebased.full.empty() && rebased.state_size != 0)
+      rebased.full = std::move(*composed);
+    total_bytes_ += rebased.stored_bytes();
+    q[1] = std::move(rebased);
+    stats_.rebases += 1;
   }
+  total_bytes_ -= q.front().stored_bytes();
+  stats_.logical_bytes -= q.front().state_size;
+  q.pop_front();
 }
 
-const Snapshot* SnapshotStore::latest(AppId app) const {
-  auto it = by_app_.find(app);
-  if (it == by_app_.end() || it->second.empty()) return nullptr;
-  return &it->second.back();
-}
-
-const Snapshot* SnapshotStore::at_or_before(AppId app, std::uint64_t seq) const {
-  auto it = by_app_.find(app);
-  if (it == by_app_.end()) return nullptr;
-  const Snapshot* best = nullptr;
-  for (const auto& s : it->second) {
-    if (s.event_seq <= seq && (!best || s.event_seq > best->event_seq)) best = &s;
+std::optional<Bytes> SnapshotStore::materialize(const Chain& q,
+                                                std::size_t idx) const {
+  // Walk back to the nearest full base, then apply deltas forward.
+  std::size_t base = idx;
+  while (base > 0 && !q[base].is_full) --base;
+  auto state = decode_full(q[base]);
+  if (!state) {
+    stats_.compose_failures += 1;
+    return std::nullopt;
   }
-  return best;
+  Bytes out = std::move(state).value();
+  for (std::size_t i = base + 1; i <= idx; ++i) {
+    if (Status st = apply_delta(out, q[i], codec_.chunk_size); !st) {
+      stats_.compose_failures += 1;
+      return std::nullopt;
+    }
+  }
+  return out;
 }
 
-const std::deque<Snapshot>* SnapshotStore::history(AppId app) const {
+std::optional<Snapshot> SnapshotStore::snapshot_at(const Chain& q,
+                                                   std::size_t idx) const {
+  auto state = materialize(q, idx);
+  if (!state) return std::nullopt;
+  return Snapshot{q[idx].event_seq, q[idx].taken_at, std::move(*state)};
+}
+
+std::optional<Snapshot> SnapshotStore::latest(AppId app) const {
+  std::lock_guard lock(mu_);
   auto it = by_app_.find(app);
-  return it == by_app_.end() ? nullptr : &it->second;
+  if (it == by_app_.end() || it->second.empty()) return std::nullopt;
+  return snapshot_at(it->second, it->second.size() - 1);
+}
+
+std::optional<Snapshot> SnapshotStore::at_or_before(AppId app,
+                                                    std::uint64_t seq) const {
+  std::lock_guard lock(mu_);
+  auto it = by_app_.find(app);
+  if (it == by_app_.end()) return std::nullopt;
+  const Chain& q = it->second;
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    if (q[i].event_seq <= seq) best = i; // seqs are nondecreasing
+  }
+  if (!best) return std::nullopt;
+  return snapshot_at(q, *best);
+}
+
+std::optional<Snapshot> SnapshotStore::oldest(AppId app) const {
+  std::lock_guard lock(mu_);
+  auto it = by_app_.find(app);
+  if (it == by_app_.end() || it->second.empty()) return std::nullopt;
+  return snapshot_at(it->second, 0);
+}
+
+std::optional<std::uint64_t> SnapshotStore::latest_seq(AppId app) const {
+  std::lock_guard lock(mu_);
+  auto it = by_app_.find(app);
+  if (it == by_app_.end() || it->second.empty()) return std::nullopt;
+  return it->second.back().event_seq;
+}
+
+std::optional<BaseInfo> SnapshotStore::base_info(AppId app) const {
+  std::lock_guard lock(mu_);
+  auto it = by_app_.find(app);
+  if (it == by_app_.end() || it->second.empty()) return std::nullopt;
+  const Chain& q = it->second;
+  BaseInfo info;
+  info.hashes = q.back().hashes;
+  info.state_size = q.back().state_size;
+  for (auto r = q.rbegin(); r != q.rend() && !r->is_full; ++r)
+    info.deltas_since_full += 1;
+  return info;
+}
+
+std::vector<std::uint64_t> SnapshotStore::seqs(AppId app) const {
+  std::lock_guard lock(mu_);
+  std::vector<std::uint64_t> out;
+  auto it = by_app_.find(app);
+  if (it == by_app_.end()) return out;
+  for (const auto& s : it->second) out.push_back(s.event_seq);
+  return out;
 }
 
 std::size_t SnapshotStore::count(AppId app) const {
+  std::lock_guard lock(mu_);
   auto it = by_app_.find(app);
   return it == by_app_.end() ? 0 : it->second.size();
 }
 
+std::size_t SnapshotStore::total_bytes() const {
+  std::lock_guard lock(mu_);
+  return total_bytes_;
+}
+
 void SnapshotStore::clear(AppId app) {
+  std::lock_guard lock(mu_);
   auto it = by_app_.find(app);
   if (it == by_app_.end()) return;
-  for (const auto& s : it->second) total_bytes_ -= s.state.size();
+  for (const auto& s : it->second) {
+    total_bytes_ -= s.stored_bytes();
+    stats_.logical_bytes -= s.state_size;
+  }
   by_app_.erase(it);
+}
+
+SnapshotStore::StoreStats SnapshotStore::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
 }
 
 } // namespace legosdn::checkpoint

@@ -4,49 +4,114 @@
 //  processing of an event and should a failure occur, it can easily revert
 //  to this snapshot." (§3.3)
 //
-// The store keeps a bounded history per app (newest last) so the §5
-// extension — rolling back to an *earlier* checkpoint when a failure spans
-// multiple events — has material to work with.
+// The store keeps a bounded history per app (newest last) in *encoded* form:
+// periodic full bases plus chained deltas (see delta_codec.hpp). Reads
+// materialize a snapshot by composing the nearest preceding full base with
+// the deltas after it. Two invariants make eviction safe:
+//
+//   1. the front of every per-app deque is a full snapshot, and
+//   2. every delta's predecessor is the element immediately before it.
+//
+// Evicting a full base whose successor is a delta therefore *rebases*: the
+// base and the delta are composed into a new full snapshot in the
+// successor's place, so the chain never dangles (the `keep_per_app`
+// boundary case from §5's bounded-history requirement).
+//
+// All public methods are thread-safe: the CheckpointWorker writes from its
+// background thread while the controller's recovery path reads.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "checkpoint/delta_codec.hpp"
 #include "common/clock.hpp"
 #include "common/types.hpp"
 
 namespace legosdn::checkpoint {
 
+/// A materialized (fully composed) snapshot, as handed to restore paths.
 struct Snapshot {
   std::uint64_t event_seq = 0; ///< snapshot was taken *before* this event
   SimTime taken_at{};
-  std::vector<std::uint8_t> state;
+  Bytes state;
+};
+
+/// What the delta encoder needs to know about an app's newest snapshot.
+struct BaseInfo {
+  std::vector<std::uint64_t> hashes; ///< chunk map of the newest snapshot
+  std::size_t state_size = 0;
+  std::uint64_t deltas_since_full = 0; ///< chain length at the tail
 };
 
 class SnapshotStore {
 public:
-  explicit SnapshotStore(std::size_t keep_per_app = 8) : keep_(keep_per_app) {}
+  explicit SnapshotStore(std::size_t keep_per_app = 8, CodecConfig codec = {})
+      : keep_(keep_per_app == 0 ? 1 : keep_per_app), codec_(codec) {}
 
-  void put(AppId app, Snapshot snap);
+  /// Insert an encoded snapshot (newest last). A delta whose predecessor is
+  /// missing (first snapshot of an app, or the app was cleared underneath
+  /// an in-flight encode) cannot be chained and is dropped — the counter
+  /// `stats().orphan_deltas_dropped` records it.
+  void put(AppId app, EncodedSnapshot snap);
 
-  /// Most recent snapshot, or nullptr if none.
-  const Snapshot* latest(AppId app) const;
+  /// Materialize the most recent snapshot, if any.
+  std::optional<Snapshot> latest(AppId app) const;
 
-  /// Newest snapshot with event_seq <= seq (for multi-event fault recovery).
-  const Snapshot* at_or_before(AppId app, std::uint64_t seq) const;
+  /// Materialize the newest snapshot with event_seq <= seq (for multi-event
+  /// fault recovery).
+  std::optional<Snapshot> at_or_before(AppId app, std::uint64_t seq) const;
 
-  const std::deque<Snapshot>* history(AppId app) const;
+  /// Materialize the oldest retained snapshot (delta-debugging base).
+  std::optional<Snapshot> oldest(AppId app) const;
+
+  /// event_seq of the newest stored snapshot (nullopt if none). Cheap: no
+  /// materialization.
+  std::optional<std::uint64_t> latest_seq(AppId app) const;
+
+  /// Chunk map of the newest stored snapshot, for encoding the next delta.
+  std::optional<BaseInfo> base_info(AppId app) const;
+
+  /// event_seq of every retained snapshot, oldest first (introspection).
+  std::vector<std::uint64_t> seqs(AppId app) const;
 
   std::size_t count(AppId app) const;
-  std::size_t total_bytes() const noexcept { return total_bytes_; }
+  std::size_t total_bytes() const; ///< stored (encoded) bytes across apps
   void clear(AppId app);
 
+  struct StoreStats {
+    std::uint64_t fulls_stored = 0;
+    std::uint64_t deltas_stored = 0;
+    std::uint64_t rebases = 0; ///< evictions that materialized a new base
+    std::uint64_t orphan_deltas_dropped = 0;
+    std::uint64_t compose_failures = 0; ///< corrupt chain detected on read
+    std::uint64_t logical_bytes = 0;    ///< uncompressed state bytes retained
+  };
+  StoreStats stats() const;
+
+  const CodecConfig& codec() const noexcept { return codec_; }
+
 private:
-  std::unordered_map<AppId, std::deque<Snapshot>> by_app_;
+  using Chain = std::deque<EncodedSnapshot>;
+
+  /// Compose chain[0..idx] into raw state bytes. Returns nullopt (and bumps
+  /// compose_failures) if the chain is corrupt.
+  std::optional<Bytes> materialize(const Chain& q, std::size_t idx) const;
+
+  std::optional<Snapshot> snapshot_at(const Chain& q, std::size_t idx) const;
+
+  void evict_front(Chain& q);
+
+  mutable std::mutex mu_;
+  std::unordered_map<AppId, Chain> by_app_;
   std::size_t keep_;
+  CodecConfig codec_;
   std::size_t total_bytes_ = 0;
+  mutable StoreStats stats_{};
 };
 
 } // namespace legosdn::checkpoint

@@ -11,6 +11,10 @@ std::string ProblemTicket::to_string() const {
      << "  offending event: " << offending_event << "\n"
      << "  crash info:      " << crash_info << "\n"
      << "  recovery policy: " << policy_applied;
+  if (restore_available) {
+    os << "\n  rollback:        checkpoint @" << restore_seq << " + "
+       << replay_span << " replayed event" << (replay_span == 1 ? "" : "s");
+  }
   if (!recent_events.empty()) {
     os << "\n  recent events:";
     for (const auto& e : recent_events) os << "\n    " << e;

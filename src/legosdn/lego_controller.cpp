@@ -1,6 +1,7 @@
 #include "legosdn/lego_controller.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
 #include "common/log.hpp"
@@ -12,7 +13,10 @@ LegoController::LegoController(netsim::Network& net, LegoConfig cfg)
     : ctl::Controller(net),
       cfg_(std::move(cfg)),
       netlog_(net, cfg_.netlog),
-      snapshots_(cfg_.snapshot_keep),
+      snapshots_(cfg_.snapshot_keep, cfg_.checkpoint.codec),
+      ckpt_worker_(snapshots_,
+                   {cfg_.checkpoint.async, cfg_.checkpoint.max_queue,
+                    cfg_.checkpoint.encode_delay}),
       transformer_(net),
       checker_(net) {}
 
@@ -41,24 +45,63 @@ void LegoController::upgrade_restart() {
   start();
 }
 
+std::uint64_t LegoController::effective_checkpoint_every(AppId app) const {
+  auto it = per_app_.find(app);
+  const std::uint64_t base = cfg_.checkpoint_every ? cfg_.checkpoint_every : 1;
+  if (it == per_app_.end() || it->second.effective_every == 0) return base;
+  return it->second.effective_every;
+}
+
 void LegoController::maybe_checkpoint(appvisor::AppEntry& entry, const ctl::Event& e) {
   PerApp& pa = per_app_[entry.id];
-  const bool due = cfg_.checkpoint_every <= 1 ||
-                   pa.seen - pa.last_checkpoint >= cfg_.checkpoint_every ||
+  const std::uint64_t every =
+      pa.effective_every ? pa.effective_every
+                         : (cfg_.checkpoint_every ? cfg_.checkpoint_every : 1);
+  const bool due = every <= 1 || pa.seen - pa.last_checkpoint >= every ||
                    pa.last_checkpoint == 0;
   if (due) {
+    // The hot path pays only for the capture + queue handoff; chunk hashing,
+    // delta diffing, compression and store insertion run on the worker (§5).
+    const auto t0 = std::chrono::steady_clock::now();
     auto snap = entry.domain->snapshot();
     if (snap) {
       lego_stats_.checkpoints += 1;
       lego_stats_.checkpoint_bytes += snap.value().size();
-      snapshots_.put(entry.id, {pa.seen, net_.now(), std::move(snap).value()});
+      const std::uint64_t interval =
+          pa.last_checkpoint ? pa.seen - pa.last_checkpoint : 1;
+      ckpt_worker_.submit(entry.id, pa.seen, net_.now(), std::move(snap).value());
       pa.last_checkpoint = pa.seen;
-      event_log_.truncate(entry.id, pa.seen);
+
+      // Adaptive cadence: estimate the hot-path cost amortized over the
+      // events this checkpoint covers, and widen when it blows the budget.
+      const auto& ad = cfg_.checkpoint.adaptive;
+      if (ad.enabled) {
+        const double cost_us = std::chrono::duration<double, std::micro>(
+                                   std::chrono::steady_clock::now() - t0)
+                                   .count();
+        const double per_event =
+            cost_us / static_cast<double>(interval ? interval : 1);
+        pa.cost_ewma_us =
+            pa.cost_ewma_us == 0 ? per_event
+                                 : 0.7 * pa.cost_ewma_us + 0.3 * per_event;
+        const std::uint64_t cur = pa.effective_every ? pa.effective_every
+                                  : cfg_.checkpoint_every ? cfg_.checkpoint_every
+                                                          : 1;
+        if (pa.cost_ewma_us > ad.budget_us_per_event && cur < ad.max_every) {
+          pa.effective_every = std::min(cur * 2, ad.max_every);
+          lego_stats_.adaptive_widens += 1;
+        }
+      }
     }
   }
-  // The event log holds everything since the last checkpoint (for replay and
-  // for delta debugging); the offender itself is appended before delivery so
-  // the log matches what the app actually saw.
+  // The event log holds everything since the last *stored* checkpoint (for
+  // replay and for delta debugging). Truncation follows the store, not the
+  // capture: an async snapshot still in flight must keep its replay suffix
+  // alive in case a crash forces a fallback to an older complete snapshot.
+  if (auto stored = snapshots_.latest_seq(entry.id))
+    event_log_.truncate(entry.id, *stored);
+  // The offender itself is appended before delivery so the log matches what
+  // the app actually saw.
   event_log_.append(entry.id, pa.seen, e);
 }
 
@@ -209,7 +252,11 @@ void LegoController::dispatch(ctl::Event e) {
 }
 
 bool LegoController::restore_app(appvisor::AppEntry& entry) {
-  const checkpoint::Snapshot* snap = snapshots_.latest(entry.id);
+  // Composed restore: the store materializes base + deltas. If the newest
+  // capture is still in flight on the worker, this returns the previous
+  // *complete* snapshot — the replay below covers the gap from the event
+  // log, which is only truncated up to stored (not captured) snapshots.
+  const std::optional<checkpoint::Snapshot> snap = snapshots_.latest(entry.id);
   Status st = snap ? entry.domain->restore(snap->state) : entry.domain->restart();
   if (!st) {
     LEGOSDN_LOG_ERROR("crash-pad", "restore of '%s' failed: %s",
@@ -223,20 +270,40 @@ bool LegoController::restore_app(appvisor::AppEntry& entry) {
   // Periodic checkpointing (§5): replay events logged since the snapshot so
   // the app state catches up to just before the offender. Replay outputs are
   // discarded — the network already executed them when they first happened.
-  if (snap && cfg_.replay_on_restore && cfg_.checkpoint_every > 1) {
+  // With no stored snapshot at all (every capture still in flight on the
+  // worker), the restart above reset the app; replaying the full log — never
+  // truncated past a snapshot that has not landed — rebuilds its state.
+  if (cfg_.replay_on_restore) {
     const PerApp& pa = per_app_[entry.id];
-    // The snapshot was taken *before* the event numbered snap->event_seq was
+    // A snapshot is taken *before* the event numbered snap->event_seq is
     // delivered, so replay covers [snap->event_seq, offender) where the
     // offender is the event numbered pa.seen (excluded: replaying it would
     // just crash the app again).
-    for (const auto& le : event_log_.range(entry.id, snap->event_seq, pa.seen)) {
-      auto outcome = entry.domain->deliver(le.event, net_.now());
-      lego_stats_.replayed_events += 1;
-      if (!outcome.ok()) {
-        // A replayed event also crashes the app (multi-event bug): skip it
-        // and keep replaying — the delta debugger exists to triage this.
-        if (!entry.domain->restore(snap->state)) return false;
+    const std::uint64_t from = snap ? snap->event_seq : 0;
+    const auto logged = event_log_.range(entry.id, from, pa.seen);
+    // A replayed event can itself crash the app (an earlier offender that is
+    // still in the log, or a multi-event bug). Mark it, rewind to the
+    // snapshot, and recompose without it: the result is always
+    //   snapshot + every non-crashing logged event, in order,
+    // independent of *which* snapshot the fallback landed on — so recovery
+    // stays deterministic even when worker timing moves the restore point.
+    std::vector<bool> skip(logged.size(), false);
+    for (std::size_t attempt = 0; attempt <= logged.size(); ++attempt) {
+      bool crashed = false;
+      for (std::size_t i = 0; i < logged.size(); ++i) {
+        if (skip[i]) continue;
+        auto outcome = entry.domain->deliver(logged[i].event, net_.now());
+        lego_stats_.replayed_events += 1;
+        if (!outcome.ok()) {
+          skip[i] = true;
+          Status rewind = snap ? entry.domain->restore(snap->state)
+                               : entry.domain->restart();
+          if (!rewind) return false;
+          crashed = true;
+          break;
+        }
       }
+      if (!crashed) break;
     }
   }
   return true;
@@ -247,22 +314,24 @@ LegoController::LocalizeResult LegoController::localize_fault(
   LocalizeResult out;
   appvisor::AppEntry* entry = visor_.entry(app);
   if (!entry) return out;
-  const auto* history = snapshots_.history(app);
-  if (!history || history->empty()) return out;
-  const checkpoint::Snapshot& base = history->front(); // oldest retained
+  // Probing rewinds to the *oldest* retained checkpoint; make sure every
+  // captured snapshot has landed so the probe base is as old as possible.
+  ckpt_worker_.flush();
+  const std::optional<checkpoint::Snapshot> base = snapshots_.oldest(app);
+  if (!base) return out;
   const PerApp& pa = per_app_[app];
 
   // Candidate history: everything logged since the base checkpoint, plus the
   // offender itself at the end.
   std::vector<ctl::Event> events;
-  for (const auto& le : event_log_.range(app, base.event_seq, pa.seen + 1))
+  for (const auto& le : event_log_.range(app, base->event_seq, pa.seen + 1))
     events.push_back(le.event);
   if (events.empty() || !(events.back() == offender)) events.push_back(offender);
 
   // Probe: rewind the live domain to the base checkpoint and replay the
   // candidate subsequence, discarding outputs.
   auto probe = [&](const std::vector<ctl::Event>& candidate) {
-    if (!entry->domain->restore(base.state)) return false;
+    if (!entry->domain->restore(base->state)) return false;
     for (const auto& ev : candidate) {
       auto outcome = entry->domain->deliver(ev, net_.now());
       if (!outcome.ok()) return true;
@@ -275,7 +344,7 @@ LegoController::LocalizeResult LegoController::localize_fault(
   out.reproduced = res.reproduced;
 
   // Leave the app in its most recent consistent state.
-  if (const checkpoint::Snapshot* latest = snapshots_.latest(app)) {
+  if (const auto latest = snapshots_.latest(app)) {
     entry->domain->restore(latest->state);
   } else {
     entry->domain->restart();
@@ -298,6 +367,18 @@ void LegoController::recover(appvisor::AppEntry& entry, const ctl::Event& offend
                      static_cast<unsigned long long>(entry.crashes));
   }
 
+  // A crash tightens the adaptive cadence back to the configured base:
+  // recovery quality (short replay suffixes) beats hot-path headroom while
+  // the app is misbehaving.
+  {
+    PerApp& pa = per_app_[entry.id];
+    if (pa.effective_every != 0) {
+      pa.effective_every = 0;
+      pa.cost_ewma_us = 0;
+      lego_stats_.adaptive_tightens += 1;
+    }
+  }
+
   crashpad::ProblemTicket ticket;
   ticket.app = entry.domain->app_name();
   ticket.event_seq = event_seq_;
@@ -305,6 +386,16 @@ void LegoController::recover(appvisor::AppEntry& entry, const ctl::Event& offend
   ticket.crash_info = (byzantine ? "[byzantine] " : "[fail-stop] ") + crash_info;
   ticket.policy_applied = crashpad::to_string(policy);
   ticket.at = net_.now();
+  // Which checkpoint the composed restore will rewind to (the newest
+  // *stored* snapshot — a capture still in flight on the worker does not
+  // count), and how many logged events the replay must cover.
+  if (auto stored = snapshots_.latest_seq(entry.id)) {
+    ticket.restore_available = true;
+    ticket.restore_seq = *stored;
+    ticket.replay_span = per_app_[entry.id].seen > *stored
+                             ? per_app_[entry.id].seen - *stored
+                             : 0;
+  }
   // Attach the controller-log excerpt: the last few events this app saw
   // ("the problem ticket can help developers to triage the SDN-App's bug").
   {
@@ -353,6 +444,19 @@ void LegoController::recover(appvisor::AppEntry& entry, const ctl::Event& offend
   }
 
   lego_stats_.events_ignored += 1;
+}
+
+LegoController::LegoStats LegoController::lego_stats() const {
+  LegoStats s = lego_stats_;
+  const auto ws = ckpt_worker_.stats();
+  s.full_snapshots = ws.full_snapshots;
+  s.delta_snapshots = ws.delta_snapshots;
+  s.checkpoint_stored_bytes = ws.stored_bytes;
+  s.checkpoint_bytes_saved =
+      ws.raw_bytes > ws.stored_bytes ? ws.raw_bytes - ws.stored_bytes : 0;
+  s.inline_encodes = ws.inline_encodes;
+  s.encode_lag_us = ws.encode_lag_us;
+  return s;
 }
 
 } // namespace legosdn::lego

@@ -20,8 +20,10 @@
 #pragma once
 
 #include "appvisor/appvisor.hpp"
+#include "checkpoint/checkpoint_worker.hpp"
 #include "checkpoint/event_log.hpp"
 #include "checkpoint/snapshot_store.hpp"
+#include "common/stats.hpp"
 #include "controller/controller.hpp"
 #include "crashpad/policy.hpp"
 #include "crashpad/ticket.hpp"
@@ -44,6 +46,34 @@ struct LegoConfig {
   std::uint64_t checkpoint_every = 1;
   std::size_t snapshot_keep = 8;
   bool replay_on_restore = true;
+
+  /// §5 "Minimizing checkpointing overheads": the incremental, off-hot-path
+  /// checkpoint pipeline (delta_codec.hpp, checkpoint_worker.hpp).
+  struct CheckpointConfig {
+    /// Encode snapshots on the background worker; the event path pays only
+    /// the state capture plus a queue handoff. false = encode inline (the
+    /// legacy synchronous behaviour, still using the chunked store format).
+    bool async = true;
+    /// Chunking, delta cadence (full_every) and compression.
+    checkpoint::CodecConfig codec{};
+    /// Worker queue bound; beyond it submits encode inline (backpressure).
+    std::size_t max_queue = 64;
+    /// Test-only artificial encode delay (keeps a snapshot observably
+    /// in flight so crash-during-encode paths can be exercised).
+    std::chrono::microseconds encode_delay{0};
+
+    /// Adaptive cadence: widen the effective checkpoint_every when the
+    /// observed per-event checkpoint cost exceeds the budget; tighten back
+    /// to the configured cadence after a crash (recovery wants a recent
+    /// snapshot more than the hot path wants headroom).
+    struct Adaptive {
+      bool enabled = false;
+      double budget_us_per_event = 25.0;
+      std::uint64_t max_every = 64; ///< cap on the widened cadence
+    };
+    Adaptive adaptive{};
+  };
+  CheckpointConfig checkpoint{};
 
   /// Byzantine failure detection via the policy checker.
   bool byzantine_detection = true;
@@ -101,7 +131,16 @@ public:
   crashpad::TicketLog& tickets() noexcept { return tickets_; }
   appvisor::AppVisor& appvisor() noexcept { return visor_; }
   checkpoint::SnapshotStore& snapshots() noexcept { return snapshots_; }
+  checkpoint::CheckpointWorker& checkpoint_worker() noexcept { return ckpt_worker_; }
   const LegoConfig& config() const noexcept { return cfg_; }
+
+  /// Block until every captured snapshot has been encoded and stored.
+  /// Tests and orderly shutdown use this; the event path never does.
+  void flush_checkpoints() { ckpt_worker_.flush(); }
+
+  /// Effective checkpoint cadence for one app right now (equals
+  /// cfg.checkpoint_every unless the adaptive policy widened it).
+  std::uint64_t effective_checkpoint_every(AppId app) const;
 
   struct LegoStats {
     std::uint64_t failstop_crashes = 0;
@@ -121,8 +160,20 @@ public:
                                           ///< transport retries (wedged stub or
                                           ///< loss beyond the retry budget) —
                                           ///< distinct from fail-stop crashes
+
+    // Checkpoint pipeline (merged from the worker at lego_stats() time).
+    std::uint64_t full_snapshots = 0;     ///< snapshots stored as full bases
+    std::uint64_t delta_snapshots = 0;    ///< snapshots stored as deltas
+    std::uint64_t checkpoint_stored_bytes = 0; ///< encoded bytes in the store
+    std::uint64_t checkpoint_bytes_saved = 0;  ///< raw captures minus stored
+    std::uint64_t inline_encodes = 0;     ///< backpressure fell back inline
+    std::uint64_t adaptive_widens = 0;    ///< cadence doublings (over budget)
+    std::uint64_t adaptive_tightens = 0;  ///< cadence resets (after a crash)
+    LatencyHistogram encode_lag_us;       ///< capture-to-stored latency
   };
-  const LegoStats& lego_stats() const noexcept { return lego_stats_; }
+  /// Controller counters plus the checkpoint worker's, merged. Returns a
+  /// value (not a reference): the worker half mutates on another thread.
+  LegoStats lego_stats() const;
 
   /// Aggregated proxy<->stub transport counters (retransmits, duplicate
   /// chunks dropped, reassembly aborts, RPC round-trip histogram) across all
@@ -137,6 +188,8 @@ private:
     std::uint64_t seen = 0;          ///< events offered to this app
     std::uint64_t missed = 0;        ///< offered while the app was down
     std::uint64_t last_checkpoint = 0;
+    std::uint64_t effective_every = 0; ///< adaptive cadence (0 = configured)
+    double cost_ewma_us = 0;           ///< per-event checkpoint cost estimate
   };
 
   /// Deliver one event to one app with full transaction + verification.
@@ -155,6 +208,7 @@ private:
   appvisor::AppVisor visor_;
   netlog::NetLog netlog_;
   checkpoint::SnapshotStore snapshots_;
+  checkpoint::CheckpointWorker ckpt_worker_;
   checkpoint::EventLog event_log_;
   crashpad::EventTransformer transformer_;
   crashpad::TicketLog tickets_;

@@ -1,71 +1,365 @@
-// Checkpoint module tests: snapshot store bounds/lookup and the event log.
+// Checkpoint module tests: delta codec, snapshot store (chain composition,
+// eviction rebase, byte accounting), checkpoint worker, and the event log.
 #include <gtest/gtest.h>
 
+#include <numeric>
+
+#include "checkpoint/checkpoint_worker.hpp"
+#include "checkpoint/delta_codec.hpp"
 #include "checkpoint/event_log.hpp"
 #include "checkpoint/snapshot_store.hpp"
+#include "common/rng.hpp"
 #include "helpers.hpp"
 
 namespace legosdn::checkpoint {
 namespace {
 
-Snapshot snap(std::uint64_t seq, std::uint8_t fill, std::size_t n = 4) {
-  return {seq, kSimStart, std::vector<std::uint8_t>(n, fill)};
+Bytes pattern(std::size_t n, std::uint8_t seed) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i)
+    b[i] = static_cast<std::uint8_t>(seed + i * 7);
+  return b;
+}
+
+Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  Bytes b(n);
+  Rng rng(seed);
+  for (auto& x : b) x = static_cast<std::uint8_t>(rng.next());
+  return b;
+}
+
+// --- RLE ---
+
+TEST(Rle, RoundTripsRunsAndLiterals) {
+  for (const Bytes& in :
+       {Bytes{}, Bytes(1, 0xAB), Bytes(500, 0x00), pattern(1000, 3),
+        random_bytes(4096, 7), Bytes{1, 1, 1, 1, 2, 3, 3, 3, 3, 3, 4}}) {
+    const Bytes packed = rle_compress(in);
+    auto out = rle_decompress(packed, in.size());
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out.value(), in);
+  }
+}
+
+TEST(Rle, CompressesRunsExpandsNothingMuch) {
+  const Bytes zeros(1 << 16, 0);
+  EXPECT_LT(rle_compress(zeros).size(), zeros.size() / 50);
+  // Incompressible input grows by at most ~1 byte per 128.
+  const Bytes rnd = random_bytes(1 << 14, 99);
+  EXPECT_LE(rle_compress(rnd).size(), rnd.size() + rnd.size() / 100 + 16);
+}
+
+TEST(Rle, RejectsMalformedInput) {
+  // Literal run header promising more bytes than present.
+  EXPECT_FALSE(rle_decompress(Bytes{0x05, 1, 2}, 6).ok());
+  // Run token with no repeat byte.
+  EXPECT_FALSE(rle_decompress(Bytes{0x80}, 3).ok());
+  // Output size mismatch both ways.
+  EXPECT_FALSE(rle_decompress(rle_compress(Bytes(10, 1)), 9).ok());
+  EXPECT_FALSE(rle_decompress(rle_compress(Bytes(10, 1)), 11).ok());
+}
+
+// --- chunk hashing + delta encode/apply ---
+
+TEST(DeltaCodec, ChunkHashesCoverPartialTail) {
+  const Bytes state = pattern(10000, 1);
+  const auto hashes = chunk_hashes(state, 4096);
+  ASSERT_EQ(hashes.size(), 3u); // 4096 + 4096 + 1808
+  // Tail hash covers exactly the tail bytes.
+  EXPECT_EQ(hashes[2], chunk_hash({state.data() + 8192, state.size() - 8192}));
+}
+
+TEST(DeltaCodec, FullRoundTrip) {
+  CodecConfig cfg;
+  for (bool compress : {false, true}) {
+    cfg.compress = compress;
+    const Bytes state = pattern(9000, 5);
+    const EncodedSnapshot snap = encode_full(7, kSimStart, Bytes(state), cfg);
+    EXPECT_TRUE(snap.is_full);
+    EXPECT_EQ(snap.state_size, state.size());
+    auto out = decode_full(snap);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out.value(), state);
+  }
+}
+
+TEST(DeltaCodec, DeltaCarriesOnlyDirtyChunks) {
+  CodecConfig cfg;
+  cfg.chunk_size = 1024;
+  const Bytes base = pattern(8 * 1024, 1);
+  Bytes next = base;
+  next[3 * 1024 + 5] ^= 0xFF; // dirty exactly chunk 3
+
+  const auto base_hashes = chunk_hashes(base, cfg.chunk_size);
+  const EncodedSnapshot delta =
+      encode_delta(2, kSimStart, Bytes(next), base_hashes, base.size(), cfg);
+  EXPECT_FALSE(delta.is_full);
+  ASSERT_EQ(delta.dirty.size(), 1u);
+  EXPECT_EQ(delta.dirty[0].index, 3u);
+
+  Bytes composed = base;
+  ASSERT_TRUE(apply_delta(composed, delta, cfg.chunk_size).ok());
+  EXPECT_EQ(composed, next);
+}
+
+TEST(DeltaCodec, DeltaHandlesGrowthAndTruncation) {
+  CodecConfig cfg;
+  cfg.chunk_size = 1024;
+  const Bytes base = pattern(4096 + 100, 2); // partial tail chunk
+
+  // Growth: new chunks plus the reshaped tail are dirty.
+  Bytes grown = base;
+  grown.resize(7000, 0x33);
+  const auto base_hashes = chunk_hashes(base, cfg.chunk_size);
+  const EncodedSnapshot d1 =
+      encode_delta(3, kSimStart, Bytes(grown), base_hashes, base.size(), cfg);
+  Bytes composed = base;
+  ASSERT_TRUE(apply_delta(composed, d1, cfg.chunk_size).ok());
+  EXPECT_EQ(composed, grown);
+
+  // Truncation: state shrinks below the base.
+  Bytes shrunk(base.begin(), base.begin() + 2000);
+  const EncodedSnapshot d2 =
+      encode_delta(4, kSimStart, Bytes(shrunk), base_hashes, base.size(), cfg);
+  composed = base;
+  ASSERT_TRUE(apply_delta(composed, d2, cfg.chunk_size).ok());
+  EXPECT_EQ(composed, shrunk);
+  // The surviving complete chunk (index 0) was clean and not re-sent.
+  for (const auto& dc : d2.dirty) EXPECT_NE(dc.index, 0u);
+}
+
+TEST(DeltaCodec, CompressedDeltaRoundTrips) {
+  CodecConfig cfg;
+  cfg.chunk_size = 2048;
+  cfg.compress = true;
+  const Bytes base(16 * 1024, 0);
+  Bytes next = base;
+  std::fill(next.begin() + 4096, next.begin() + 6144, 0x77); // compressible dirt
+
+  const EncodedSnapshot delta = encode_delta(
+      1, kSimStart, Bytes(next), chunk_hashes(base, cfg.chunk_size), base.size(), cfg);
+  ASSERT_FALSE(delta.dirty.empty());
+  EXPECT_TRUE(delta.dirty[0].compressed);
+  Bytes composed = base;
+  ASSERT_TRUE(apply_delta(composed, delta, cfg.chunk_size).ok());
+  EXPECT_EQ(composed, next);
+}
+
+// --- snapshot store ---
+
+EncodedSnapshot full_snap(std::uint64_t seq, const Bytes& state,
+                          const CodecConfig& cfg) {
+  return encode_full(seq, kSimStart, Bytes(state), cfg);
+}
+
+EncodedSnapshot delta_snap(std::uint64_t seq, const Bytes& state,
+                           const Bytes& base, const CodecConfig& cfg) {
+  return encode_delta(seq, kSimStart, Bytes(state),
+                      chunk_hashes(base, cfg.chunk_size), base.size(), cfg);
 }
 
 TEST(SnapshotStore, LatestAndCount) {
   SnapshotStore store(4);
   const AppId app{1};
-  EXPECT_EQ(store.latest(app), nullptr);
-  store.put(app, snap(1, 0xA));
-  store.put(app, snap(2, 0xB));
-  ASSERT_NE(store.latest(app), nullptr);
-  EXPECT_EQ(store.latest(app)->event_seq, 2u);
+  EXPECT_FALSE(store.latest(app).has_value());
+  store.put(app, full_snap(1, pattern(64, 0xA), store.codec()));
+  store.put(app, full_snap(2, pattern(64, 0xB), store.codec()));
+  const auto latest = store.latest(app);
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->event_seq, 2u);
+  EXPECT_EQ(latest->state, pattern(64, 0xB));
   EXPECT_EQ(store.count(app), 2u);
+}
+
+TEST(SnapshotStore, MaterializesChains) {
+  CodecConfig cfg;
+  cfg.chunk_size = 64;
+  SnapshotStore store(8, cfg);
+  const AppId app{1};
+  Bytes s0 = pattern(1000, 1);
+  Bytes s1 = s0;
+  s1[100] ^= 0xFF;
+  Bytes s2 = s1;
+  s2[900] ^= 0xFF;
+  store.put(app, full_snap(10, s0, cfg));
+  store.put(app, delta_snap(20, s1, s0, cfg));
+  store.put(app, delta_snap(30, s2, s1, cfg));
+
+  EXPECT_EQ(store.latest(app)->state, s2);
+  EXPECT_EQ(store.at_or_before(app, 25)->state, s1);
+  EXPECT_EQ(store.at_or_before(app, 30)->state, s2);
+  EXPECT_FALSE(store.at_or_before(app, 9).has_value());
+  EXPECT_EQ(store.oldest(app)->state, s0);
+  EXPECT_EQ(store.latest_seq(app), 30u);
 }
 
 TEST(SnapshotStore, BoundedHistoryEvictsOldest) {
   SnapshotStore store(3);
   const AppId app{1};
-  for (std::uint64_t i = 1; i <= 5; ++i) store.put(app, snap(i, 0));
+  for (std::uint64_t i = 1; i <= 5; ++i)
+    store.put(app, full_snap(i, pattern(32, std::uint8_t(i)), store.codec()));
   EXPECT_EQ(store.count(app), 3u);
-  EXPECT_EQ(store.history(app)->front().event_seq, 3u);
+  EXPECT_EQ(store.oldest(app)->event_seq, 3u);
   EXPECT_EQ(store.latest(app)->event_seq, 5u);
 }
 
-TEST(SnapshotStore, AtOrBeforeFindsRightCheckpoint) {
-  SnapshotStore store(8);
+// The keep_per_app boundary: evicting the full base of a live delta chain
+// must rebase the chain onto a new full snapshot, never leave it dangling.
+TEST(SnapshotStore, EvictingChainBaseRebasesNotDangles) {
+  CodecConfig cfg;
+  cfg.chunk_size = 128;
+  SnapshotStore store(3, cfg);
   const AppId app{1};
-  store.put(app, snap(10, 0xA));
-  store.put(app, snap(20, 0xB));
-  store.put(app, snap(30, 0xC));
-  EXPECT_EQ(store.at_or_before(app, 25)->event_seq, 20u);
-  EXPECT_EQ(store.at_or_before(app, 30)->event_seq, 30u);
-  EXPECT_EQ(store.at_or_before(app, 9), nullptr);
-  EXPECT_EQ(store.at_or_before(app, 1000)->event_seq, 30u);
+
+  Bytes state = pattern(1024, 9);
+  store.put(app, full_snap(1, state, cfg));
+  std::vector<Bytes> versions{state};
+  for (std::uint64_t seq = 2; seq <= 6; ++seq) {
+    Bytes next = versions.back();
+    next[(seq * 131) % next.size()] ^= 0xFF;
+    store.put(app, delta_snap(seq, next, versions.back(), cfg));
+    versions.push_back(next);
+  }
+  // keep=3: seqs {4,5,6} retained; the base (seq 1) and two deltas were
+  // evicted, each eviction rebasing its successor into a full snapshot.
+  EXPECT_EQ(store.count(app), 3u);
+  EXPECT_GE(store.stats().rebases, 3u);
+  // Every retained snapshot still materializes byte-identically.
+  EXPECT_EQ(store.oldest(app)->state, versions[3]);
+  EXPECT_EQ(store.at_or_before(app, 5)->state, versions[4]);
+  EXPECT_EQ(store.latest(app)->state, versions[5]);
+  EXPECT_EQ(store.stats().compose_failures, 0u);
 }
 
-TEST(SnapshotStore, TotalBytesAccounting) {
-  SnapshotStore store(2);
+TEST(SnapshotStore, OrphanDeltaIsDroppedNotStored) {
+  CodecConfig cfg;
+  SnapshotStore store(4, cfg);
   const AppId app{1};
-  store.put(app, snap(1, 0, 100));
-  store.put(app, snap(2, 0, 200));
-  EXPECT_EQ(store.total_bytes(), 300u);
-  store.put(app, snap(3, 0, 50)); // evicts the 100-byte one
-  EXPECT_EQ(store.total_bytes(), 250u);
-  store.clear(app);
+  const Bytes base = pattern(256, 1);
+  store.put(app, delta_snap(5, base, base, cfg)); // no full predecessor
+  EXPECT_EQ(store.count(app), 0u);
+  EXPECT_EQ(store.stats().orphan_deltas_dropped, 1u);
   EXPECT_EQ(store.total_bytes(), 0u);
+}
+
+// total_bytes_ must survive eviction/replacement interleaving: rebase
+// replaces a delta with a differently-sized full snapshot mid-eviction.
+TEST(SnapshotStore, ByteAccountingExactUnderEvictionRebaseInterleave) {
+  CodecConfig cfg;
+  cfg.chunk_size = 64;
+  for (bool compress : {false, true}) {
+    cfg.compress = compress;
+    SnapshotStore store(3, cfg);
+    Rng rng(0xACC0);
+    std::unordered_map<AppId, Bytes> prev;
+    for (std::uint64_t round = 0; round < 200; ++round) {
+      const AppId app{static_cast<std::uint32_t>(1 + round % 3)};
+      // Sizes vary so rebases replace deltas with differently-sized fulls.
+      const std::size_t size = 128 + (rng.next() % 2048);
+      Bytes state = random_bytes(size, rng.next());
+      auto it = prev.find(app);
+      const bool delta = it != prev.end() && round % 4 != 0;
+      store.put(app, delta ? delta_snap(round + 1, state, it->second, cfg)
+                           : full_snap(round + 1, state, cfg));
+      prev[app] = std::move(state);
+      EXPECT_GT(store.total_bytes(), 0u);
+    }
+    EXPECT_GT(store.stats().rebases, 0u);
+    // Clearing everything must return the gauge exactly to zero — any
+    // accounting drift during eviction/rebase shows up here.
+    store.clear(AppId{1});
+    store.clear(AppId{2});
+    store.clear(AppId{3});
+    EXPECT_EQ(store.total_bytes(), 0u);
+    EXPECT_EQ(store.stats().logical_bytes, 0u);
+  }
 }
 
 TEST(SnapshotStore, AppsAreIndependent) {
   SnapshotStore store(4);
-  store.put(AppId{1}, snap(1, 0xA));
-  store.put(AppId{2}, snap(7, 0xB));
+  store.put(AppId{1}, full_snap(1, pattern(16, 0xA), store.codec()));
+  store.put(AppId{2}, full_snap(7, pattern(16, 0xB), store.codec()));
   EXPECT_EQ(store.latest(AppId{1})->event_seq, 1u);
   EXPECT_EQ(store.latest(AppId{2})->event_seq, 7u);
   store.clear(AppId{1});
-  EXPECT_EQ(store.latest(AppId{1}), nullptr);
-  EXPECT_NE(store.latest(AppId{2}), nullptr);
+  EXPECT_FALSE(store.latest(AppId{1}).has_value());
+  EXPECT_TRUE(store.latest(AppId{2}).has_value());
 }
+
+// --- checkpoint worker ---
+
+TEST(CheckpointWorker, SyncModeStoresInline) {
+  CodecConfig cfg;
+  cfg.full_every = 1;
+  SnapshotStore store(8, cfg);
+  CheckpointWorker worker(store, {.async = false});
+  worker.submit(AppId{1}, 1, kSimStart, pattern(512, 3));
+  // No flush needed: sync mode encodes on the calling thread.
+  EXPECT_EQ(store.latest_seq(AppId{1}), 1u);
+  EXPECT_EQ(worker.in_flight(), 0u);
+  EXPECT_EQ(worker.stats().encoded_inline, 1u);
+  EXPECT_EQ(worker.stats().inline_encodes, 0u); // not a backpressure fallback
+}
+
+TEST(CheckpointWorker, AsyncEncodesOffThreadAndFlushes) {
+  CodecConfig cfg;
+  cfg.full_every = 4;
+  SnapshotStore store(16, cfg);
+  CheckpointWorker worker(store, {.async = true});
+  // 64 KiB of state with one dirty byte per event: deltas carry one chunk
+  // where a full carries sixteen, so the stored footprint must shrink.
+  Bytes state = pattern(64 * 1024, 1);
+  for (std::uint64_t seq = 1; seq <= 10; ++seq) {
+    state[seq * 97 % state.size()] ^= 0xFF;
+    worker.submit(AppId{1}, seq, kSimStart, Bytes(state));
+  }
+  worker.flush();
+  EXPECT_EQ(store.count(AppId{1}), 10u);
+  EXPECT_EQ(store.latest(AppId{1})->state, state);
+  const auto ws = worker.stats();
+  EXPECT_EQ(ws.submitted, 10u);
+  EXPECT_EQ(ws.encoded_async, 10u);
+  // full_every=4 over one chain: snapshots 1,5,9 are full, the rest deltas.
+  EXPECT_EQ(ws.full_snapshots, 3u);
+  EXPECT_EQ(ws.delta_snapshots, 7u);
+  EXPECT_EQ(ws.encode_lag_us.count(), 10u);
+  EXPECT_GT(ws.raw_bytes, ws.stored_bytes); // deltas shrank the footprint
+}
+
+TEST(CheckpointWorker, BackpressureFallsBackInline) {
+  CodecConfig cfg;
+  SnapshotStore store(64, cfg);
+  CheckpointWorker::Config wcfg;
+  wcfg.async = true;
+  wcfg.max_queue = 1;
+  wcfg.encode_delay = std::chrono::microseconds(2000);
+  CheckpointWorker worker(store, wcfg);
+  for (std::uint64_t seq = 1; seq <= 6; ++seq)
+    worker.submit(AppId{1}, seq, kSimStart, pattern(256, std::uint8_t(seq)));
+  worker.flush();
+  EXPECT_EQ(store.count(AppId{1}), 6u);
+  EXPECT_GT(worker.stats().inline_encodes, 0u);
+  // Ordering survived the inline fallbacks: seqs are strictly increasing.
+  const auto seqs = store.seqs(AppId{1});
+  EXPECT_TRUE(std::is_sorted(seqs.begin(), seqs.end()));
+}
+
+TEST(CheckpointWorker, InFlightVisibleWithEncodeDelay) {
+  CodecConfig cfg;
+  SnapshotStore store(8, cfg);
+  CheckpointWorker::Config wcfg;
+  wcfg.async = true;
+  wcfg.encode_delay = std::chrono::microseconds(20000);
+  CheckpointWorker worker(store, wcfg);
+  worker.submit(AppId{1}, 1, kSimStart, pattern(128, 1));
+  EXPECT_GT(worker.in_flight(), 0u); // still encoding (20ms artificial delay)
+  EXPECT_FALSE(store.latest_seq(AppId{1}).has_value());
+  worker.flush();
+  EXPECT_EQ(worker.in_flight(), 0u);
+  EXPECT_EQ(store.latest_seq(AppId{1}), 1u);
+}
+
+// --- event log (unchanged semantics) ---
 
 TEST(EventLog, AppendAndRange) {
   EventLog log;

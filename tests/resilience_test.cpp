@@ -260,10 +260,12 @@ TEST(Recovery, SnapshotHistorySupportsOlderRollback) {
     }
   }
   const AppId app = c.appvisor().entries()[0].id;
+  c.flush_checkpoints(); // let the async encoder land everything captured
   ASSERT_GT(c.snapshots().count(app), 1u);
-  const auto* latest = c.snapshots().latest(app);
-  const auto* older = c.snapshots().at_or_before(app, latest->event_seq - 1);
-  ASSERT_NE(older, nullptr);
+  const auto latest = c.snapshots().latest(app);
+  ASSERT_TRUE(latest.has_value());
+  const auto older = c.snapshots().at_or_before(app, latest->event_seq - 1);
+  ASSERT_TRUE(older.has_value());
   EXPECT_LT(older->event_seq, latest->event_seq);
   // Restoring the older snapshot rewinds the app further back.
   c.appvisor().entries()[0].domain->restore(older->state);

@@ -4,7 +4,13 @@
 // compose into the C1/C2/C3 scenario numbers.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "appvisor/rpc.hpp"
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "controller/event_codec.hpp"
 #include "netlog/netlog.hpp"
@@ -163,4 +169,35 @@ BENCHMARK(BM_SnapshotLearningTable)->Range(64, 65536);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so this binary honours the same harness
+// contract as the scenario benches: LEGOSDN_BENCH_SMOKE=1 shrinks the
+// per-benchmark min time so CI exercises every registered benchmark in
+// seconds, and LEGOSDN_BENCH_JSON routes google-benchmark's native JSON
+// reporter to the trajectory file (console output stays on stdout).
+// Explicit command-line flags win over the environment.
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  auto has_flag = [&args](const char* prefix) {
+    return std::any_of(args.begin(), args.end(), [prefix](const std::string& a) {
+      return a.rfind(prefix, 0) == 0;
+    });
+  };
+  if (legosdn::bench::smoke() && !has_flag("--benchmark_min_time"))
+    args.emplace_back("--benchmark_min_time=0.01");
+  if (const char* path = std::getenv("LEGOSDN_BENCH_JSON")) {
+    if (!has_flag("--benchmark_out")) {
+      args.emplace_back(std::string("--benchmark_out=") + path);
+      args.emplace_back("--benchmark_out_format=json");
+    }
+  }
+  // Initialize() rewrites argc/argv in place; the strings must outlive it.
+  std::vector<char*> cargv;
+  cargv.reserve(args.size());
+  for (auto& a : args) cargv.push_back(a.data());
+  int cargc = static_cast<int>(cargv.size());
+  benchmark::Initialize(&cargc, cargv.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

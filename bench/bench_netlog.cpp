@@ -27,10 +27,20 @@ int main() {
   bench::section("C3: NetLog transactions — commit/rollback cost (§3.2)");
 
   constexpr std::size_t kSwitches = 8;
-  constexpr int kTxns = 2000;
+  const int kTxns = bench::iters(2000, 100);
 
   bench::Table table({"mode", "ops/txn", "commit (us, p50)", "rollback (us, p50)",
                       "undo bytes peak", "txn/s (commit path)"});
+
+  struct Row {
+    std::string mode;
+    std::size_t ops_per_txn = 0;
+    double commit_p50_us = 0;
+    double rollback_p50_us = 0;
+    std::uint64_t undo_bytes_peak = 0;
+    double txn_per_s = 0;
+  };
+  std::vector<Row> rows;
 
   for (const auto& [label, mode] :
        {std::pair{"undo-log (NetLog)", netlog::Mode::kUndoLog},
@@ -61,11 +71,17 @@ int main() {
           committed_wall_us += us;
         }
       }
-      table.row({label, std::to_string(ops_per_txn),
-                 bench::fmt(commit_us.percentile(50)),
-                 bench::fmt(rollback_us.percentile(50)),
-                 std::to_string(log.stats().undo_bytes_peak),
-                 bench::fmt(commit_us.count() / (committed_wall_us / 1e6), 0)});
+      Row r;
+      r.mode = label;
+      r.ops_per_txn = ops_per_txn;
+      r.commit_p50_us = commit_us.percentile(50);
+      r.rollback_p50_us = rollback_us.percentile(50);
+      r.undo_bytes_peak = log.stats().undo_bytes_peak;
+      r.txn_per_s = commit_us.count() / (committed_wall_us / 1e6);
+      table.row({label, std::to_string(ops_per_txn), bench::fmt(r.commit_p50_us),
+                 bench::fmt(r.rollback_p50_us), std::to_string(r.undo_bytes_peak),
+                 bench::fmt(r.txn_per_s, 0)});
+      rows.push_back(std::move(r));
     }
   }
   table.print();
@@ -75,6 +91,7 @@ int main() {
   bench::note("network sees rules immediately (no added rule-install latency).");
 
   bench::section("C3b: counter-cache correctness under delete/rollback churn (§3.2)");
+  std::uint64_t cc_true = 0, cc_corrected = 0;
   {
     auto net = netsim::Network::linear(2, 1);
     netlog::NetLog log(*net, {netlog::Mode::kUndoLog, false});
@@ -95,7 +112,8 @@ int main() {
     pkt.hdr.eth_dst = net->hosts()[1].mac;
     std::uint64_t true_count = 0;
     Rng rng(3);
-    for (int round = 0; round < 50; ++round) {
+    const int kRounds = bench::iters(50, 8);
+    for (int round = 0; round < kRounds; ++round) {
       const auto n = 1 + rng.below(5);
       for (std::uint64_t i = 0; i < n; ++i) {
         net->inject_from_host(net->hosts()[0].mac, pkt);
@@ -126,7 +144,8 @@ int main() {
 
     bench::Table t({"metric", "value"});
     t.row({"true packets forwarded", std::to_string(true_count)});
-    t.row({"switch-reported (after 50 delete/rollback cycles)",
+    t.row({"switch-reported (after " + std::to_string(kRounds) +
+               " delete/rollback cycles)",
            std::to_string(raw_count)});
     t.row({"NetLog counter-cache corrected", std::to_string(corrected)});
     t.row({"cache entries", std::to_string(log.counter_cache().size())});
@@ -137,6 +156,32 @@ int main() {
     } else {
       bench::note("MISMATCH: corrected counters diverge from ground truth!");
     }
+    cc_true = true_count;
+    cc_corrected = corrected;
   }
+
+  // Machine-readable result line (one JSON object) for harnesses.
+  bench::Json j;
+  j.begin_obj().kv("bench", std::string("netlog"));
+  j.kv("txns", static_cast<std::uint64_t>(kTxns));
+  j.begin_arr("modes");
+  for (const auto& r : rows) {
+    j.begin_obj()
+        .kv("mode", r.mode)
+        .kv("ops_per_txn", static_cast<std::uint64_t>(r.ops_per_txn))
+        .kv("commit_p50_us", r.commit_p50_us)
+        .kv("rollback_p50_us", r.rollback_p50_us)
+        .kv("undo_bytes_peak", r.undo_bytes_peak)
+        .kv("txn_per_s", r.txn_per_s, 0)
+        .end_obj();
+  }
+  j.end_arr();
+  j.begin_obj("counter_cache")
+      .kv("true_packets", cc_true)
+      .kv("corrected", cc_corrected)
+      .kv("ok", std::string(cc_true == cc_corrected ? "true" : "false"))
+      .end_obj();
+  j.end_obj();
+  bench::emit_json(j);
   return 0;
 }

@@ -10,9 +10,10 @@
 #                (CI sets ccache); out-of-source in build-ci/ when any of
 #                those is set, the plain `default` preset otherwise.
 #   asan         the asan preset (ASan+UBSan) build + ctest.
-#   bench-smoke  run bench_checkpoint and bench_isolation_latency with tiny
-#                iteration counts (LEGOSDN_BENCH_SMOKE=1), assert exit 0 and
-#                that each emits parseable JSON into bench-out/.
+#   bench-smoke  run the JSON-emitting benches (checkpoint, isolation
+#                latency, flow table, netlog, micro) with tiny iteration
+#                counts (LEGOSDN_BENCH_SMOKE=1), assert exit 0 and that
+#                each emits parseable JSON into bench-out/.
 #   format       clang-format --dry-run -Werror over src/ tests/ bench/.
 #                Skips (exit 0) when clang-format is not installed locally;
 #                CI pins a version so the check is authoritative there.
@@ -45,10 +46,12 @@ cmd_asan() {
 cmd_bench_smoke() {
   local dir="build"
   [ -d build-ci ] && dir="build-ci"
-  cmake --build "$dir" -j "$(nproc)" --target bench_checkpoint bench_isolation_latency
+  local benches="bench_checkpoint bench_isolation_latency bench_flow_table bench_netlog bench_micro"
+  # shellcheck disable=SC2086
+  cmake --build "$dir" -j "$(nproc)" --target $benches
   mkdir -p bench-out
   local bench
-  for bench in bench_checkpoint bench_isolation_latency; do
+  for bench in $benches; do
     local json="bench-out/BENCH_${bench#bench_}.json"
     LEGOSDN_BENCH_SMOKE=1 LEGOSDN_BENCH_JSON="$json" "./$dir/bench/$bench"
     python3 -c "

@@ -3,14 +3,22 @@
 // The event hot path should pay only for *capturing* app state, never for
 // encoding it: the controller hands the raw capture to this worker, which
 // chunk-hashes, delta-diffs, (optionally) compresses, and inserts into the
-// SnapshotStore on a background thread. Per-app ordering is preserved by a
-// single FIFO worker, which is what keeps the store's delta chains valid —
-// every delta is diffed against the snapshot encoded immediately before it.
+// SnapshotStore on a background thread.
 //
-// Backpressure: the queue is bounded; when it is full the submit encodes
-// inline on the caller's thread instead of blocking or dropping (a checkpoint
-// is never lost, the hot path just temporarily degrades to the synchronous
-// cost — `stats().inline_encodes` counts how often).
+// The pool is sharded by AppId hash: each shard is a FIFO queue with its own
+// thread, and an app always lands on the same shard. Per-app ordering is the
+// only requirement the store's delta chains impose — every delta is diffed
+// against the snapshot encoded immediately before it — and pinning an app to
+// one FIFO preserves it while different apps' encodes proceed in parallel
+// (ROADMAP "worker sharding"). shards=1 degenerates to the original single
+// FIFO worker.
+//
+// Backpressure: each shard's queue is bounded; when it is full the submit
+// drains *that shard* and then encodes inline on the caller's thread instead
+// of blocking or dropping (a checkpoint is never lost, the hot path just
+// temporarily degrades to the synchronous cost — `stats().inline_encodes`
+// counts how often). Draining the shard first keeps the app's chain ordered:
+// the inline encode cannot overtake a queued older capture of the same app.
 //
 // Sync mode (Config::async = false) encodes every submit inline; it exists
 // so benches and determinism tests can run the identical codec path with and
@@ -21,8 +29,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "checkpoint/snapshot_store.hpp"
 #include "common/stats.hpp"
@@ -33,11 +43,16 @@ class CheckpointWorker {
 public:
   struct Config {
     bool async = true;
-    /// Queue depth beyond which submits encode inline (backpressure).
+    /// Per-shard queue depth beyond which submits encode inline
+    /// (backpressure).
     std::size_t max_queue = 64;
     /// Artificial per-encode delay, for tests that need a snapshot to be
     /// observably "in flight" when a crash hits.
     std::chrono::microseconds encode_delay{0};
+    /// Encode threads (async mode). Apps are routed by AppId hash, so
+    /// raising this parallelizes multi-app portfolios without reordering
+    /// any single app's delta chain.
+    std::size_t shards = 1;
   };
 
   struct Stats {
@@ -71,6 +86,8 @@ public:
   /// Snapshots submitted but not yet stored (0 in sync mode).
   std::size_t in_flight() const;
 
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
   Stats stats() const;
 
 private:
@@ -82,21 +99,32 @@ private:
     std::chrono::steady_clock::time_point submitted_at;
   };
 
-  void run();
+  /// One FIFO lane: queue + thread + its own synchronization, so shards
+  /// never contend with each other — only the shared stats do.
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable work_cv;  ///< signals the worker: job or stop
+    std::condition_variable drain_cv; ///< signals flush(): queue drained
+    std::deque<Job> queue;
+    std::size_t active = 0; ///< jobs dequeued but not yet stored
+    bool stop = false;
+    std::thread thread;
+  };
+
+  Shard& shard_for(AppId app) noexcept;
+  void run(Shard& shard);
+  void flush_shard(Shard& shard);
   void encode_and_store(Job job, bool via_queue);
 
   SnapshotStore& store_;
   Config cfg_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;  ///< signals the worker: job or stop
-  std::condition_variable drain_cv_; ///< signals flush(): queue drained
-  std::deque<Job> queue_;
-  std::size_t active_ = 0; ///< jobs dequeued but not yet stored
-  bool stop_ = false;
+  mutable std::mutex stats_mu_;
   Stats stats_{};
 
-  std::thread thread_; ///< last member: joins before the rest tears down
+  /// Fixed at construction; unique_ptr because Shard is immovable. Last
+  /// member so shard threads join before the rest tears down.
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 } // namespace legosdn::checkpoint

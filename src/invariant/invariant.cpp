@@ -1,9 +1,31 @@
 #include "invariant/invariant.hpp"
 
-#include <set>
 #include <sstream>
+#include <unordered_set>
 
 namespace legosdn::invariant {
+namespace {
+
+/// (switch, ingress port, header) identity for symbolic-trace loop
+/// detection. Hashed because check_rules re-traces every rule after each
+/// transaction, so trace() is on the per-message verification hot path.
+struct VisitKey {
+  std::uint64_t dpid = 0;
+  std::uint16_t port = 0;
+  std::uint64_t hdr = 0;
+  bool operator==(const VisitKey&) const = default;
+};
+
+struct VisitKeyHash {
+  std::size_t operator()(const VisitKey& k) const noexcept {
+    std::uint64_t h = k.dpid * 0x9E3779B97F4A7C15ULL;
+    h ^= (std::uint64_t{k.port} << 48) + 0x517CC1B727220A95ULL + (h << 6) + (h >> 2);
+    h ^= k.hdr + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+} // namespace
 
 const char* to_string(InvariantKind k) {
   switch (k) {
@@ -53,7 +75,7 @@ TraceResult InvariantChecker::trace(PortLocator ingress,
     std::size_t hops;
   };
   std::vector<Item> work{{ingress, hdr0, 0}};
-  std::set<std::tuple<std::uint64_t, std::uint16_t, std::uint64_t>> visited;
+  std::unordered_set<VisitKey, VisitKeyHash> visited;
   auto digest = [](const of::PacketHeader& h) {
     return h.eth_src.to_uint64() ^ (h.eth_dst.to_uint64() << 1) ^
            (std::uint64_t{h.ip_src.addr} << 16) ^ h.ip_dst.addr ^
@@ -91,7 +113,8 @@ TraceResult InvariantChecker::trace(PortLocator ingress,
       any = true;
       continue;
     }
-    if (!visited.insert({raw(it.at.dpid), raw(it.at.port), digest(it.hdr)}).second) {
+    if (!visited.insert(VisitKey{raw(it.at.dpid), raw(it.at.port), digest(it.hdr)})
+             .second) {
       acc = worse(acc, TraceOutcome::kLooped);
       res.last_switch = it.at.dpid;
       any = true;

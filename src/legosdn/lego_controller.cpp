@@ -16,7 +16,7 @@ LegoController::LegoController(netsim::Network& net, LegoConfig cfg)
       snapshots_(cfg_.snapshot_keep, cfg_.checkpoint.codec),
       ckpt_worker_(snapshots_,
                    {cfg_.checkpoint.async, cfg_.checkpoint.max_queue,
-                    cfg_.checkpoint.encode_delay}),
+                    cfg_.checkpoint.encode_delay, cfg_.checkpoint.shards}),
       transformer_(net),
       checker_(net) {}
 
@@ -232,7 +232,7 @@ void LegoController::dispatch(ctl::Event e) {
   if (auto* sr = std::get_if<of::StatsReply>(&e)) {
     netlog_.correct_stats(*sr);
   }
-  netlog_.expire_shadows();
+  netlog_.expire_shadows(now());
 
   const auto type_idx = static_cast<std::size_t>(ctl::event_type(e));
   for (auto& entry : visor_.entries()) {

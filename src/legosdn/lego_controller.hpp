@@ -61,6 +61,10 @@ struct LegoConfig {
     /// Test-only artificial encode delay (keeps a snapshot observably
     /// in flight so crash-during-encode paths can be exercised).
     std::chrono::microseconds encode_delay{0};
+    /// Encode threads; apps are pinned to a shard by AppId hash, so raising
+    /// this parallelizes multi-app portfolios without reordering any single
+    /// app's delta chain.
+    std::size_t shards = 1;
 
     /// Adaptive cadence: widen the effective checkpoint_every when the
     /// observed per-event checkpoint cost exceeds the budget; tighten back

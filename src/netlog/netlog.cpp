@@ -36,8 +36,13 @@ const netsim::FlowTable* NetLog::shadow(DatapathId dpid) const {
 }
 
 void NetLog::touch(Txn& txn, DatapathId dpid) {
-  if (std::find(txn.dpids.begin(), txn.dpids.end(), dpid) == txn.dpids.end())
+  if (std::find(txn.dpids.begin(), txn.dpids.end(), dpid) == txn.dpids.end()) {
     txn.dpids.push_back(dpid);
+    // First touch: remember the shadow's pre-transaction structure digest
+    // (O(1) with the incrementally-maintained digest) so rollback can verify
+    // it restored this exact state.
+    txn.pre_digest.emplace(dpid, shadow_mut(dpid).logical_digest());
+  }
 }
 
 void NetLog::forward(const of::Message& msg) { net_.send_to_switch(msg); }
@@ -171,6 +176,18 @@ Status NetLog::commit(TxnId id) {
     for (const DatapathId d : txn.dpids)
       forward({next_xid_++, of::BarrierRequest{d}});
   }
+  // Cheap commit-time audit: every touched shadow should agree with the live
+  // switch table structure-for-structure (both digests are O(1) to read).
+  // Divergence means the shadow drifted — e.g. the switch idle-expired an
+  // entry the shadow kept alive, or dropped messages while down.
+  for (const DatapathId d : txn.dpids) {
+    const netsim::SimSwitch* sw = net_.switch_at(d);
+    if (!sw || !sw->up()) continue;
+    const netsim::FlowTable* sh = shadow(d);
+    stats_.shadow_sync_checks += 1;
+    if (!sh || sh->logical_digest() != sw->table().logical_digest())
+      stats_.shadow_sync_mismatches += 1;
+  }
   stats_.committed += 1;
   return Status::success();
 }
@@ -198,6 +215,17 @@ Status NetLog::rollback(TxnId id) {
       for (const DatapathId d : txn.dpids)
         forward({next_xid_++, of::BarrierRequest{d}});
     }
+    // Verify the undo log actually inverted the transaction: each touched
+    // shadow must be digest-identical to its pre-transaction state. This is
+    // the paper's invertibility claim, checked in O(touched switches).
+    for (const DatapathId d : txn.dpids) {
+      stats_.rollback_digest_checks += 1;
+      const auto pre = txn.pre_digest.find(d);
+      const netsim::FlowTable* sh = shadow(d);
+      if (pre == txn.pre_digest.end() || !sh ||
+          sh->logical_digest() != pre->second)
+        stats_.rollback_digest_mismatches += 1;
+    }
   }
   // Delay-buffer mode: held messages simply evaporate.
   stats_.rolled_back += 1;
@@ -221,8 +249,10 @@ void NetLog::correct_stats(of::StatsReply& reply) const {
   }
 }
 
-void NetLog::expire_shadows() {
-  for (auto& [_, table] : shadow_) table.expire(net_.now());
+void NetLog::expire_shadows(SimTime now) {
+  for (auto& [_, table] : shadow_) {
+    if (table.has_pending_expiry(now)) table.expire(now);
+  }
 }
 
 void NetLog::observe_northbound(const of::Message& msg) {

@@ -7,9 +7,50 @@
 namespace legosdn::netsim {
 namespace {
 
-/// Do two matches overlap (can a single packet match both)?
-/// Conservative per-field check, exact for our field set.
-bool overlaps(const of::Match& a, const of::Match& b) {
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+std::uint64_t fnv_bytes(std::uint64_t h, const std::uint8_t* p, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Continue an FNV stream with the big-endian bytes of `v`, byte-for-byte
+/// equivalent to hashing ByteWriter::u64 output.
+std::uint64_t fnv_u64be(std::uint64_t h, std::uint64_t v) {
+  for (int s = 56; s >= 0; s -= 8) {
+    h ^= (v >> s) & 0xFF;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Word-at-a-time mix for hash-table keys (not part of any digest).
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
+  return (h ^ v) * kFnvPrime;
+}
+
+std::int64_t seconds_between(SimTime later, SimTime earlier) {
+  return (raw(later) - raw(earlier)) / 1'000'000'000;
+}
+
+/// FNV over the dynamic (counter/timestamp) suffix of the digest encoding,
+/// resumed from the per-entry static midstate.
+std::uint64_t dynamic_hash(std::uint64_t static_fnv, const FlowEntry& e) {
+  std::uint64_t h = static_fnv;
+  h = fnv_u64be(h, e.packet_count);
+  h = fnv_u64be(h, e.byte_count);
+  h = fnv_u64be(h, static_cast<std::uint64_t>(raw(e.install_time)));
+  h = fnv_u64be(h, static_cast<std::uint64_t>(raw(e.last_used)));
+  return h;
+}
+
+} // namespace
+
+bool match_overlaps(const of::Match& a, const of::Match& b) {
   using of::Wildcard;
   auto fields_disjoint = [&](of::Wildcard f, auto get) {
     if (a.wildcarded(f) || b.wildcarded(f)) return false; // either ignores it
@@ -46,12 +87,6 @@ bool overlaps(const of::Match& a, const of::Match& b) {
   return true;
 }
 
-std::int64_t seconds_between(SimTime later, SimTime earlier) {
-  return (raw(later) - raw(earlier)) / 1'000'000'000;
-}
-
-} // namespace
-
 bool FlowEntry::outputs_to(PortNo port) const {
   for (const auto& a : actions)
     if (const auto* out = std::get_if<of::ActionOutput>(&a))
@@ -59,13 +94,251 @@ bool FlowEntry::outputs_to(PortNo port) const {
   return false;
 }
 
+// --- keys and hashing ------------------------------------------------------
+
+std::size_t FlowTable::StrictKeyHash::operator()(const StrictKey& k) const noexcept {
+  const of::Match& m = k.match;
+  std::uint64_t h = kFnvOffset;
+  h = mix(h, m.wildcards);
+  h = mix(h, raw(m.in_port));
+  h = mix(h, m.eth_src.to_uint64());
+  h = mix(h, m.eth_dst.to_uint64());
+  h = mix(h, m.eth_type);
+  h = mix(h, m.ip_src.addr);
+  h = mix(h, m.ip_dst.addr);
+  h = mix(h, (std::uint64_t{m.ip_src_prefix} << 8) | m.ip_dst_prefix);
+  h = mix(h, m.ip_proto);
+  h = mix(h, (std::uint64_t{m.tp_src} << 16) | m.tp_dst);
+  h = mix(h, k.priority);
+  return static_cast<std::size_t>(h);
+}
+
+std::size_t FlowTable::ExactKeyHash::operator()(const ExactKey& k) const noexcept {
+  std::uint64_t h = kFnvOffset;
+  h = mix(h, k.in_port);
+  h = mix(h, k.eth_src);
+  h = mix(h, k.eth_dst);
+  h = mix(h, k.eth_type);
+  h = mix(h, k.ip_src);
+  h = mix(h, k.ip_dst);
+  h = mix(h, k.ip_proto);
+  h = mix(h, (std::uint64_t{k.tp_src} << 16) | k.tp_dst);
+  return static_cast<std::size_t>(h);
+}
+
+bool FlowTable::is_exact(const of::Match& m) noexcept {
+  // With no wildcard bits and /32 prefixes, Match::matches() degenerates to
+  // equality on every field, which is precisely ExactKey equality.
+  return m.wildcards == 0 && m.ip_src_prefix == 32 && m.ip_dst_prefix == 32;
+}
+
+FlowTable::ExactKey FlowTable::exact_key_of(const of::Match& m) noexcept {
+  return {raw(m.in_port),  m.eth_src.to_uint64(), m.eth_dst.to_uint64(),
+          m.eth_type,      m.ip_src.addr,         m.ip_dst.addr,
+          m.ip_proto,      m.tp_src,              m.tp_dst};
+}
+
+FlowTable::ExactKey FlowTable::exact_key_of(PortNo in_port,
+                                            const of::PacketHeader& h) noexcept {
+  return {raw(in_port), h.eth_src.to_uint64(), h.eth_dst.to_uint64(),
+          h.eth_type,   h.ip_src.addr,         h.ip_dst.addr,
+          h.ip_proto,   h.tp_src,              h.tp_dst};
+}
+
+std::int64_t FlowTable::entry_deadline(const FlowEntry& e) noexcept {
+  // Integer-exact restatement of the reference check: for timeout T > 0,
+  // seconds_between(now, t) >= T  <=>  raw(now) >= raw(t) + T * 1e9.
+  std::int64_t d = kNeverExpires;
+  if (e.hard_timeout != 0)
+    d = std::min(d, raw(e.install_time) + std::int64_t{e.hard_timeout} * 1'000'000'000);
+  if (e.idle_timeout != 0)
+    d = std::min(d, raw(e.last_used) + std::int64_t{e.idle_timeout} * 1'000'000'000);
+  return d;
+}
+
+FlowTable::Meta FlowTable::compute_meta(const FlowEntry& e) {
+  Meta m;
+  m.exact = is_exact(e.match);
+  // Static prefix of the digest encoding (everything up to the counters).
+  ByteWriter w;
+  e.match.encode(w);
+  w.u16(e.priority);
+  w.u64(e.cookie);
+  w.u16(e.idle_timeout);
+  w.u16(e.hard_timeout);
+  w.u8(e.send_flow_removed ? 1 : 0);
+  of::encode_actions(e.actions, w);
+  m.static_fnv = fnv_bytes(kFnvOffset, w.data().data(), w.size());
+  m.full_hash = dynamic_hash(m.static_fnv, e);
+  // Structure-only term: the fields NetLog inverses restore exactly.
+  ByteWriter lw;
+  e.match.encode(lw);
+  lw.u16(e.priority);
+  lw.u64(e.cookie);
+  of::encode_actions(e.actions, lw);
+  m.logical_hash = fnv_bytes(kFnvOffset, lw.data().data(), lw.size());
+  return m;
+}
+
+// --- digest and index maintenance ------------------------------------------
+
+void FlowTable::digest_add(const Meta& m) noexcept {
+  digest_acc_ ^= m.full_hash;
+  logical_acc_ ^= m.logical_hash;
+}
+
+void FlowTable::digest_remove(const Meta& m) noexcept {
+  digest_acc_ ^= m.full_hash;
+  logical_acc_ ^= m.logical_hash;
+}
+
+bool FlowTable::beats(std::uint32_t a, std::uint32_t b) const noexcept {
+  const FlowEntry& ea = entries_[a];
+  const FlowEntry& eb = entries_[b];
+  return ea.priority > eb.priority ||
+         (ea.priority == eb.priority && ea.seq < eb.seq);
+}
+
+void FlowTable::wild_insert(std::uint32_t pos) {
+  auto it = std::lower_bound(
+      wild_.begin(), wild_.end(), pos,
+      [this](std::uint32_t a, std::uint32_t b) { return beats(a, b); });
+  wild_.insert(it, pos);
+}
+
+void FlowTable::wild_erase(std::uint32_t pos) {
+  auto it = std::find(wild_.begin(), wild_.end(), pos);
+  if (it != wild_.end()) wild_.erase(it);
+}
+
+void FlowTable::arm(std::uint32_t pos) {
+  const std::int64_t d = entry_deadline(entries_[pos]);
+  meta_[pos].armed_deadline = d;
+  if (d == kNeverExpires) return;
+  heap_.push_back({d, entries_[pos].seq});
+  std::push_heap(heap_.begin(), heap_.end(),
+                 [](const HeapRec& a, const HeapRec& b) { return a.deadline > b.deadline; });
+}
+
+void FlowTable::refresh_hashes(std::uint32_t pos) {
+  digest_remove(meta_[pos]);
+  const Meta fresh = compute_meta(entries_[pos]);
+  meta_[pos].full_hash = fresh.full_hash;
+  meta_[pos].static_fnv = fresh.static_fnv;
+  meta_[pos].logical_hash = fresh.logical_hash;
+  digest_add(meta_[pos]);
+}
+
+void FlowTable::append(FlowEntry entry) {
+  const auto pos = static_cast<std::uint32_t>(entries_.size());
+  entries_.push_back(std::move(entry));
+  meta_.push_back(compute_meta(entries_[pos]));
+  digest_add(meta_[pos]);
+  const FlowEntry& e = entries_[pos];
+  strict_.emplace(StrictKey{e.match, e.priority}, pos);
+  if (meta_[pos].exact)
+    exact_[exact_key_of(e.match)].push_back(pos);
+  else
+    wild_insert(pos);
+  pos_by_seq_.emplace(e.seq, pos);
+  arm(pos);
+}
+
+void FlowTable::replace_at(std::uint32_t pos, FlowEntry entry) {
+  // Identity (match+priority) is unchanged, so strict_ and the exact bucket
+  // keep pointing at `pos`; only seq-dependent structures need fixing.
+  digest_remove(meta_[pos]);
+  pos_by_seq_.erase(entries_[pos].seq);
+  const bool was_wild = !meta_[pos].exact;
+  if (was_wild) wild_erase(pos); // seq changed: re-sort below
+  entries_[pos] = std::move(entry);
+  meta_[pos] = compute_meta(entries_[pos]);
+  digest_add(meta_[pos]);
+  pos_by_seq_.emplace(entries_[pos].seq, pos);
+  if (!meta_[pos].exact) wild_insert(pos);
+  arm(pos);
+}
+
+void FlowTable::remove_positions(const std::vector<std::uint32_t>& positions) {
+  for (const std::uint32_t pos : positions) digest_remove(meta_[pos]);
+  std::size_t w = 0, skip = 0;
+  for (std::size_t r = 0; r < entries_.size(); ++r) {
+    if (skip < positions.size() && positions[skip] == r) {
+      ++skip;
+      continue;
+    }
+    if (w != r) {
+      entries_[w] = std::move(entries_[r]);
+      meta_[w] = meta_[r];
+    }
+    ++w;
+  }
+  entries_.resize(w);
+  meta_.resize(w);
+  reindex();
+  // Heap records for removed/relocated entries go stale; pops validate
+  // against pos_by_seq_ + armed_deadline, so no eager cleanup is needed.
+}
+
+void FlowTable::reindex() {
+  strict_.clear();
+  exact_.clear();
+  wild_.clear();
+  pos_by_seq_.clear();
+  for (std::uint32_t pos = 0; pos < entries_.size(); ++pos) {
+    const FlowEntry& e = entries_[pos];
+    strict_.emplace(StrictKey{e.match, e.priority}, pos);
+    if (meta_[pos].exact)
+      exact_[exact_key_of(e.match)].push_back(pos);
+    else
+      wild_.push_back(pos);
+    pos_by_seq_.emplace(e.seq, pos);
+  }
+  std::sort(wild_.begin(), wild_.end(),
+            [this](std::uint32_t a, std::uint32_t b) { return beats(a, b); });
+}
+
+void FlowTable::rebuild_all() {
+  digest_acc_ = 0x12345678ABCDEF01ULL;
+  logical_acc_ = 0;
+  heap_.clear();
+  meta_.resize(entries_.size());
+  for (std::uint32_t pos = 0; pos < entries_.size(); ++pos) {
+    meta_[pos] = compute_meta(entries_[pos]);
+    digest_add(meta_[pos]);
+  }
+  reindex();
+  for (std::uint32_t pos = 0; pos < entries_.size(); ++pos) arm(pos);
+}
+
+void FlowTable::clear() noexcept {
+  entries_.clear();
+  meta_.clear();
+  strict_.clear();
+  exact_.clear();
+  wild_.clear();
+  pos_by_seq_.clear();
+  heap_.clear();
+  digest_acc_ = 0x12345678ABCDEF01ULL;
+  logical_acc_ = 0;
+}
+
+void FlowTable::restore_snapshot(std::vector<FlowEntry> snap) {
+  entries_ = std::move(snap);
+  for (const FlowEntry& e : entries_)
+    next_seq_ = std::max(next_seq_, e.seq + 1);
+  rebuild_all();
+}
+
+// --- flow-mod application ---------------------------------------------------
+
 FlowModResult FlowTable::apply(const of::FlowMod& mod, SimTime now) {
   FlowModResult res;
   switch (mod.command) {
     case of::FlowModCommand::kAdd: {
       if (mod.check_overlap) {
         for (const auto& e : entries_) {
-          if (e.priority == mod.priority && overlaps(e.match, mod.match) &&
+          if (e.priority == mod.priority && match_overlaps(e.match, mod.match) &&
               !e.same_flow(mod.match, mod.priority)) {
             res.ok = false;
             res.error = "overlap";
@@ -74,9 +347,6 @@ FlowModResult FlowTable::apply(const of::FlowMod& mod, SimTime now) {
         }
       }
       // Replace an identical flow if present (counters reset per OF 1.0).
-      auto it = std::find_if(entries_.begin(), entries_.end(), [&](const FlowEntry& e) {
-        return e.same_flow(mod.match, mod.priority);
-      });
       FlowEntry entry;
       entry.match = mod.match;
       entry.priority = mod.priority;
@@ -88,27 +358,40 @@ FlowModResult FlowTable::apply(const of::FlowMod& mod, SimTime now) {
       entry.install_time = now;
       entry.last_used = now;
       entry.seq = next_seq_++;
-      if (it != entries_.end()) {
-        res.removed.push_back(*it);
-        *it = entry;
-      } else {
-        entries_.push_back(entry);
-      }
       res.added.push_back(entry);
+      auto sit = strict_.find(StrictKey{mod.match, mod.priority});
+      if (sit != strict_.end()) {
+        res.removed.push_back(entries_[sit->second]);
+        replace_at(sit->second, std::move(entry));
+      } else {
+        append(std::move(entry));
+      }
       return res;
     }
     case of::FlowModCommand::kModify:
     case of::FlowModCommand::kModifyStrict: {
       const bool strict = mod.command == of::FlowModCommand::kModifyStrict;
       bool any = false;
-      for (auto& e : entries_) {
-        const bool hit = strict ? e.same_flow(mod.match, mod.priority)
-                                : mod.match.subsumes(e.match);
-        if (!hit) continue;
-        res.modified.push_back(e); // before-image
-        e.actions = mod.actions;   // modify updates actions, preserves counters
-        e.cookie = mod.cookie;
-        any = true;
+      if (strict) {
+        auto sit = strict_.find(StrictKey{mod.match, mod.priority});
+        if (sit != strict_.end()) {
+          FlowEntry& e = entries_[sit->second];
+          res.modified.push_back(e); // before-image
+          e.actions = mod.actions;   // modify updates actions, preserves counters
+          e.cookie = mod.cookie;
+          refresh_hashes(sit->second);
+          any = true;
+        }
+      } else {
+        for (std::uint32_t pos = 0; pos < entries_.size(); ++pos) {
+          FlowEntry& e = entries_[pos];
+          if (!mod.match.subsumes(e.match)) continue;
+          res.modified.push_back(e);
+          e.actions = mod.actions;
+          e.cookie = mod.cookie;
+          refresh_hashes(pos);
+          any = true;
+        }
       }
       if (!any) {
         // OF 1.0: modify with no match behaves as an add.
@@ -121,18 +404,25 @@ FlowModResult FlowTable::apply(const of::FlowMod& mod, SimTime now) {
     case of::FlowModCommand::kDelete:
     case of::FlowModCommand::kDeleteStrict: {
       const bool strict = mod.command == of::FlowModCommand::kDeleteStrict;
-      auto it = entries_.begin();
-      while (it != entries_.end()) {
-        const bool hit = strict ? it->same_flow(mod.match, mod.priority)
-                                : mod.match.subsumes(it->match);
-        const bool port_ok =
-            mod.out_port == ports::kNone || it->outputs_to(mod.out_port);
-        if (hit && port_ok) {
-          res.removed.push_back(*it);
-          it = entries_.erase(it);
-        } else {
-          ++it;
+      std::vector<std::uint32_t> doomed;
+      if (strict) {
+        auto sit = strict_.find(StrictKey{mod.match, mod.priority});
+        if (sit != strict_.end()) {
+          const FlowEntry& e = entries_[sit->second];
+          if (mod.out_port == ports::kNone || e.outputs_to(mod.out_port))
+            doomed.push_back(sit->second);
         }
+      } else {
+        for (std::uint32_t pos = 0; pos < entries_.size(); ++pos) {
+          const FlowEntry& e = entries_[pos];
+          if (!mod.match.subsumes(e.match)) continue;
+          if (mod.out_port != ports::kNone && !e.outputs_to(mod.out_port)) continue;
+          doomed.push_back(pos);
+        }
+      }
+      if (!doomed.empty()) {
+        for (const std::uint32_t pos : doomed) res.removed.push_back(entries_[pos]);
+        remove_positions(doomed);
       }
       return res;
     }
@@ -142,104 +432,111 @@ FlowModResult FlowTable::apply(const of::FlowMod& mod, SimTime now) {
   return res;
 }
 
-const FlowEntry* FlowTable::match_packet(PortNo in_port, const of::PacketHeader& hdr,
-                                         std::uint32_t bytes, SimTime now) {
-  FlowEntry* best = nullptr;
-  for (auto& e : entries_) {
-    if (!e.match.matches(in_port, hdr)) continue;
-    if (!best || e.priority > best->priority ||
-        (e.priority == best->priority && e.seq < best->seq)) {
-      best = &e;
+// --- lookup -----------------------------------------------------------------
+
+std::uint32_t FlowTable::lookup_pos(PortNo in_port, const of::PacketHeader& hdr) const {
+  std::uint32_t best = kNpos;
+  if (!exact_.empty()) {
+    auto it = exact_.find(exact_key_of(in_port, hdr));
+    if (it != exact_.end()) {
+      for (const std::uint32_t pos : it->second)
+        if (best == kNpos || beats(pos, best)) best = pos;
     }
   }
-  if (best) {
-    best->packet_count += 1;
-    best->byte_count += bytes;
-    best->last_used = now;
+  // wild_ is sorted by the same (priority, seq) order lookups use, so the
+  // first wildcard hit is the best wildcard hit, and once the current
+  // candidate cannot beat the exact-tier best, nothing after it can either.
+  for (const std::uint32_t pos : wild_) {
+    if (best != kNpos && !beats(pos, best)) break;
+    if (entries_[pos].match.matches(in_port, hdr)) {
+      best = pos;
+      break;
+    }
   }
   return best;
+}
+
+const FlowEntry* FlowTable::match_packet(PortNo in_port, const of::PacketHeader& hdr,
+                                         std::uint32_t bytes, SimTime now) {
+  const std::uint32_t pos = lookup_pos(in_port, hdr);
+  if (pos == kNpos) return nullptr;
+  FlowEntry& e = entries_[pos];
+  Meta& m = meta_[pos];
+  // Counter touch: swap this entry's digest term, resuming the FNV stream
+  // from the cached static midstate so no re-encode happens.
+  digest_acc_ ^= m.full_hash;
+  e.packet_count += 1;
+  e.byte_count += bytes;
+  e.last_used = now; // extends any idle deadline; expire() re-arms lazily
+  m.full_hash = dynamic_hash(m.static_fnv, e);
+  digest_acc_ ^= m.full_hash;
+  return &e;
 }
 
 const FlowEntry* FlowTable::peek(PortNo in_port, const of::PacketHeader& hdr) const {
-  const FlowEntry* best = nullptr;
-  for (const auto& e : entries_) {
-    if (!e.match.matches(in_port, hdr)) continue;
-    if (!best || e.priority > best->priority ||
-        (e.priority == best->priority && e.seq < best->seq)) {
-      best = &e;
-    }
-  }
-  return best;
+  const std::uint32_t pos = lookup_pos(in_port, hdr);
+  return pos == kNpos ? nullptr : &entries_[pos];
 }
+
+// --- expiry -----------------------------------------------------------------
 
 std::vector<FlowTable::Expired> FlowTable::expire(SimTime now) {
   std::vector<Expired> out;
-  auto it = entries_.begin();
-  while (it != entries_.end()) {
-    of::FlowRemovedReason reason{};
-    bool dead = false;
-    if (it->hard_timeout != 0 &&
-        seconds_between(now, it->install_time) >= it->hard_timeout) {
-      dead = true;
-      reason = of::FlowRemovedReason::kHardTimeout;
-    } else if (it->idle_timeout != 0 &&
-               seconds_between(now, it->last_used) >= it->idle_timeout) {
-      dead = true;
-      reason = of::FlowRemovedReason::kIdleTimeout;
-    }
-    if (dead) {
-      out.push_back({*it, reason});
-      it = entries_.erase(it);
+  auto heap_min = [](const HeapRec& a, const HeapRec& b) { return a.deadline > b.deadline; };
+  std::vector<std::uint32_t> due;
+  while (!heap_.empty() && heap_.front().deadline <= raw(now)) {
+    const HeapRec rec = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), heap_min);
+    heap_.pop_back();
+    const auto it = pos_by_seq_.find(rec.seq);
+    if (it == pos_by_seq_.end()) continue; // stale: entry is gone
+    const std::uint32_t pos = it->second;
+    if (meta_[pos].armed_deadline != rec.deadline) continue; // stale: re-armed
+    const std::int64_t actual = entry_deadline(entries_[pos]);
+    if (actual <= raw(now)) {
+      meta_[pos].armed_deadline = kNeverExpires; // leaving the table
+      due.push_back(pos);
     } else {
-      ++it;
+      // Idle clock was refreshed by traffic since arming; push the real
+      // deadline back into the heap.
+      meta_[pos].armed_deadline = actual;
+      heap_.push_back({actual, entries_[pos].seq});
+      std::push_heap(heap_.begin(), heap_.end(), heap_min);
     }
   }
+  if (due.empty()) return out;
+  // Report in table order, with the hard timeout taking precedence over the
+  // idle one when both have lapsed — exactly like the reference scan.
+  std::sort(due.begin(), due.end());
+  for (const std::uint32_t pos : due) {
+    const FlowEntry& e = entries_[pos];
+    const bool hard =
+        e.hard_timeout != 0 && seconds_between(now, e.install_time) >= e.hard_timeout;
+    out.push_back({e, hard ? of::FlowRemovedReason::kHardTimeout
+                           : of::FlowRemovedReason::kIdleTimeout});
+  }
+  remove_positions(due);
   return out;
 }
 
+// --- restore / strict lookup ------------------------------------------------
+
 void FlowTable::restore(const FlowEntry& entry) {
-  auto it = std::find_if(entries_.begin(), entries_.end(), [&](const FlowEntry& e) {
-    return e.same_flow(entry.match, entry.priority);
-  });
-  if (it != entries_.end()) {
-    *it = entry;
+  // Keep seq allocation ahead of anything restored from a snapshot so
+  // insertion-order tie-breaks can never collide with a future add.
+  next_seq_ = std::max(next_seq_, entry.seq + 1);
+  auto sit = strict_.find(StrictKey{entry.match, entry.priority});
+  if (sit != strict_.end()) {
+    replace_at(sit->second, entry);
   } else {
-    entries_.push_back(entry);
+    append(entry);
   }
 }
 
 const FlowEntry* FlowTable::find_strict(const of::Match& m,
                                         std::uint16_t priority) const {
-  for (const auto& e : entries_)
-    if (e.same_flow(m, priority)) return &e;
-  return nullptr;
-}
-
-std::uint64_t FlowTable::digest() const {
-  // Order-insensitive digest: XOR of per-entry FNV hashes over the logical
-  // state (seq excluded; it is table-internal bookkeeping).
-  std::uint64_t acc = 0x12345678ABCDEF01ULL;
-  for (const auto& e : entries_) {
-    ByteWriter w;
-    e.match.encode(w);
-    w.u16(e.priority);
-    w.u64(e.cookie);
-    w.u16(e.idle_timeout);
-    w.u16(e.hard_timeout);
-    w.u8(e.send_flow_removed ? 1 : 0);
-    of::encode_actions(e.actions, w);
-    w.u64(e.packet_count);
-    w.u64(e.byte_count);
-    w.u64(static_cast<std::uint64_t>(raw(e.install_time)));
-    w.u64(static_cast<std::uint64_t>(raw(e.last_used)));
-    std::uint64_t h = 0xCBF29CE484222325ULL;
-    for (auto b : w.data()) {
-      h ^= b;
-      h *= 0x100000001B3ULL;
-    }
-    acc ^= h;
-  }
-  return acc;
+  auto sit = strict_.find(StrictKey{m, priority});
+  return sit == strict_.end() ? nullptr : &entries_[sit->second];
 }
 
 } // namespace legosdn::netsim

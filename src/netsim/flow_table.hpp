@@ -9,10 +9,27 @@
 //    the STRICT variants only to the entry with identical match+priority;
 //  - DELETE honours the out_port filter;
 //  - idle and hard timeouts expire entries and emit flow-removed records.
+//
+// Internally the table is a two-tier classifier (see DESIGN.md §4.3):
+//  - the *exact tier* holds fully-specified entries (no wildcard bits, /32
+//    prefixes) in a hash index, so the common learning-switch workload gets
+//    O(1) lookups;
+//  - the *wildcard tier* is kept sorted by (priority desc, insertion seq asc)
+//    so lookups early-exit at the first hit instead of scanning everything.
+// A strict-identity hash index makes find_strict / restore / ADD-replace
+// O(1), a lazy min-heap over expiry deadlines makes expire() O(1) when
+// nothing is due, and the state digest is maintained incrementally (XOR-fold
+// updated on add/remove/counter-touch) instead of re-encoding the table.
+//
+// Observable behavior is byte-identical to the pre-index flat-vector code,
+// which survives as ReferenceFlowTable (reference_flow_table.hpp) — the
+// oracle for the differential property test (tests/flow_table_diff_test.cpp).
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -55,6 +72,10 @@ struct FlowModResult {
   std::vector<FlowEntry> modified;   ///< before-images of modified entries
 };
 
+/// Do two matches overlap (can a single packet match both)? Shared by the
+/// indexed table and the reference oracle so ADD+check_overlap agrees.
+bool match_overlaps(const of::Match& a, const of::Match& b);
+
 class FlowTable {
 public:
   /// Apply a flow-mod at virtual time `now`.
@@ -76,6 +97,14 @@ public:
   };
   std::vector<Expired> expire(SimTime now);
 
+  /// O(1) check whether expire(now) could remove anything; lets callers on
+  /// the time-advance path skip the call entirely. May report true for
+  /// entries whose idle clock was refreshed since their deadline was armed
+  /// (expire() then just re-arms them), never false for a genuinely due one.
+  bool has_pending_expiry(SimTime now) const noexcept {
+    return !heap_.empty() && heap_.front().deadline <= raw(now);
+  }
+
   /// Reinstall an entry preserving all runtime state (counters, timestamps).
   /// Used by NetLog rollback; replaces any entry with the same match+priority.
   void restore(const FlowEntry& entry);
@@ -86,19 +115,117 @@ public:
   const std::vector<FlowEntry>& entries() const noexcept { return entries_; }
   std::size_t size() const noexcept { return entries_.size(); }
   bool empty() const noexcept { return entries_.empty(); }
-  void clear() noexcept { entries_.clear(); }
+  void clear() noexcept;
 
   /// Full-state snapshot/restore; equality of snapshots defines "identical
   /// network state" in the rollback property tests.
   std::vector<FlowEntry> snapshot() const { return entries_; }
-  void restore_snapshot(std::vector<FlowEntry> snap) { entries_ = std::move(snap); }
+  void restore_snapshot(std::vector<FlowEntry> snap);
 
   /// Deterministic state digest (order-insensitive) for fast comparison.
-  std::uint64_t digest() const;
+  /// Maintained incrementally; equals the reference full re-encode exactly.
+  std::uint64_t digest() const noexcept { return digest_acc_; }
+
+  /// Structure-only digest over (match, priority, cookie, actions) — the
+  /// fields NetLog's inverses restore exactly. Unlike digest() it ignores
+  /// counters, timestamps and timeouts, so it is stable across rollback
+  /// (inverse ADDs carry *remaining* timeouts and fresh install times) and
+  /// suits cheap pre/post-transaction comparison. Also O(1).
+  std::uint64_t logical_digest() const noexcept { return logical_acc_; }
 
 private:
+  static constexpr std::int64_t kNeverExpires =
+      std::numeric_limits<std::int64_t>::max();
+  static constexpr std::uint32_t kNpos = 0xFFFFFFFFu;
+
+  /// Per-entry bookkeeping, parallel to entries_.
+  struct Meta {
+    std::uint64_t full_hash = 0;    ///< per-entry term of digest()
+    std::uint64_t static_fnv = 0;   ///< FNV midstate after the static fields
+    std::uint64_t logical_hash = 0; ///< per-entry term of logical_digest()
+    std::int64_t armed_deadline = kNeverExpires; ///< deadline in the heap
+    bool exact = false;             ///< exact tier (vs wildcard tier)
+  };
+
+  /// Lazy min-heap record; validated against Meta::armed_deadline on pop so
+  /// stale records (entry removed, replaced or re-armed) cost O(log n) once.
+  struct HeapRec {
+    std::int64_t deadline = 0;
+    std::uint64_t seq = 0;
+  };
+
+  struct StrictKey {
+    of::Match match{};
+    std::uint16_t priority = 0;
+    bool operator==(const StrictKey&) const = default;
+  };
+  struct StrictKeyHash {
+    std::size_t operator()(const StrictKey& k) const noexcept;
+  };
+
+  /// Fully-specified packet identity: key of the exact tier. Built from an
+  /// exact Match or from a (port, header) pair; equality of keys is exactly
+  /// Match::matches() for exact matches.
+  struct ExactKey {
+    std::uint16_t in_port = 0;
+    std::uint64_t eth_src = 0;
+    std::uint64_t eth_dst = 0;
+    std::uint16_t eth_type = 0;
+    std::uint32_t ip_src = 0;
+    std::uint32_t ip_dst = 0;
+    std::uint8_t ip_proto = 0;
+    std::uint16_t tp_src = 0;
+    std::uint16_t tp_dst = 0;
+    bool operator==(const ExactKey&) const = default;
+  };
+  struct ExactKeyHash {
+    std::size_t operator()(const ExactKey& k) const noexcept;
+  };
+
+  static bool is_exact(const of::Match& m) noexcept;
+  static ExactKey exact_key_of(const of::Match& m) noexcept;
+  static ExactKey exact_key_of(PortNo in_port, const of::PacketHeader& h) noexcept;
+  static std::int64_t entry_deadline(const FlowEntry& e) noexcept;
+  static Meta compute_meta(const FlowEntry& e);
+
+  /// True when entry at `a` wins a lookup tie against the one at `b`
+  /// (higher priority, then earlier insertion).
+  bool beats(std::uint32_t a, std::uint32_t b) const noexcept;
+
+  std::uint32_t lookup_pos(PortNo in_port, const of::PacketHeader& hdr) const;
+
+  void wild_insert(std::uint32_t pos);
+  void wild_erase(std::uint32_t pos);
+  void arm(std::uint32_t pos);
+  void digest_add(const Meta& m) noexcept;
+  void digest_remove(const Meta& m) noexcept;
+  /// Recompute hash terms after an in-place structural change (MODIFY).
+  void refresh_hashes(std::uint32_t pos);
+  /// Replace the entry at `pos` (ADD-replace / restore-replace) and fix
+  /// every index; the strict identity is unchanged by construction.
+  void replace_at(std::uint32_t pos, FlowEntry entry);
+  /// Append a brand-new entry and index it.
+  void append(FlowEntry entry);
+  /// Remove the entries at `positions` (sorted ascending), preserving the
+  /// relative order of survivors, then reindex.
+  void remove_positions(const std::vector<std::uint32_t>& positions);
+  /// Rebuild strict/exact/wild/seq indexes from entries_ (metas kept).
+  void reindex();
+  /// Recompute everything from entries_ (metas, digests, indexes, heap).
+  void rebuild_all();
+
   std::vector<FlowEntry> entries_;
+  std::vector<Meta> meta_; ///< parallel to entries_
   std::uint64_t next_seq_ = 0;
+
+  std::unordered_map<StrictKey, std::uint32_t, StrictKeyHash> strict_;
+  std::unordered_map<ExactKey, std::vector<std::uint32_t>, ExactKeyHash> exact_;
+  std::vector<std::uint32_t> wild_; ///< sorted by (priority desc, seq asc)
+  std::unordered_map<std::uint64_t, std::uint32_t> pos_by_seq_;
+  std::vector<HeapRec> heap_; ///< min-heap via std::push_heap/pop_heap
+
+  std::uint64_t digest_acc_ = 0x12345678ABCDEF01ULL; ///< seed of empty table
+  std::uint64_t logical_acc_ = 0;
 };
 
 } // namespace legosdn::netsim

@@ -2,11 +2,31 @@
 
 #include <algorithm>
 #include <cassert>
+#include <unordered_set>
 
 #include "common/log.hpp"
 
 namespace legosdn::netsim {
 namespace {
+
+/// (switch, ingress port, header) identity for dataplane loop detection.
+/// Hashed (not ordered) because forward() is the hot path: flood fan-outs
+/// insert one of these per copy per hop.
+struct VisitKey {
+  std::uint64_t dpid = 0;
+  std::uint16_t port = 0;
+  std::uint64_t hdr = 0;
+  bool operator==(const VisitKey&) const = default;
+};
+
+struct VisitKeyHash {
+  std::size_t operator()(const VisitKey& k) const noexcept {
+    std::uint64_t h = k.dpid * 0x9E3779B97F4A7C15ULL;
+    h ^= (std::uint64_t{k.port} << 48) + 0x517CC1B727220A95ULL + (h << 6) + (h >> 2);
+    h ^= k.hdr + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
 
 /// Apply a header-rewriting action to a packet copy.
 void apply_set_field(const of::Action& a, of::Packet& pkt) {
@@ -269,7 +289,7 @@ DeliveryResult Network::forward(Segment seed) {
   DeliveryResult res;
   std::vector<Segment> work;
   work.push_back(std::move(seed));
-  std::set<std::tuple<std::uint64_t, std::uint16_t, std::uint64_t>> visited;
+  std::unordered_set<VisitKey, VisitKeyHash> visited;
   std::size_t copies = 0;
 
   while (!work.empty()) {
@@ -286,8 +306,7 @@ DeliveryResult Network::forward(Segment seed) {
     }
     // Loop detection: the same header entering the same port twice means the
     // rules cycle (learning floods revisit switches but on different ports).
-    auto key = std::make_tuple(raw(seg.dpid), raw(seg.in_port),
-                               header_digest(seg.pkt.hdr));
+    const VisitKey key{raw(seg.dpid), raw(seg.in_port), header_digest(seg.pkt.hdr)};
     if (!visited.insert(key).second) {
       res.looped = true;
       res.drops += 1;

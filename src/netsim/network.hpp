@@ -17,7 +17,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <set>
 #include <unordered_map>
 #include <vector>
 

@@ -1,0 +1,228 @@
+#include "netsim/reference_flow_table.hpp"
+
+#include <algorithm>
+
+#include "common/bytes.hpp"
+
+namespace legosdn::netsim {
+namespace {
+
+std::int64_t seconds_between(SimTime later, SimTime earlier) {
+  return (raw(later) - raw(earlier)) / 1'000'000'000;
+}
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+std::uint64_t fnv(const ByteWriter& w) {
+  std::uint64_t h = kFnvOffset;
+  for (auto b : w.data()) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+} // namespace
+
+FlowModResult ReferenceFlowTable::apply(const of::FlowMod& mod, SimTime now) {
+  FlowModResult res;
+  switch (mod.command) {
+    case of::FlowModCommand::kAdd: {
+      if (mod.check_overlap) {
+        for (const auto& e : entries_) {
+          if (e.priority == mod.priority && match_overlaps(e.match, mod.match) &&
+              !e.same_flow(mod.match, mod.priority)) {
+            res.ok = false;
+            res.error = "overlap";
+            return res;
+          }
+        }
+      }
+      // Replace an identical flow if present (counters reset per OF 1.0).
+      auto it = std::find_if(entries_.begin(), entries_.end(), [&](const FlowEntry& e) {
+        return e.same_flow(mod.match, mod.priority);
+      });
+      FlowEntry entry;
+      entry.match = mod.match;
+      entry.priority = mod.priority;
+      entry.cookie = mod.cookie;
+      entry.idle_timeout = mod.idle_timeout;
+      entry.hard_timeout = mod.hard_timeout;
+      entry.send_flow_removed = mod.send_flow_removed;
+      entry.actions = mod.actions;
+      entry.install_time = now;
+      entry.last_used = now;
+      entry.seq = next_seq_++;
+      if (it != entries_.end()) {
+        res.removed.push_back(*it);
+        *it = entry;
+      } else {
+        entries_.push_back(entry);
+      }
+      res.added.push_back(entry);
+      return res;
+    }
+    case of::FlowModCommand::kModify:
+    case of::FlowModCommand::kModifyStrict: {
+      const bool strict = mod.command == of::FlowModCommand::kModifyStrict;
+      bool any = false;
+      for (auto& e : entries_) {
+        const bool hit = strict ? e.same_flow(mod.match, mod.priority)
+                                : mod.match.subsumes(e.match);
+        if (!hit) continue;
+        res.modified.push_back(e); // before-image
+        e.actions = mod.actions;   // modify updates actions, preserves counters
+        e.cookie = mod.cookie;
+        any = true;
+      }
+      if (!any) {
+        // OF 1.0: modify with no match behaves as an add.
+        of::FlowMod add = mod;
+        add.command = of::FlowModCommand::kAdd;
+        return apply(add, now);
+      }
+      return res;
+    }
+    case of::FlowModCommand::kDelete:
+    case of::FlowModCommand::kDeleteStrict: {
+      const bool strict = mod.command == of::FlowModCommand::kDeleteStrict;
+      auto it = entries_.begin();
+      while (it != entries_.end()) {
+        const bool hit = strict ? it->same_flow(mod.match, mod.priority)
+                                : mod.match.subsumes(it->match);
+        const bool port_ok =
+            mod.out_port == ports::kNone || it->outputs_to(mod.out_port);
+        if (hit && port_ok) {
+          res.removed.push_back(*it);
+          it = entries_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      return res;
+    }
+  }
+  res.ok = false;
+  res.error = "bad command";
+  return res;
+}
+
+const FlowEntry* ReferenceFlowTable::match_packet(PortNo in_port,
+                                                  const of::PacketHeader& hdr,
+                                                  std::uint32_t bytes, SimTime now) {
+  FlowEntry* best = nullptr;
+  for (auto& e : entries_) {
+    if (!e.match.matches(in_port, hdr)) continue;
+    if (!best || e.priority > best->priority ||
+        (e.priority == best->priority && e.seq < best->seq)) {
+      best = &e;
+    }
+  }
+  if (best) {
+    best->packet_count += 1;
+    best->byte_count += bytes;
+    best->last_used = now;
+  }
+  return best;
+}
+
+const FlowEntry* ReferenceFlowTable::peek(PortNo in_port,
+                                          const of::PacketHeader& hdr) const {
+  const FlowEntry* best = nullptr;
+  for (const auto& e : entries_) {
+    if (!e.match.matches(in_port, hdr)) continue;
+    if (!best || e.priority > best->priority ||
+        (e.priority == best->priority && e.seq < best->seq)) {
+      best = &e;
+    }
+  }
+  return best;
+}
+
+std::vector<ReferenceFlowTable::Expired> ReferenceFlowTable::expire(SimTime now) {
+  std::vector<Expired> out;
+  auto it = entries_.begin();
+  while (it != entries_.end()) {
+    of::FlowRemovedReason reason{};
+    bool dead = false;
+    if (it->hard_timeout != 0 &&
+        seconds_between(now, it->install_time) >= it->hard_timeout) {
+      dead = true;
+      reason = of::FlowRemovedReason::kHardTimeout;
+    } else if (it->idle_timeout != 0 &&
+               seconds_between(now, it->last_used) >= it->idle_timeout) {
+      dead = true;
+      reason = of::FlowRemovedReason::kIdleTimeout;
+    }
+    if (dead) {
+      out.push_back({*it, reason});
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+void ReferenceFlowTable::restore(const FlowEntry& entry) {
+  next_seq_ = std::max(next_seq_, entry.seq + 1);
+  auto it = std::find_if(entries_.begin(), entries_.end(), [&](const FlowEntry& e) {
+    return e.same_flow(entry.match, entry.priority);
+  });
+  if (it != entries_.end()) {
+    *it = entry;
+  } else {
+    entries_.push_back(entry);
+  }
+}
+
+void ReferenceFlowTable::restore_snapshot(std::vector<FlowEntry> snap) {
+  entries_ = std::move(snap);
+  for (const FlowEntry& e : entries_)
+    next_seq_ = std::max(next_seq_, e.seq + 1);
+}
+
+const FlowEntry* ReferenceFlowTable::find_strict(const of::Match& m,
+                                                 std::uint16_t priority) const {
+  for (const auto& e : entries_)
+    if (e.same_flow(m, priority)) return &e;
+  return nullptr;
+}
+
+std::uint64_t ReferenceFlowTable::digest() const {
+  // Order-insensitive digest: XOR of per-entry FNV hashes over the logical
+  // state (seq excluded; it is table-internal bookkeeping).
+  std::uint64_t acc = 0x12345678ABCDEF01ULL;
+  for (const auto& e : entries_) {
+    ByteWriter w;
+    e.match.encode(w);
+    w.u16(e.priority);
+    w.u64(e.cookie);
+    w.u16(e.idle_timeout);
+    w.u16(e.hard_timeout);
+    w.u8(e.send_flow_removed ? 1 : 0);
+    of::encode_actions(e.actions, w);
+    w.u64(e.packet_count);
+    w.u64(e.byte_count);
+    w.u64(static_cast<std::uint64_t>(raw(e.install_time)));
+    w.u64(static_cast<std::uint64_t>(raw(e.last_used)));
+    acc ^= fnv(w);
+  }
+  return acc;
+}
+
+std::uint64_t ReferenceFlowTable::logical_digest() const {
+  std::uint64_t acc = 0;
+  for (const auto& e : entries_) {
+    ByteWriter w;
+    e.match.encode(w);
+    w.u16(e.priority);
+    w.u64(e.cookie);
+    of::encode_actions(e.actions, w);
+    acc ^= fnv(w);
+  }
+  return acc;
+}
+
+} // namespace legosdn::netsim

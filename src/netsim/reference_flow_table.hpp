@@ -1,0 +1,55 @@
+// The pre-index flat-vector FlowTable, kept verbatim as a differential-testing
+// oracle. Every operation is a linear scan, which makes the OF 1.0 semantics
+// (priority ties by insertion order, MODIFY/DELETE cover semantics, counter
+// touch on lookup, timeout precedence) easy to audit by eye. The indexed
+// FlowTable must be behaviorally indistinguishable from this class — including
+// digests — and tests/flow_table_diff_test.cpp drives both in lock-step to
+// prove it. Do not optimise this code; its simplicity is the point.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netsim/flow_table.hpp"
+
+namespace legosdn::netsim {
+
+class ReferenceFlowTable {
+public:
+  using Expired = FlowTable::Expired;
+
+  FlowModResult apply(const of::FlowMod& mod, SimTime now);
+
+  const FlowEntry* match_packet(PortNo in_port, const of::PacketHeader& hdr,
+                                std::uint32_t bytes, SimTime now);
+
+  const FlowEntry* peek(PortNo in_port, const of::PacketHeader& hdr) const;
+
+  std::vector<Expired> expire(SimTime now);
+
+  void restore(const FlowEntry& entry);
+
+  const FlowEntry* find_strict(const of::Match& m, std::uint16_t priority) const;
+
+  const std::vector<FlowEntry>& entries() const noexcept { return entries_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+  void clear() noexcept { entries_.clear(); }
+
+  std::vector<FlowEntry> snapshot() const { return entries_; }
+  void restore_snapshot(std::vector<FlowEntry> snap);
+
+  /// Full re-encode digest; the value the indexed table maintains
+  /// incrementally must equal this exactly.
+  std::uint64_t digest() const;
+
+  /// Full re-encode structure-only digest (match, priority, cookie, actions);
+  /// the oracle for FlowTable::logical_digest().
+  std::uint64_t logical_digest() const;
+
+private:
+  std::vector<FlowEntry> entries_;
+  std::uint64_t next_seq_ = 0;
+};
+
+} // namespace legosdn::netsim

@@ -142,6 +142,9 @@ of::StatsReply SimSwitch::build_stats(const of::StatsRequest& req, SimTime now) 
 
 void SimSwitch::expire_flows(SimTime now, std::vector<of::Message>& out) {
   if (!up_) return;
+  // Network::advance_time calls this on every switch at every tick; the O(1)
+  // deadline-heap peek keeps the common nothing-due case scan-free.
+  if (!table_.has_pending_expiry(now)) return;
   for (const auto& ex : table_.expire(now)) {
     if (!ex.entry.send_flow_removed) continue;
     of::FlowRemoved fr;

@@ -1,0 +1,221 @@
+// Differential property test: the indexed FlowTable vs the linear
+// ReferenceFlowTable oracle (the pre-index implementation, kept verbatim).
+//
+// Both tables are driven in lock-step with seeded random streams of FlowMods
+// (all five commands, overlap checks, out_port filters), packet lookups,
+// restore() of previously-removed entries, snapshot round-trips, and expire()
+// at jittered virtual times. After every step the full observable state must
+// agree: FlowModResult contents, lookup results, expiry sets (entries AND
+// reasons, in order), the entries() vector itself, and both digests. Field
+// values are drawn from small pools so strict-identity collisions, covered
+// deletes and priority ties happen constantly — the paths where the two-tier
+// classifier could plausibly diverge from the flat scan.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "netsim/flow_table.hpp"
+#include "netsim/reference_flow_table.hpp"
+
+namespace legosdn::netsim {
+namespace {
+
+class DiffDriver {
+public:
+  explicit DiffDriver(std::uint64_t seed) : rng_(seed) {
+    // Small pools make collisions (same identity, overlapping covers,
+    // equal priorities) frequent instead of astronomically rare.
+    for (std::uint64_t i = 0; i < 24; ++i) {
+      of::PacketHeader h;
+      h.eth_src = MacAddress::from_uint64(0xA0 + i % 6);
+      h.eth_dst = MacAddress::from_uint64(0xB0 + (i / 6) % 4);
+      h.eth_type = (i % 5 == 0) ? of::kEthTypeArp : of::kEthTypeIpv4;
+      h.ip_src = IpV4::from_octets(10, 0, static_cast<std::uint8_t>(i % 3), 1);
+      h.ip_dst = IpV4::from_octets(10, 1, static_cast<std::uint8_t>(i % 4), 2);
+      h.ip_proto = (i % 2 == 0) ? of::kIpProtoTcp : of::kIpProtoUdp;
+      h.tp_src = static_cast<std::uint16_t>(1000 + i % 3);
+      h.tp_dst = static_cast<std::uint16_t>(80 + i % 4);
+      headers_.push_back(h);
+    }
+  }
+
+  PortNo random_port() { return PortNo{static_cast<std::uint16_t>(rng_.below(4) + 1)}; }
+
+  const of::PacketHeader& random_header() {
+    return headers_[rng_.below(headers_.size())];
+  }
+
+  of::Match random_match() {
+    if (rng_.chance(0.5)) return of::Match::exact(random_port(), random_header());
+    const of::PacketHeader& h = random_header();
+    of::Match m;
+    m.wildcards = static_cast<std::uint32_t>(rng_.below(of::kWcAll + 1));
+    m.in_port = random_port();
+    m.eth_src = h.eth_src;
+    m.eth_dst = h.eth_dst;
+    m.eth_type = h.eth_type;
+    m.ip_src = h.ip_src;
+    m.ip_dst = h.ip_dst;
+    static constexpr std::uint8_t kPrefixes[] = {0, 8, 16, 24, 32};
+    m.ip_src_prefix = kPrefixes[rng_.below(5)];
+    m.ip_dst_prefix = kPrefixes[rng_.below(5)];
+    m.ip_proto = h.ip_proto;
+    m.tp_src = h.tp_src;
+    m.tp_dst = h.tp_dst;
+    return m;
+  }
+
+  of::ActionList random_actions() {
+    of::ActionList out;
+    const std::size_t n = rng_.below(3);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng_.chance(0.7))
+        out.push_back(of::ActionOutput{random_port()});
+      else
+        out.push_back(of::ActionSetTpDst{static_cast<std::uint16_t>(rng_.below(4))});
+    }
+    return out;
+  }
+
+  of::FlowMod random_flow_mod() {
+    of::FlowMod m;
+    m.match = random_match();
+    m.cookie = rng_.below(8);
+    m.command = static_cast<of::FlowModCommand>(rng_.below(5));
+    m.idle_timeout = rng_.chance(0.4) ? static_cast<std::uint16_t>(rng_.below(4) + 1) : 0;
+    m.hard_timeout = rng_.chance(0.4) ? static_cast<std::uint16_t>(rng_.below(6) + 1) : 0;
+    static constexpr std::uint16_t kPrios[] = {100, 100, 200, 300, 0x8000};
+    m.priority = kPrios[rng_.below(5)];
+    m.out_port = rng_.chance(0.8) ? ports::kNone : random_port();
+    m.send_flow_removed = rng_.chance(0.3);
+    m.check_overlap = rng_.chance(0.1);
+    m.actions = random_actions();
+    return m;
+  }
+
+  Rng& rng() noexcept { return rng_; }
+
+private:
+  Rng rng_;
+  std::vector<of::PacketHeader> headers_;
+};
+
+void expect_results_equal(const FlowModResult& a, const FlowModResult& b,
+                          std::size_t step) {
+  ASSERT_EQ(a.ok, b.ok) << "step " << step;
+  ASSERT_EQ(a.error, b.error) << "step " << step;
+  ASSERT_EQ(a.added, b.added) << "step " << step;
+  ASSERT_EQ(a.removed, b.removed) << "step " << step;
+  ASSERT_EQ(a.modified, b.modified) << "step " << step;
+}
+
+void run_differential(std::uint64_t seed, std::size_t steps) {
+  DiffDriver gen(seed);
+  FlowTable indexed;
+  ReferenceFlowTable reference;
+  SimTime now = kSimStart;
+  std::vector<FlowEntry> graveyard; // removed before-images, for restore()
+
+  for (std::size_t step = 0; step < steps; ++step) {
+    const std::uint64_t action = gen.rng().below(100);
+    if (action < 55) {
+      const of::FlowMod mod = gen.random_flow_mod();
+      const FlowModResult ri = indexed.apply(mod, now);
+      const FlowModResult rr = reference.apply(mod, now);
+      expect_results_equal(ri, rr, step);
+      for (const auto& e : ri.removed) graveyard.push_back(e);
+    } else if (action < 80) {
+      const PortNo port = gen.random_port();
+      const of::PacketHeader& hdr = gen.random_header();
+      const auto bytes = static_cast<std::uint32_t>(gen.rng().below(1500) + 64);
+      const FlowEntry* ei = indexed.match_packet(port, hdr, bytes, now);
+      const FlowEntry* er = reference.match_packet(port, hdr, bytes, now);
+      ASSERT_EQ(ei == nullptr, er == nullptr) << "step " << step;
+      if (ei) ASSERT_EQ(*ei, *er) << "step " << step;
+    } else if (action < 85) {
+      const PortNo port = gen.random_port();
+      const of::PacketHeader& hdr = gen.random_header();
+      const FlowEntry* ei = indexed.peek(port, hdr);
+      const FlowEntry* er = reference.peek(port, hdr);
+      ASSERT_EQ(ei == nullptr, er == nullptr) << "step " << step;
+      if (ei) ASSERT_EQ(*ei, *er) << "step " << step;
+    } else if (action < 93) {
+      // Jittered time advance + expiry on both sides.
+      now = SimTime{raw(now) + static_cast<std::int64_t>(gen.rng().below(2'500'000'000))};
+      const auto xi = indexed.expire(now);
+      const auto xr = reference.expire(now);
+      ASSERT_EQ(xi.size(), xr.size()) << "step " << step;
+      for (std::size_t i = 0; i < xi.size(); ++i) {
+        ASSERT_EQ(xi[i].entry, xr[i].entry) << "step " << step << " idx " << i;
+        ASSERT_EQ(xi[i].reason, xr[i].reason) << "step " << step << " idx " << i;
+        graveyard.push_back(xi[i].entry);
+      }
+    } else if (action < 97) {
+      if (!graveyard.empty()) {
+        const FlowEntry& e = graveyard[gen.rng().below(graveyard.size())];
+        indexed.restore(e);
+        reference.restore(e);
+      }
+    } else {
+      // Snapshot round-trip: both snapshots must agree, and restoring them
+      // must be an identity operation on both implementations.
+      const auto si = indexed.snapshot();
+      const auto sr = reference.snapshot();
+      ASSERT_EQ(si, sr) << "step " << step;
+      indexed.restore_snapshot(si);
+      reference.restore_snapshot(sr);
+    }
+
+    // Invariants checked after every step: identical entry vectors, identical
+    // strict lookups for a random identity, and identical digests (the
+    // incremental full digest must equal the reference full re-encode).
+    ASSERT_EQ(indexed.entries(), reference.entries()) << "step " << step;
+    ASSERT_EQ(indexed.digest(), reference.digest()) << "step " << step;
+    ASSERT_EQ(indexed.logical_digest(), reference.logical_digest()) << "step " << step;
+    const of::Match probe = gen.random_match();
+    static constexpr std::uint16_t kPrios[] = {100, 200, 300, 0x8000};
+    const std::uint16_t prio = kPrios[gen.rng().below(4)];
+    const FlowEntry* fi = indexed.find_strict(probe, prio);
+    const FlowEntry* fr = reference.find_strict(probe, prio);
+    ASSERT_EQ(fi == nullptr, fr == nullptr) << "step " << step;
+    if (fi) ASSERT_EQ(*fi, *fr) << "step " << step;
+  }
+  // The streams should have actually built tables, not no-opped.
+  EXPECT_GT(indexed.size() + graveyard.size(), 0u);
+}
+
+class FlowTableDiff : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowTableDiff, IndexedMatchesReferenceOracle) {
+  run_differential(GetParam(), 3000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowTableDiff,
+                         ::testing::Values(0x1001, 0x2002, 0x3003, 0x4004, 0x5005));
+
+// One longer single-seed run so a full 10k-step trajectory (deep tables,
+// long graveyards, many expiry waves) is exercised in one life.
+TEST(FlowTableDiffLong, TenThousandStepsZeroDivergence) {
+  run_differential(0xD1FF, 10'000);
+}
+
+// clear() must reset the indexes and both digest accumulators to the empty
+// state (same values as a freshly constructed table).
+TEST(FlowTableDiffLong, ClearResetsDigests) {
+  DiffDriver gen(7);
+  FlowTable indexed;
+  ReferenceFlowTable reference;
+  for (int i = 0; i < 50; ++i) {
+    const of::FlowMod mod = gen.random_flow_mod();
+    indexed.apply(mod, kSimStart);
+    reference.apply(mod, kSimStart);
+  }
+  indexed.clear();
+  reference.clear();
+  EXPECT_EQ(indexed.digest(), reference.digest());
+  EXPECT_EQ(indexed.logical_digest(), reference.logical_digest());
+  EXPECT_EQ(indexed.digest(), FlowTable{}.digest());
+  EXPECT_TRUE(indexed.empty());
+}
+
+} // namespace
+} // namespace legosdn::netsim

@@ -5,14 +5,17 @@
 // trace runs FlowTable::match_packet/peek, so its cost bounds how large a
 // simulated ruleset stays interactive. This bench sweeps table size under an
 // exact-heavy mix (learning-switch style: almost every rule is a fully
-// specified microflow) and a wildcard-heavy mix (aggregated prefixes and
-// port matches), timing the indexed FlowTable against ReferenceFlowTable —
-// the retained linear oracle — on identical rulesets and query streams.
-// It also times an idle expire() tick: the deadline heap answers "nothing
-// due" in O(1) where the reference rescans the whole table.
+// specified microflow), a wildcard-heavy mix (aggregated prefixes and
+// port matches), and a many-tuple mix (wildcard rules spread across ~40
+// distinct mask tuples — the tuple-space-search stress case), timing the
+// indexed FlowTable against ReferenceFlowTable — the retained linear
+// oracle — on identical rulesets and query streams. It also times an idle
+// expire() tick: the deadline heap answers "nothing due" in O(1) where the
+// reference rescans the whole table.
 //
-// The JSON line carries per-row p50s and `speedup_4k_exact`, the headline
-// the CI trajectory tracks (indexed vs reference at 4096 exact-heavy rules).
+// The JSON line carries per-row p50s plus the headlines the CI trajectory
+// tracks: `speedup_4k_exact`, `speedup_4k_wild`, and `speedup_4k_many`
+// (indexed vs reference at 4096 rules per workload).
 #include <cstdint>
 #include <vector>
 
@@ -44,11 +47,36 @@ of::PacketHeader exact_header(std::uint64_t i) {
   return h;
 }
 
+/// Wildcard rule spread over ~40 distinct mask tuples (tuple-space stress):
+/// every rule pins eth_dst (so identities stay unique via `i`) plus a subset
+/// of {ip_dst at varying prefix depth, tp_dst, eth_type, in_port}, and each
+/// tuple gets its own priority so the descending group scan and its early
+/// exit are both exercised. A miss probes every group once — the TSS worst
+/// case — where the reference scans every wildcard rule.
+of::FlowMod many_tuple_rule(std::size_t i) {
+  const std::size_t t = i % 64;
+  const auto fields = static_cast<std::uint32_t>(t % 16);
+  const auto prefix = static_cast<std::uint8_t>(8 * (1 + t / 16)); // 8..32
+  of::FlowMod mod;
+  mod.match.with_eth_dst(MacAddress::from_uint64(0xB0'0000 + i));
+  if (fields & 1)
+    mod.match.with_ip_dst(IpV4{0x0B00'0000u + static_cast<std::uint32_t>(i)}, prefix);
+  if (fields & 2)
+    mod.match.with_tp_dst(static_cast<std::uint16_t>(2048 + i % 40'000));
+  if (fields & 4) mod.match.with_eth_type(of::kEthTypeIpv4);
+  if (fields & 8) mod.match.with_in_port(PortNo{1});
+  mod.priority = static_cast<std::uint16_t>(100 + t);
+  mod.actions = of::output_to(PortNo{3});
+  return mod;
+}
+
 /// Build `size` ADD flow-mods: `exact_frac` fully specified microflows, the
-/// rest aggregated wildcard rules (eth_dst, ip_dst/24, tp_dst) at distinct
-/// priorities plus one low-priority catch-all. No timeouts: the expire-tick
-/// measurement below wants a permanently "nothing due" table.
-std::vector<of::FlowMod> build_ruleset(std::size_t size, double exact_frac) {
+/// rest aggregated wildcard rules — either the 4-mask mix (eth_dst, ip_dst/24,
+/// tp_dst, catch-all) or, with `many_tuple`, rules spread across ~40 distinct
+/// mask tuples. No timeouts: the expire-tick measurement below wants a
+/// permanently "nothing due" table.
+std::vector<of::FlowMod> build_ruleset(std::size_t size, double exact_frac,
+                                       bool many_tuple = false) {
   std::vector<of::FlowMod> rules;
   rules.reserve(size);
   const auto n_exact = static_cast<std::size_t>(static_cast<double>(size) * exact_frac);
@@ -58,6 +86,11 @@ std::vector<of::FlowMod> build_ruleset(std::size_t size, double exact_frac) {
     mod.priority = 0x8000;
     mod.actions = of::output_to(PortNo{2});
     rules.push_back(std::move(mod));
+  }
+  if (many_tuple) {
+    for (std::size_t i = n_exact; i < size; ++i)
+      rules.push_back(many_tuple_rule(i));
+    return rules;
   }
   for (std::size_t i = n_exact; i < size; ++i) {
     of::FlowMod mod;
@@ -175,23 +208,25 @@ int main() {
     const char* name;
     double exact_frac;
     double hit_frac;
+    bool many_tuple;
   };
   const Workload workloads[] = {
-      {"exact-heavy", 0.9375, 0.75}, // learning-switch style microflow table
-      {"wildcard-heavy", 0.5, 0.5},  // aggregated prefixes and port rules
+      {"exact-heavy", 0.9375, 0.75, false}, // learning-switch microflow table
+      {"wildcard-heavy", 0.5, 0.5, false},  // aggregated prefixes and port rules
+      {"many-tuple", 0.5, 0.5, true},       // ~40 distinct wildcard mask tuples
   };
   const std::size_t n_queries = bench::smoke() ? 256 : 2048;
   const int samples = bench::iters(15, 3);
   const int expire_calls = bench::iters(2000, 50);
 
   std::vector<Row> rows;
-  double speedup_4k_exact = 0;
+  double speedup_4k_exact = 0, speedup_4k_wild = 0, speedup_4k_many = 0;
 
   bench::Table table({"workload", "rules", "indexed p50 (ns)", "reference p50 (ns)",
                       "speedup", "idle expire idx/ref (ns)", "hit rate"});
   for (const auto& w : workloads) {
     for (const std::size_t size : sizes) {
-      const auto rules = build_ruleset(size, w.exact_frac);
+      const auto rules = build_ruleset(size, w.exact_frac, w.many_tuple);
       const auto n_exact =
           static_cast<std::size_t>(static_cast<double>(size) * w.exact_frac);
       Rng rng(0xC8 + size);
@@ -226,7 +261,11 @@ int main() {
       r.speedup = r.indexed_p50 > 0 ? r.reference_p50 / r.indexed_p50 : 0;
       r.indexed_expire_ns = time_idle_expire(indexed, expire_calls);
       r.reference_expire_ns = time_idle_expire(reference, expire_calls);
-      if (w.exact_frac > 0.9 && size == 4096) speedup_4k_exact = r.speedup;
+      if (size == 4096) {
+        if (r.workload == "exact-heavy") speedup_4k_exact = r.speedup;
+        if (r.workload == "wildcard-heavy") speedup_4k_wild = r.speedup;
+        if (r.workload == "many-tuple") speedup_4k_many = r.speedup;
+      }
 
       table.row({r.workload, std::to_string(r.size), bench::fmt(r.indexed_p50, 1),
                  bench::fmt(r.reference_p50, 1), bench::fmt(r.speedup, 1) + "x",
@@ -238,9 +277,10 @@ int main() {
   }
   table.print();
   std::printf("\n");
-  bench::note("Shape: indexed p50 stays flat as rules grow (hash tier + sorted");
-  bench::note("wildcard early-exit); the reference scan grows linearly. Idle");
-  bench::note("expire is O(1) against the deadline heap vs a full rescan.");
+  bench::note("Shape: indexed p50 stays flat as rules grow (exact hash tier +");
+  bench::note("tuple-space wildcard tier with priority early-exit); the");
+  bench::note("reference scan grows linearly. Idle expire is O(1) against the");
+  bench::note("deadline heap vs a full rescan.");
 
   bench::Json j;
   j.begin_obj().kv("bench", std::string("flow_table"));
@@ -262,6 +302,8 @@ int main() {
   }
   j.end_arr();
   if (speedup_4k_exact > 0) j.kv("speedup_4k_exact", speedup_4k_exact, 1);
+  if (speedup_4k_wild > 0) j.kv("speedup_4k_wild", speedup_4k_wild, 1);
+  if (speedup_4k_many > 0) j.kv("speedup_4k_many", speedup_4k_many, 1);
   j.end_obj();
   bench::emit_json(j);
   return 0;

@@ -17,7 +17,31 @@ std::uint16_t remaining_timeout(std::uint16_t configured, SimTime since, SimTime
   return static_cast<std::uint16_t>(configured - elapsed_s);
 }
 
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
+  return (h ^ v) * kFnvPrime;
+}
+
 } // namespace
+
+std::size_t NetLog::CounterKeyHash::operator()(const CounterKey& k) const noexcept {
+  const of::Match& m = k.match;
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  h = mix(h, raw(k.dpid));
+  h = mix(h, m.wildcards);
+  h = mix(h, raw(m.in_port));
+  h = mix(h, m.eth_src.to_uint64());
+  h = mix(h, m.eth_dst.to_uint64());
+  h = mix(h, m.eth_type);
+  h = mix(h, m.ip_src.addr);
+  h = mix(h, m.ip_dst.addr);
+  h = mix(h, (std::uint64_t{m.ip_src_prefix} << 8) | m.ip_dst_prefix);
+  h = mix(h, m.ip_proto);
+  h = mix(h, (std::uint64_t{m.tp_src} << 16) | m.tp_dst);
+  h = mix(h, k.priority);
+  return static_cast<std::size_t>(h);
+}
 
 NetLog::NetLog(netsim::Network& net, NetLogConfig cfg) : net_(net), cfg_(cfg) {}
 
@@ -118,6 +142,20 @@ void NetLog::record_undo(Txn& txn, const of::FlowMod& mod) {
     op.cache_counters = true;
     op.packet_count = before.packet_count;
     op.byte_count = before.byte_count;
+    // Exactly-once counter handoff: any ticks already cached for this flow
+    // (lost to an earlier rollback) ride along with the undo op, and the
+    // cache record is consumed *now*. If this transaction rolls back, the
+    // merged total returns to the cache with the restored flow; if it
+    // commits, the flow is genuinely gone — deleted or replaced with reset
+    // counters — and the stale record must not leak onto a future flow with
+    // the same (dpid, match, priority) identity.
+    if (const auto cit = counter_cache_.find(
+            CounterKey{mod.dpid, op.inverse.match, op.inverse.priority});
+        cit != counter_cache_.end()) {
+      op.packet_count += cit->second.packet_count;
+      op.byte_count += cit->second.byte_count;
+      counter_cache_.erase(cit);
+    }
     txn.undo.push_back(std::move(op));
     stats_.undo_ops_recorded += 1;
   }
@@ -206,9 +244,10 @@ Status NetLog::rollback(TxnId id) {
       forward({next_xid_++, op->inverse});
       stats_.undo_ops_applied += 1;
       if (op->cache_counters && (op->packet_count || op->byte_count)) {
-        counter_cache_.push_back({op->inverse.dpid, op->inverse.match,
-                                  op->inverse.priority, op->packet_count,
-                                  op->byte_count});
+        CachedCounters& c = counter_cache_[CounterKey{
+            op->inverse.dpid, op->inverse.match, op->inverse.priority}];
+        c.packet_count += op->packet_count;
+        c.byte_count += op->byte_count;
       }
     }
     if (cfg_.barrier_on_commit) {
@@ -238,15 +277,22 @@ std::vector<DatapathId> NetLog::touched(TxnId id) const {
 }
 
 void NetLog::correct_stats(of::StatsReply& reply) const {
-  if (reply.kind != of::StatsKind::kFlow) return;
+  if (reply.kind != of::StatsKind::kFlow || counter_cache_.empty()) return;
   for (auto& f : reply.flows) {
-    for (const auto& c : counter_cache_) {
-      if (c.dpid == reply.dpid && c.priority == f.priority && c.match == f.match) {
-        f.packet_count += c.packet_count;
-        f.byte_count += c.byte_count;
-      }
-    }
+    const auto it =
+        counter_cache_.find(CounterKey{reply.dpid, f.match, f.priority});
+    if (it == counter_cache_.end()) continue;
+    f.packet_count += it->second.packet_count;
+    f.byte_count += it->second.byte_count;
   }
+}
+
+std::vector<CounterCacheEntry> NetLog::counter_cache() const {
+  std::vector<CounterCacheEntry> out;
+  out.reserve(counter_cache_.size());
+  for (const auto& [k, v] : counter_cache_)
+    out.push_back({k.dpid, k.match, k.priority, v.packet_count, v.byte_count});
+  return out;
 }
 
 void NetLog::expire_shadows(SimTime now) {
@@ -263,6 +309,11 @@ void NetLog::observe_northbound(const of::Message& msg) {
     del.match = fr->match;
     del.priority = fr->priority;
     shadow_mut(fr->dpid).apply(del, net_.now());
+    // The flow is gone for good (expiry or delete-with-notify): its final
+    // counters were reported in the flow-removed itself, so any cached
+    // rollback ticks die with it — a later flow reusing this identity
+    // starts from zero.
+    counter_cache_.erase(CounterKey{fr->dpid, fr->match, fr->priority});
   }
 }
 

@@ -1,6 +1,7 @@
 #include "netsim/flow_table.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 #include "common/bytes.hpp"
 
@@ -31,6 +32,10 @@ std::uint64_t fnv_u64be(std::uint64_t h, std::uint64_t v) {
 /// Word-at-a-time mix for hash-table keys (not part of any digest).
 std::uint64_t mix(std::uint64_t h, std::uint64_t v) noexcept {
   return (h ^ v) * kFnvPrime;
+}
+
+constexpr std::uint32_t prefix_mask32(std::uint8_t prefix) noexcept {
+  return prefix == 0 ? 0u : ~0u << (32 - prefix);
 }
 
 std::int64_t seconds_between(SimTime later, SimTime earlier) {
@@ -126,6 +131,55 @@ std::size_t FlowTable::ExactKeyHash::operator()(const ExactKey& k) const noexcep
   return static_cast<std::size_t>(h);
 }
 
+std::size_t FlowTable::TupleKeyHash::operator()(const TupleKey& k) const noexcept {
+  std::uint64_t h = kFnvOffset;
+  h = mix(h, k.wildcards);
+  h = mix(h, (std::uint64_t{k.src_prefix} << 8) | k.dst_prefix);
+  return static_cast<std::size_t>(h);
+}
+
+FlowTable::TupleKey FlowTable::tuple_key_of(const of::Match& m) noexcept {
+  TupleKey t;
+  t.wildcards = m.wildcards & of::kWcAll;
+  t.src_prefix = m.wildcarded(of::kWcIpSrc) ? 0 : m.ip_src_prefix;
+  t.dst_prefix = m.wildcarded(of::kWcIpDst) ? 0 : m.ip_dst_prefix;
+  return t;
+}
+
+// Masked keys: zero out every field the tuple ignores and truncate IPs to the
+// tuple's prefixes. For entries and headers masked the same way, key equality
+// is exactly Match::matches restricted to this tuple — the property the
+// per-group hash probe rests on.
+FlowTable::ExactKey FlowTable::masked_key_of(const of::Match& m,
+                                             const TupleKey& t) noexcept {
+  ExactKey k;
+  if (!(t.wildcards & of::kWcInPort)) k.in_port = raw(m.in_port);
+  if (!(t.wildcards & of::kWcEthSrc)) k.eth_src = m.eth_src.to_uint64();
+  if (!(t.wildcards & of::kWcEthDst)) k.eth_dst = m.eth_dst.to_uint64();
+  if (!(t.wildcards & of::kWcEthType)) k.eth_type = m.eth_type;
+  if (!(t.wildcards & of::kWcIpSrc)) k.ip_src = m.ip_src.addr & prefix_mask32(t.src_prefix);
+  if (!(t.wildcards & of::kWcIpDst)) k.ip_dst = m.ip_dst.addr & prefix_mask32(t.dst_prefix);
+  if (!(t.wildcards & of::kWcIpProto)) k.ip_proto = m.ip_proto;
+  if (!(t.wildcards & of::kWcTpSrc)) k.tp_src = m.tp_src;
+  if (!(t.wildcards & of::kWcTpDst)) k.tp_dst = m.tp_dst;
+  return k;
+}
+
+FlowTable::ExactKey FlowTable::masked_key_of(PortNo in_port, const of::PacketHeader& h,
+                                             const TupleKey& t) noexcept {
+  ExactKey k;
+  if (!(t.wildcards & of::kWcInPort)) k.in_port = raw(in_port);
+  if (!(t.wildcards & of::kWcEthSrc)) k.eth_src = h.eth_src.to_uint64();
+  if (!(t.wildcards & of::kWcEthDst)) k.eth_dst = h.eth_dst.to_uint64();
+  if (!(t.wildcards & of::kWcEthType)) k.eth_type = h.eth_type;
+  if (!(t.wildcards & of::kWcIpSrc)) k.ip_src = h.ip_src.addr & prefix_mask32(t.src_prefix);
+  if (!(t.wildcards & of::kWcIpDst)) k.ip_dst = h.ip_dst.addr & prefix_mask32(t.dst_prefix);
+  if (!(t.wildcards & of::kWcIpProto)) k.ip_proto = h.ip_proto;
+  if (!(t.wildcards & of::kWcTpSrc)) k.tp_src = h.tp_src;
+  if (!(t.wildcards & of::kWcTpDst)) k.tp_dst = h.tp_dst;
+  return k;
+}
+
 bool FlowTable::is_exact(const of::Match& m) noexcept {
   // With no wildcard bits and /32 prefixes, Match::matches() degenerates to
   // equality on every field, which is precisely ExactKey equality.
@@ -199,16 +253,63 @@ bool FlowTable::beats(std::uint32_t a, std::uint32_t b) const noexcept {
          (ea.priority == eb.priority && ea.seq < eb.seq);
 }
 
-void FlowTable::wild_insert(std::uint32_t pos) {
-  auto it = std::lower_bound(
-      wild_.begin(), wild_.end(), pos,
-      [this](std::uint32_t a, std::uint32_t b) { return beats(a, b); });
-  wild_.insert(it, pos);
+void FlowTable::tuple_insert(std::uint32_t pos) {
+  const FlowEntry& e = entries_[pos];
+  const TupleKey t = tuple_key_of(e.match);
+  const auto [it, created] =
+      group_of_.try_emplace(t, static_cast<std::uint32_t>(groups_.size()));
+  if (created) {
+    groups_.push_back(std::make_unique<TupleGroup>());
+    groups_.back()->key = t;
+    scan_dirty_ = true;
+  }
+  TupleGroup& g = *groups_[it->second];
+  g.buckets[masked_key_of(e.match, t)].push_back(pos);
+  if (!created && (g.prio_counts.empty() || e.priority > g.max_priority()))
+    scan_dirty_ = true; // group ceiling rose; scan order may change
+  g.prio_counts[e.priority] += 1;
 }
 
-void FlowTable::wild_erase(std::uint32_t pos) {
-  auto it = std::find(wild_.begin(), wild_.end(), pos);
-  if (it != wild_.end()) wild_.erase(it);
+void FlowTable::tuple_erase(std::uint32_t pos) {
+  const FlowEntry& e = entries_[pos];
+  const TupleKey t = tuple_key_of(e.match);
+  const auto git = group_of_.find(t);
+  assert(git != group_of_.end() && "tuple_erase: entry not indexed");
+  TupleGroup& g = *groups_[git->second];
+  const auto bit = g.buckets.find(masked_key_of(e.match, t));
+  assert(bit != g.buckets.end());
+  auto& bucket = bit->second;
+  bucket.erase(std::find(bucket.begin(), bucket.end(), pos));
+  if (bucket.empty()) g.buckets.erase(bit);
+  const auto pit = g.prio_counts.find(e.priority);
+  assert(pit != g.prio_counts.end());
+  if (--pit->second == 0) {
+    if (pit == g.prio_counts.begin()) scan_dirty_ = true; // ceiling dropped
+    g.prio_counts.erase(pit);
+  }
+  if (g.prio_counts.empty()) {
+    // Swap-remove the now-empty group; re-point the moved group's index.
+    const std::uint32_t idx = git->second;
+    group_of_.erase(git);
+    if (idx + 1 != groups_.size()) {
+      groups_[idx] = std::move(groups_.back());
+      group_of_[groups_[idx]->key] = idx;
+    }
+    groups_.pop_back();
+    scan_dirty_ = true;
+  }
+}
+
+void FlowTable::ensure_scan_order() const {
+  if (!scan_dirty_ && scan_order_.size() == groups_.size()) return;
+  scan_order_.clear();
+  scan_order_.reserve(groups_.size());
+  for (const auto& g : groups_) scan_order_.push_back(g.get());
+  std::sort(scan_order_.begin(), scan_order_.end(),
+            [](const TupleGroup* a, const TupleGroup* b) {
+              return a->max_priority() > b->max_priority();
+            });
+  scan_dirty_ = false;
 }
 
 void FlowTable::arm(std::uint32_t pos) {
@@ -239,27 +340,36 @@ void FlowTable::append(FlowEntry entry) {
   if (meta_[pos].exact)
     exact_[exact_key_of(e.match)].push_back(pos);
   else
-    wild_insert(pos);
+    tuple_insert(pos);
   pos_by_seq_.emplace(e.seq, pos);
   arm(pos);
 }
 
 void FlowTable::replace_at(std::uint32_t pos, FlowEntry entry) {
   // Identity (match+priority) is unchanged, so strict_ and the exact bucket
-  // keep pointing at `pos`; only seq-dependent structures need fixing.
+  // keep pointing at `pos`; the tuple bucket does too, but erase/re-insert
+  // anyway — it is O(1) and keeps the group priority histogram exact.
   digest_remove(meta_[pos]);
   pos_by_seq_.erase(entries_[pos].seq);
   const bool was_wild = !meta_[pos].exact;
-  if (was_wild) wild_erase(pos); // seq changed: re-sort below
+  if (was_wild) tuple_erase(pos);
   entries_[pos] = std::move(entry);
   meta_[pos] = compute_meta(entries_[pos]);
   digest_add(meta_[pos]);
   pos_by_seq_.emplace(entries_[pos].seq, pos);
-  if (!meta_[pos].exact) wild_insert(pos);
+  if (!meta_[pos].exact) tuple_insert(pos);
   arm(pos);
 }
 
 void FlowTable::remove_positions(const std::vector<std::uint32_t>& positions) {
+  // Precondition: sorted ascending. The compaction below advances `skip`
+  // only while positions[skip] equals the read cursor, so an out-of-order
+  // (or duplicated) list would silently skip nothing and corrupt the table.
+#ifndef NDEBUG
+  for (std::size_t i = 1; i < positions.size(); ++i)
+    assert(positions[i - 1] < positions[i] &&
+           "remove_positions: positions must be sorted ascending and unique");
+#endif
   for (const std::uint32_t pos : positions) digest_remove(meta_[pos]);
   std::size_t w = 0, skip = 0;
   for (std::size_t r = 0; r < entries_.size(); ++r) {
@@ -283,7 +393,10 @@ void FlowTable::remove_positions(const std::vector<std::uint32_t>& positions) {
 void FlowTable::reindex() {
   strict_.clear();
   exact_.clear();
-  wild_.clear();
+  groups_.clear();
+  group_of_.clear();
+  scan_order_.clear();
+  scan_dirty_ = true;
   pos_by_seq_.clear();
   for (std::uint32_t pos = 0; pos < entries_.size(); ++pos) {
     const FlowEntry& e = entries_[pos];
@@ -291,11 +404,9 @@ void FlowTable::reindex() {
     if (meta_[pos].exact)
       exact_[exact_key_of(e.match)].push_back(pos);
     else
-      wild_.push_back(pos);
+      tuple_insert(pos);
     pos_by_seq_.emplace(e.seq, pos);
   }
-  std::sort(wild_.begin(), wild_.end(),
-            [this](std::uint32_t a, std::uint32_t b) { return beats(a, b); });
 }
 
 void FlowTable::rebuild_all() {
@@ -316,7 +427,10 @@ void FlowTable::clear() noexcept {
   meta_.clear();
   strict_.clear();
   exact_.clear();
-  wild_.clear();
+  groups_.clear();
+  group_of_.clear();
+  scan_order_.clear();
+  scan_dirty_ = false;
   pos_by_seq_.clear();
   heap_.clear();
   digest_acc_ = 0x12345678ABCDEF01ULL;
@@ -443,14 +557,19 @@ std::uint32_t FlowTable::lookup_pos(PortNo in_port, const of::PacketHeader& hdr)
         if (best == kNpos || beats(pos, best)) best = pos;
     }
   }
-  // wild_ is sorted by the same (priority, seq) order lookups use, so the
-  // first wildcard hit is the best wildcard hit, and once the current
-  // candidate cannot beat the exact-tier best, nothing after it can either.
-  for (const std::uint32_t pos : wild_) {
-    if (best != kNpos && !beats(pos, best)) break;
-    if (entries_[pos].match.matches(in_port, hdr)) {
-      best = pos;
-      break;
+  // Tuple-space search over the wildcard tier: one hash probe per tuple
+  // group, groups visited in descending max-priority order. Once a group's
+  // ceiling is strictly below the current best's priority, no later group
+  // can win either (equal-priority ceilings must still be probed — a member
+  // could break the tie on insertion order via beats()).
+  if (!groups_.empty()) {
+    ensure_scan_order();
+    for (const TupleGroup* g : scan_order_) {
+      if (best != kNpos && g->max_priority() < entries_[best].priority) break;
+      const auto bit = g->buckets.find(masked_key_of(in_port, hdr, g->key));
+      if (bit == g->buckets.end()) continue;
+      for (const std::uint32_t pos : bit->second)
+        if (best == kNpos || beats(pos, best)) best = pos;
     }
   }
   return best;

@@ -14,8 +14,11 @@
 //  - the *exact tier* holds fully-specified entries (no wildcard bits, /32
 //    prefixes) in a hash index, so the common learning-switch workload gets
 //    O(1) lookups;
-//  - the *wildcard tier* is kept sorted by (priority desc, insertion seq asc)
-//    so lookups early-exit at the first hit instead of scanning everything.
+//  - the *wildcard tier* is a tuple-space search: entries are grouped by
+//    their mask tuple (wildcard bits + effective IP prefix lengths) and
+//    hashed on their masked field values within each group, so a lookup is
+//    one hash probe per tuple group — scanned in descending max-priority
+//    order with early exit — instead of a scan over every wildcard rule.
 // A strict-identity hash index makes find_strict / restore / ADD-replace
 // O(1), a lazy min-heap over expiry deadlines makes expire() O(1) when
 // nothing is due, and the state digest is maintained incrementally (XOR-fold
@@ -28,6 +31,8 @@
 
 #include <cstdint>
 #include <limits>
+#include <map>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -105,6 +110,19 @@ public:
     return !heap_.empty() && heap_.front().deadline <= raw(now);
   }
 
+  /// Sentinel returned by earliest_deadline() when no entry has a timeout.
+  static constexpr std::int64_t kNoDeadline =
+      std::numeric_limits<std::int64_t>::max();
+
+  /// Earliest armed expiry deadline (raw nanoseconds), or kNoDeadline.
+  /// Conservative the same way has_pending_expiry is: it may report an
+  /// already-refreshed idle deadline (expire() then just re-arms), never a
+  /// deadline later than the genuine earliest one. Lets Network keep a
+  /// cross-switch expiry heap so idle ticks are O(1) network-wide.
+  std::int64_t earliest_deadline() const noexcept {
+    return heap_.empty() ? kNoDeadline : heap_.front().deadline;
+  }
+
   /// Reinstall an entry preserving all runtime state (counters, timestamps).
   /// Used by NetLog rollback; replaces any entry with the same match+priority.
   void restore(const FlowEntry& entry);
@@ -134,8 +152,7 @@ public:
   std::uint64_t logical_digest() const noexcept { return logical_acc_; }
 
 private:
-  static constexpr std::int64_t kNeverExpires =
-      std::numeric_limits<std::int64_t>::max();
+  static constexpr std::int64_t kNeverExpires = kNoDeadline;
   static constexpr std::uint32_t kNpos = 0xFFFFFFFFu;
 
   /// Per-entry bookkeeping, parallel to entries_.
@@ -182,7 +199,37 @@ private:
     std::size_t operator()(const ExactKey& k) const noexcept;
   };
 
+  /// Mask tuple of a wildcard entry: which fields are constrained and how
+  /// deep the IP prefixes reach. Prefix lengths are *effective* (forced to 0
+  /// when the corresponding wildcard bit is set), so two matches that ignore
+  /// a field identically always land in the same tuple group.
+  struct TupleKey {
+    std::uint32_t wildcards = 0;
+    std::uint8_t src_prefix = 0;
+    std::uint8_t dst_prefix = 0;
+    bool operator==(const TupleKey&) const = default;
+  };
+  struct TupleKeyHash {
+    std::size_t operator()(const TupleKey& k) const noexcept;
+  };
+
+  /// One tuple-space group: every member entry shares TupleKey, so masking a
+  /// header by the tuple and hashing finds all matching members in one probe
+  /// (masked-key equality is exactly Match::matches under this mask). The
+  /// priority histogram keeps max_priority() exact across removals, which is
+  /// what the cross-group early exit in lookup_pos relies on.
+  struct TupleGroup {
+    TupleKey key{};
+    std::unordered_map<ExactKey, std::vector<std::uint32_t>, ExactKeyHash> buckets;
+    std::map<std::uint16_t, std::uint32_t, std::greater<>> prio_counts;
+    std::uint16_t max_priority() const noexcept { return prio_counts.begin()->first; }
+  };
+
   static bool is_exact(const of::Match& m) noexcept;
+  static TupleKey tuple_key_of(const of::Match& m) noexcept;
+  static ExactKey masked_key_of(const of::Match& m, const TupleKey& t) noexcept;
+  static ExactKey masked_key_of(PortNo in_port, const of::PacketHeader& h,
+                                const TupleKey& t) noexcept;
   static ExactKey exact_key_of(const of::Match& m) noexcept;
   static ExactKey exact_key_of(PortNo in_port, const of::PacketHeader& h) noexcept;
   static std::int64_t entry_deadline(const FlowEntry& e) noexcept;
@@ -194,8 +241,10 @@ private:
 
   std::uint32_t lookup_pos(PortNo in_port, const of::PacketHeader& hdr) const;
 
-  void wild_insert(std::uint32_t pos);
-  void wild_erase(std::uint32_t pos);
+  void tuple_insert(std::uint32_t pos);
+  void tuple_erase(std::uint32_t pos);
+  /// Rebuild scan_order_ (tuple groups, descending max priority) if dirty.
+  void ensure_scan_order() const;
   void arm(std::uint32_t pos);
   void digest_add(const Meta& m) noexcept;
   void digest_remove(const Meta& m) noexcept;
@@ -206,10 +255,12 @@ private:
   void replace_at(std::uint32_t pos, FlowEntry entry);
   /// Append a brand-new entry and index it.
   void append(FlowEntry entry);
-  /// Remove the entries at `positions` (sorted ascending), preserving the
-  /// relative order of survivors, then reindex.
+  /// Remove the entries at `positions`, preserving the relative order of
+  /// survivors, then reindex. PRECONDITION: `positions` sorted ascending
+  /// (asserted in debug builds) — the compaction walk skips nothing
+  /// otherwise.
   void remove_positions(const std::vector<std::uint32_t>& positions);
-  /// Rebuild strict/exact/wild/seq indexes from entries_ (metas kept).
+  /// Rebuild strict/exact/tuple/seq indexes from entries_ (metas kept).
   void reindex();
   /// Recompute everything from entries_ (metas, digests, indexes, heap).
   void rebuild_all();
@@ -220,7 +271,12 @@ private:
 
   std::unordered_map<StrictKey, std::uint32_t, StrictKeyHash> strict_;
   std::unordered_map<ExactKey, std::vector<std::uint32_t>, ExactKeyHash> exact_;
-  std::vector<std::uint32_t> wild_; ///< sorted by (priority desc, seq asc)
+  // Wildcard tier: tuple-space search. Groups live behind unique_ptr so the
+  // raw pointers in scan_order_ survive swap-removal in groups_.
+  std::vector<std::unique_ptr<TupleGroup>> groups_;
+  std::unordered_map<TupleKey, std::uint32_t, TupleKeyHash> group_of_;
+  mutable std::vector<TupleGroup*> scan_order_; ///< desc by max priority
+  mutable bool scan_dirty_ = false;
   std::unordered_map<std::uint64_t, std::uint32_t> pos_by_seq_;
   std::vector<HeapRec> heap_; ///< min-heap via std::push_heap/pop_heap
 

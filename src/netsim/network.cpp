@@ -203,6 +203,8 @@ DeliveryResult Network::send_to_switch(const of::Message& msg) {
   if (!sw) return res;
   std::vector<of::Message> replies;
   sw->handle_message(msg, clock_.now(), replies);
+  // A flow-mod may have armed a new (earlier) timeout deadline.
+  arm_switch_expiry(target);
   for (const auto& r : replies) deliver_northbound(r);
   return res;
 }
@@ -376,6 +378,9 @@ void Network::set_switch_state(DatapathId dpid, bool up) {
   if (up) {
     sw->cold_restart();
     sw->set_up(true);
+    // The cold restart cleared the table; retire any armed deadline so
+    // stale heap records from the pre-crash life are skipped on pop.
+    arm_switch_expiry(dpid);
   } else {
     sw->set_up(false);
   }
@@ -393,10 +398,62 @@ void Network::set_switch_state(DatapathId dpid, bool up) {
   if (switch_state_) switch_state_(dpid, up);
 }
 
+namespace {
+
+/// Min-heap order for std::push_heap/pop_heap: earliest deadline first,
+/// ties broken by dpid so multi-switch expiry waves stay deterministic.
+bool expiry_rec_after(const std::int64_t da, const DatapathId a,
+                      const std::int64_t db, const DatapathId b) noexcept {
+  return da > db || (da == db && raw(a) > raw(b));
+}
+
+} // namespace
+
+void Network::arm_switch_expiry(DatapathId dpid) {
+  const SimSwitch* sw = switch_at(dpid);
+  if (!sw) return;
+  const std::int64_t dl = sw->table().earliest_deadline();
+  if (dl == FlowTable::kNoDeadline) {
+    // Nothing armed any more; any heap record left behind goes stale and is
+    // skipped on pop (its armed_expiry_ entry no longer matches).
+    armed_expiry_.erase(dpid);
+    return;
+  }
+  const auto it = armed_expiry_.find(dpid);
+  if (it != armed_expiry_.end() && it->second <= dl) return; // already due first
+  armed_expiry_[dpid] = dl;
+  expiry_heap_.push_back({dl, dpid});
+  std::push_heap(expiry_heap_.begin(), expiry_heap_.end(),
+                 [](const ExpiryRec& a, const ExpiryRec& b) {
+                   return expiry_rec_after(a.deadline, a.dpid, b.deadline, b.dpid);
+                 });
+}
+
 void Network::advance_time(std::chrono::nanoseconds delta) {
   clock_.advance_by(delta);
+  const std::int64_t now_ns = raw(clock_.now());
+  // The heap front is the earliest armed deadline network-wide (possibly an
+  // over-approximation from a refreshed idle clock, never an under-one), so
+  // the idle tick is a single comparison regardless of switch count.
+  if (expiry_heap_.empty() || expiry_heap_.front().deadline > now_ns) return;
+  const auto heap_cmp = [](const ExpiryRec& a, const ExpiryRec& b) {
+    return expiry_rec_after(a.deadline, a.dpid, b.deadline, b.dpid);
+  };
   std::vector<of::Message> out;
-  for (auto& [_, sw] : switches_) sw->expire_flows(clock_.now(), out);
+  while (!expiry_heap_.empty() && expiry_heap_.front().deadline <= now_ns) {
+    std::pop_heap(expiry_heap_.begin(), expiry_heap_.end(), heap_cmp);
+    const ExpiryRec rec = expiry_heap_.back();
+    expiry_heap_.pop_back();
+    const auto it = armed_expiry_.find(rec.dpid);
+    if (it == armed_expiry_.end() || it->second != rec.deadline)
+      continue; // stale: superseded by an earlier arm or a cold restart
+    armed_expiry_.erase(it);
+    SimSwitch* sw = switch_at(rec.dpid);
+    if (!sw) continue;
+    if (!sw->up()) continue; // down switches don't expire; re-armed on revival
+    sw->expire_flows(clock_.now(), out);
+    arm_switch_expiry(rec.dpid); // next deadline, if any remain
+  }
   for (const auto& m : out) deliver_northbound(m);
 }
 

@@ -125,7 +125,11 @@ public:
   void set_link_state(const PortLocator& end, bool up);
   void set_switch_state(DatapathId dpid, bool up);
 
-  /// Advance virtual time and run flow expiry on every switch.
+  /// Advance virtual time and run flow expiry on every switch with a due
+  /// deadline. A network-level lazy min-heap over each switch's earliest
+  /// armed deadline (FlowTable::earliest_deadline) makes the nothing-due
+  /// tick O(1) for the whole network, not O(switches). Down switches never
+  /// expire flows; their heap records are discarded and re-armed on revival.
   void advance_time(std::chrono::nanoseconds delta);
 
   // --- global statistics ---
@@ -147,12 +151,25 @@ private:
     std::size_t hops = 0;
   };
 
+  /// Lazy min-heap record over switch expiry deadlines; validated against
+  /// armed_expiry_ on pop, so stale records cost O(log n) once.
+  struct ExpiryRec {
+    std::int64_t deadline = 0;
+    DatapathId dpid{};
+  };
+
   DeliveryResult forward(Segment seed);
   void emit_out(const Segment& seg, PortNo out_port, const of::Packet& pkt,
                 std::vector<Segment>& work, DeliveryResult& res);
   void deliver_northbound(const of::Message& msg);
   void emit_port_status(const PortLocator& loc, bool up);
   Link* find_link(const PortLocator& end);
+  /// (Re)arm the expiry heap from a switch's current earliest deadline.
+  /// Called wherever a switch's flow table can gain an earlier deadline:
+  /// after southbound message handling and on switch revival. Dataplane
+  /// traffic only ever *extends* idle deadlines, which the lazy records
+  /// already over-approximate, so the forwarding path needs no hook.
+  void arm_switch_expiry(DatapathId dpid);
 
   SimClock clock_;
   std::map<DatapathId, std::unique_ptr<SimSwitch>> switches_;
@@ -165,6 +182,9 @@ private:
   NorthboundFn northbound_;
   SwitchStateFn switch_state_;
   Totals totals_;
+
+  std::vector<ExpiryRec> expiry_heap_; ///< min-heap via std::push_heap/pop_heap
+  std::unordered_map<DatapathId, std::int64_t> armed_expiry_; ///< per-switch armed deadline
 
   static constexpr std::size_t kHopLimit = 128;
   static constexpr std::size_t kCopyLimit = 4096; ///< flood explosion guard

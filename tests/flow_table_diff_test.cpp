@@ -12,6 +12,9 @@
 // classifier could plausibly diverge from the flat scan.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <tuple>
+
 #include "common/rng.hpp"
 #include "netsim/flow_table.hpp"
 #include "netsim/reference_flow_table.hpp"
@@ -19,9 +22,30 @@
 namespace legosdn::netsim {
 namespace {
 
+/// kMaskChurn drives the tuple-space wildcard tier through many distinct
+/// mask tuples: matches are drawn from a per-seed pool of ≥32 (wildcards,
+/// prefix, prefix) combinations so groups are created, drained and removed
+/// constantly while adds/deletes/modifies/expiry interleave.
+enum class Style { kDefault, kMaskChurn };
+
 class DiffDriver {
 public:
-  explicit DiffDriver(std::uint64_t seed) : rng_(seed) {
+  explicit DiffDriver(std::uint64_t seed, Style style = Style::kDefault)
+      : rng_(seed), style_(style) {
+    if (style_ == Style::kMaskChurn) {
+      static constexpr std::uint8_t kPrefixes[] = {0, 8, 16, 24, 32};
+      std::set<std::tuple<std::uint32_t, std::uint8_t, std::uint8_t>> seen;
+      while (masks_.size() < 40) {
+        MaskTuple t;
+        t.wildcards = static_cast<std::uint32_t>(rng_.below(of::kWcAll + 1));
+        t.src_prefix = kPrefixes[rng_.below(5)];
+        t.dst_prefix = kPrefixes[rng_.below(5)];
+        if (t.wildcards == 0 && t.src_prefix == 32 && t.dst_prefix == 32)
+          continue; // fully exact: wrong tier for this suite
+        if (seen.insert({t.wildcards, t.src_prefix, t.dst_prefix}).second)
+          masks_.push_back(t);
+      }
+    }
     // Small pools make collisions (same identity, overlapping covers,
     // equal priorities) frequent instead of astronomically rare.
     for (std::uint64_t i = 0; i < 24; ++i) {
@@ -45,7 +69,30 @@ public:
   }
 
   of::Match random_match() {
-    if (rng_.chance(0.5)) return of::Match::exact(random_port(), random_header());
+    if (style_ == Style::kMaskChurn) {
+      // Mostly wildcard-tier entries spread over the tuple pool; enough
+      // exact entries remain that the cross-tier early exit stays hot.
+      if (rng_.chance(0.15))
+        return track(of::Match::exact(random_port(), random_header()));
+      const MaskTuple& t = masks_[rng_.below(masks_.size())];
+      const of::PacketHeader& h = random_header();
+      of::Match m;
+      m.wildcards = t.wildcards;
+      m.in_port = random_port();
+      m.eth_src = h.eth_src;
+      m.eth_dst = h.eth_dst;
+      m.eth_type = h.eth_type;
+      m.ip_src = h.ip_src;
+      m.ip_dst = h.ip_dst;
+      m.ip_src_prefix = t.src_prefix;
+      m.ip_dst_prefix = t.dst_prefix;
+      m.ip_proto = h.ip_proto;
+      m.tp_src = h.tp_src;
+      m.tp_dst = h.tp_dst;
+      return track(m);
+    }
+    if (rng_.chance(0.5))
+      return track(of::Match::exact(random_port(), random_header()));
     const of::PacketHeader& h = random_header();
     of::Match m;
     m.wildcards = static_cast<std::uint32_t>(rng_.below(of::kWcAll + 1));
@@ -61,8 +108,12 @@ public:
     m.ip_proto = h.ip_proto;
     m.tp_src = h.tp_src;
     m.tp_dst = h.tp_dst;
-    return m;
+    return track(m);
   }
+
+  /// Distinct mask tuples seen across every generated match — the suite
+  /// asserts the churn workload really exercised ≥32 of them.
+  std::size_t distinct_mask_tuples() const noexcept { return seen_tuples_.size(); }
 
   of::ActionList random_actions() {
     of::ActionList out;
@@ -95,8 +146,24 @@ public:
   Rng& rng() noexcept { return rng_; }
 
 private:
+  struct MaskTuple {
+    std::uint32_t wildcards = 0;
+    std::uint8_t src_prefix = 0;
+    std::uint8_t dst_prefix = 0;
+  };
+
+  of::Match track(of::Match m) {
+    seen_tuples_.insert({m.wildcards,
+                         m.wildcarded(of::kWcIpSrc) ? std::uint8_t{0} : m.ip_src_prefix,
+                         m.wildcarded(of::kWcIpDst) ? std::uint8_t{0} : m.ip_dst_prefix});
+    return m;
+  }
+
   Rng rng_;
+  Style style_;
   std::vector<of::PacketHeader> headers_;
+  std::vector<MaskTuple> masks_;
+  std::set<std::tuple<std::uint32_t, std::uint8_t, std::uint8_t>> seen_tuples_;
 };
 
 void expect_results_equal(const FlowModResult& a, const FlowModResult& b,
@@ -108,8 +175,9 @@ void expect_results_equal(const FlowModResult& a, const FlowModResult& b,
   ASSERT_EQ(a.modified, b.modified) << "step " << step;
 }
 
-void run_differential(std::uint64_t seed, std::size_t steps) {
-  DiffDriver gen(seed);
+void run_differential(std::uint64_t seed, std::size_t steps,
+                      Style style = Style::kDefault) {
+  DiffDriver gen(seed, style);
   FlowTable indexed;
   ReferenceFlowTable reference;
   SimTime now = kSimStart;
@@ -181,6 +249,11 @@ void run_differential(std::uint64_t seed, std::size_t steps) {
   }
   // The streams should have actually built tables, not no-opped.
   EXPECT_GT(indexed.size() + graveyard.size(), 0u);
+  if (style == Style::kMaskChurn) {
+    // The churn suite's whole point: the tuple index saw many distinct
+    // wildcard masks, not a couple of degenerate groups.
+    EXPECT_GE(gen.distinct_mask_tuples(), 32u);
+  }
 }
 
 class FlowTableDiff : public ::testing::TestWithParam<std::uint64_t> {};
@@ -197,6 +270,21 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FlowTableDiff,
 TEST(FlowTableDiffLong, TenThousandStepsZeroDivergence) {
   run_differential(0xD1FF, 10'000);
 }
+
+// Mask-churn suite for the tuple-space wildcard tier: ≥25k steps per seed
+// over ≥32 distinct wildcard mask tuples, with adds/deletes/modifies/expiry/
+// restores interleaved so tuple groups are created, drained, swap-removed
+// and re-created continually. Every step checks the full entries() vector
+// and both digests against the reference oracle — the bar the exact-tier
+// suites already meet.
+class FlowTableMaskChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowTableMaskChurn, TupleSpaceTierMatchesReferenceOracle) {
+  run_differential(GetParam(), 25'000, Style::kMaskChurn);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowTableMaskChurn,
+                         ::testing::Values(0xA001, 0xB002, 0xC003));
 
 // clear() must reset the indexes and both digest accumulators to the empty
 // state (same values as a freshly constructed table).

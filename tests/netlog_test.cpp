@@ -114,6 +114,121 @@ TEST(NetLog, RollbackOfDeleteRestoresEntryWithCounters) {
   EXPECT_EQ(reply->flows[0].packet_count, 1u); // corrected
 }
 
+// Regression (counter-cache lifetime): after a restored flow is genuinely
+// deleted (delete applied and *committed*), a later unrelated flow reusing
+// the same (dpid, match, priority) must not inherit the dead flow's counts.
+TEST(NetLog, CommittedDeleteEvictsCounterCache) {
+  auto net = netsim::Network::linear(2, 1);
+  NetLog log(*net);
+  const of::Match m = of::Match{}.with_eth_dst(net->hosts()[1].mac);
+
+  // Install, tick the counter, then delete + rollback: cache holds 1 packet.
+  TxnId t0 = log.begin(AppId{1});
+  log.apply(t0, {1, add_rule(DatapathId{1}, m, 100, PortNo{3})});
+  log.commit(t0);
+  net->inject_from_host(net->hosts()[0].mac, legosdn::test::host_packet(*net, 0, 1));
+  TxnId t1 = log.begin(AppId{2});
+  of::FlowMod del;
+  del.dpid = DatapathId{1};
+  del.command = of::FlowModCommand::kDeleteStrict;
+  del.match = m;
+  del.priority = 100;
+  log.apply(t1, {2, del});
+  log.rollback(t1);
+  ASSERT_EQ(log.counter_cache_size(), 1u);
+
+  // Now the flow dies for real: the delete sticks (committed, no rollback).
+  TxnId t2 = log.begin(AppId{2});
+  log.apply(t2, {3, del});
+  log.commit(t2);
+  EXPECT_EQ(log.counter_cache_size(), 0u);
+
+  // A brand-new flow with the same identity counts from zero.
+  TxnId t3 = log.begin(AppId{3});
+  log.apply(t3, {4, add_rule(DatapathId{1}, m, 100, PortNo{3})});
+  log.commit(t3);
+  net->inject_from_host(net->hosts()[0].mac, legosdn::test::host_packet(*net, 0, 1));
+  net->inject_from_host(net->hosts()[0].mac, legosdn::test::host_packet(*net, 0, 1));
+
+  std::vector<of::Message> nb;
+  net->set_northbound([&](const of::Message& msg) { nb.push_back(msg); });
+  of::StatsRequest req;
+  req.dpid = DatapathId{1};
+  req.kind = of::StatsKind::kFlow;
+  req.match = of::Match::any();
+  net->send_to_switch({9, req});
+  auto* reply = nb.at(0).get_if<of::StatsReply>();
+  ASSERT_NE(reply, nullptr);
+  ASSERT_EQ(reply->flows.size(), 1u);
+  log.correct_stats(*reply);
+  EXPECT_EQ(reply->flows[0].packet_count, 2u); // new flow only, no inheritance
+}
+
+// Same lifetime bug via natural expiry: observe_northbound sees the
+// flow-removed and must evict the cached record along with the shadow entry.
+TEST(NetLog, FlowRemovedEvictsCounterCache) {
+  auto net = netsim::Network::linear(2, 1);
+  NetLog log(*net);
+  const of::Match m = of::Match{}.with_eth_dst(net->hosts()[1].mac);
+
+  TxnId t0 = log.begin(AppId{1});
+  of::FlowMod add = add_rule(DatapathId{1}, m, 100, PortNo{3}, /*idle=*/0,
+                             /*hard=*/5);
+  add.send_flow_removed = true;
+  log.apply(t0, {1, add});
+  log.commit(t0);
+  net->inject_from_host(net->hosts()[0].mac, legosdn::test::host_packet(*net, 0, 1));
+
+  TxnId t1 = log.begin(AppId{2});
+  of::FlowMod del;
+  del.dpid = DatapathId{1};
+  del.command = of::FlowModCommand::kDeleteStrict;
+  del.match = m;
+  del.priority = 100;
+  log.apply(t1, {2, del});
+  log.rollback(t1);
+  ASSERT_EQ(log.counter_cache_size(), 1u);
+
+  // Let the restored entry hard-expire; route the flow-removed into the log
+  // the way LegoController does.
+  std::vector<of::Message> nb;
+  net->set_northbound([&](const of::Message& msg) { nb.push_back(msg); });
+  net->advance_time(std::chrono::seconds(10));
+  ASSERT_FALSE(nb.empty());
+  ASSERT_NE(nb.at(0).get_if<of::FlowRemoved>(), nullptr);
+  log.observe_northbound(nb.at(0));
+  EXPECT_EQ(log.counter_cache_size(), 0u);
+}
+
+// Repeated delete+rollback of the same flow must merge into one cache record
+// (bounded by live restored flows), not grow a record per rollback.
+TEST(NetLog, CounterCacheBoundedAcrossRepeatedRollbacks) {
+  auto net = netsim::Network::linear(2, 1);
+  NetLog log(*net);
+  const of::Match m = of::Match{}.with_eth_dst(net->hosts()[1].mac);
+  TxnId t0 = log.begin(AppId{1});
+  log.apply(t0, {1, add_rule(DatapathId{1}, m, 100, PortNo{3})});
+  log.commit(t0);
+
+  for (int round = 0; round < 16; ++round) {
+    net->inject_from_host(net->hosts()[0].mac,
+                          legosdn::test::host_packet(*net, 0, 1));
+    TxnId t = log.begin(AppId{2});
+    of::FlowMod del;
+    del.dpid = DatapathId{1};
+    del.command = of::FlowModCommand::kDeleteStrict;
+    del.match = m;
+    del.priority = 100;
+    log.apply(t, {2, del});
+    log.rollback(t);
+    EXPECT_EQ(log.counter_cache_size(), 1u) << "round " << round;
+  }
+  // The single record accumulated every lost tick.
+  const auto cache = log.counter_cache();
+  ASSERT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache[0].packet_count, 16u);
+}
+
 TEST(NetLog, RollbackOfModifyRestoresOldActions) {
   auto net = netsim::Network::linear(2, 1);
   NetLog log(*net);

@@ -349,6 +349,105 @@ TEST(Timeouts, AdvanceTimeExpiresFlows) {
   EXPECT_TRUE(net->switch_at(DatapathId{1})->table().empty());
 }
 
+// The network-level expiry heap must fire each switch at its own deadline,
+// in deadline order, without rescanning idle switches.
+TEST(Timeouts, BatchExpiryFiresPerSwitchDeadlines) {
+  auto net = Network::linear(4, 1);
+  std::vector<of::Message> nb;
+  net->set_northbound([&](const of::Message& m) { nb.push_back(m); });
+  // Distinct hard timeouts per switch: 2s, 4s, 6s, 8s.
+  for (std::size_t i = 0; i < 4; ++i) {
+    of::FlowMod mod = forward_rule(DatapathId{i + 1}, net->hosts()[0].mac, PortNo{1});
+    mod.hard_timeout = static_cast<std::uint16_t>(2 * (i + 1));
+    mod.send_flow_removed = true;
+    net->send_to_switch({1, mod});
+  }
+  // Many idle ticks before anything is due.
+  for (int i = 0; i < 10; ++i) net->advance_time(std::chrono::milliseconds(100));
+  EXPECT_TRUE(nb.empty());
+  // Each 2s step expires exactly the next switch's flow.
+  for (std::size_t i = 0; i < 4; ++i) {
+    net->advance_time(std::chrono::seconds(2));
+    ASSERT_EQ(nb.size(), i + 1) << "after step " << i;
+    const auto* fr = nb[i].get_if<of::FlowRemoved>();
+    ASSERT_NE(fr, nullptr);
+    EXPECT_EQ(fr->dpid, DatapathId{i + 1});
+    EXPECT_TRUE(net->switch_at(DatapathId{i + 1})->table().empty());
+  }
+}
+
+// One coarse jump past several deadlines must expire all due switches in a
+// single advance_time call, lowest dpid first on equal-tick pops.
+TEST(Timeouts, BatchExpiryHandlesOneBigJump) {
+  auto net = Network::linear(3, 1);
+  std::vector<of::Message> nb;
+  net->set_northbound([&](const of::Message& m) { nb.push_back(m); });
+  for (std::size_t i = 0; i < 3; ++i) {
+    of::FlowMod mod = forward_rule(DatapathId{i + 1}, net->hosts()[0].mac, PortNo{1});
+    mod.hard_timeout = static_cast<std::uint16_t>(1 + i);
+    mod.send_flow_removed = true;
+    net->send_to_switch({1, mod});
+  }
+  net->advance_time(std::chrono::seconds(60));
+  ASSERT_EQ(nb.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto* fr = nb[i].get_if<of::FlowRemoved>();
+    ASSERT_NE(fr, nullptr);
+    EXPECT_EQ(fr->dpid, DatapathId{i + 1}) << "pop order at " << i;
+  }
+}
+
+// Down switches must not expire flows while down: no flow-removed, entry
+// still present. Revival cold-restarts the switch (table cleared), so the
+// stale heap record must not fire afterwards either.
+TEST(Timeouts, DownSwitchDoesNotExpireFlowsWhileDown) {
+  auto net = Network::linear(2, 1);
+  std::vector<of::Message> nb;
+  net->set_northbound([&](const of::Message& m) { nb.push_back(m); });
+  of::FlowMod mod = forward_rule(DatapathId{1}, net->hosts()[1].mac, PortNo{3});
+  mod.hard_timeout = 3;
+  mod.send_flow_removed = true;
+  net->send_to_switch({1, mod});
+
+  net->set_switch_state(DatapathId{1}, false);
+  nb.clear(); // drop the port-status noise from the switch going down
+  net->advance_time(std::chrono::seconds(10));
+  // Way past the deadline: the down switch kept its entry and said nothing.
+  EXPECT_EQ(net->switch_at(DatapathId{1})->table().size(), 1u);
+  for (const auto& m2 : nb) EXPECT_EQ(m2.get_if<of::FlowRemoved>(), nullptr);
+
+  net->set_switch_state(DatapathId{1}, true); // cold restart wipes the table
+  nb.clear();
+  EXPECT_TRUE(net->switch_at(DatapathId{1})->table().empty());
+  net->advance_time(std::chrono::seconds(10));
+  for (const auto& m2 : nb) EXPECT_EQ(m2.get_if<of::FlowRemoved>(), nullptr);
+}
+
+// Idle-timeout refresh: traffic keeps a flow alive past its original armed
+// deadline; the heap's stale record must re-arm, not expire early.
+TEST(Timeouts, IdleRefreshSurvivesStaleHeapRecord) {
+  auto net = Network::linear(1, 2);
+  std::vector<of::Message> nb;
+  net->set_northbound([&](const of::Message& m) { nb.push_back(m); });
+  of::FlowMod mod = forward_rule(DatapathId{1}, net->hosts()[1].mac, PortNo{2});
+  mod.idle_timeout = 3;
+  mod.send_flow_removed = true;
+  net->send_to_switch({1, mod});
+  // Touch the flow every 2s: never idle long enough to expire.
+  for (int i = 0; i < 5; ++i) {
+    net->advance_time(std::chrono::seconds(2));
+    net->inject_from_host(net->hosts()[0].mac, host_packet(*net, 0, 1));
+  }
+  EXPECT_TRUE(nb.empty());
+  EXPECT_EQ(net->switch_at(DatapathId{1})->table().size(), 1u);
+  // Now go quiet: the flow idles out on schedule.
+  net->advance_time(std::chrono::seconds(4));
+  ASSERT_EQ(nb.size(), 1u);
+  const auto* fr = nb[0].get_if<of::FlowRemoved>();
+  ASSERT_NE(fr, nullptr);
+  EXPECT_EQ(fr->reason, of::FlowRemovedReason::kIdleTimeout);
+}
+
 TEST(Counters, PortCountersTrackTraffic) {
   auto net = Network::linear(2, 1);
   const MacAddress dst = net->hosts()[1].mac;

@@ -14,6 +14,10 @@
 #                latency, flow table, netlog, micro) with tiny iteration
 #                counts (LEGOSDN_BENCH_SMOKE=1), assert exit 0 and that
 #                each emits parseable JSON into bench-out/.
+#   fuzz-smoke   run the differential scenario fuzzer over a reduced seed
+#                batch (LEGOSDN_FUZZ_SCRIPTS, default 20): every generated
+#                churn script must converge identically under LegoSDN-with-
+#                faults and the fault-free monolithic reference.
 #   format       clang-format --dry-run -Werror over src/ tests/ bench/.
 #                Skips (exit 0) when clang-format is not installed locally;
 #                CI pins a version so the check is authoritative there.
@@ -64,6 +68,14 @@ print('$json: ok,', len(json.dumps(doc)), 'bytes')
   done
 }
 
+cmd_fuzz_smoke() {
+  local dir="build"
+  [ -d build-ci ] && dir="build-ci"
+  cmake --build "$dir" -j "$(nproc)" --target scenario_fuzz_test
+  LEGOSDN_FUZZ_SCRIPTS="${LEGOSDN_FUZZ_SCRIPTS:-20}" \
+    "./$dir/tests/scenario_fuzz_test" --gtest_brief=1
+}
+
 cmd_format() {
   if ! command -v clang-format >/dev/null 2>&1; then
     echo "clang-format not installed; skipping format check (CI enforces it)"
@@ -78,6 +90,7 @@ case "${1:-all}" in
   build)       cmd_build ;;
   asan)        cmd_asan ;;
   bench-smoke) cmd_bench_smoke ;;
+  fuzz-smoke)  cmd_fuzz_smoke ;;
   format)      cmd_format ;;
   all)
     cmd_build
@@ -86,7 +99,7 @@ case "${1:-all}" in
     fi
     ;;
   *)
-    echo "unknown command: $1 (expected build|asan|bench-smoke|format)" >&2
+    echo "unknown command: $1 (expected build|asan|bench-smoke|fuzz-smoke|format)" >&2
     exit 2
     ;;
 esac

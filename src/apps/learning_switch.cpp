@@ -32,6 +32,15 @@ ctl::Disposition LearningSwitch::handle_event(const ctl::Event& e,
   }
 
   const PortNo* out = lookup(pin->dpid, hdr.eth_dst);
+  if (out && *out == pin->in_port) {
+    // The destination lies back out the very port this packet arrived on:
+    // this copy is a flood echo from a neighbor that did not know the
+    // destination. Sending it back out the ingress port would re-circulate
+    // the copy and teach every switch it revisits a wrong location for
+    // eth_src (the seed of post-churn forwarding loops) — drop it instead;
+    // the original flood is still making its own way to the destination.
+    return ctl::Disposition::kStop;
+  }
   if (out && !hdr.eth_dst.is_multicast()) {
     // Install an exact-match rule for this flow (as FloodLight's
     // LearningSwitch does in OF 1.0), then release the buffered packet.

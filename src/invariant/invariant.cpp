@@ -121,7 +121,7 @@ TraceResult InvariantChecker::trace(PortLocator ingress,
       continue;
     }
     res.path.push_back(it.at);
-    const netsim::FlowEntry* e = sw->table().peek(it.at.port, it.hdr);
+    const netsim::FlowEntry* e = table_of(it.at.dpid, *sw).peek(it.at.port, it.hdr);
     if (!e) {
       acc = worse(acc, TraceOutcome::kMiss);
       res.last_switch = it.at.dpid;
@@ -224,7 +224,7 @@ void InvariantChecker::check_entry(const InvariantConfig& cfg, DatapathId dpid,
   }
   for (const PortNo in : ingresses) {
     // Only trace if this entry is actually the winner for the header.
-    if (sw.table().peek(in, hdr) != &e) continue;
+    if (table_of(dpid, sw).peek(in, hdr) != &e) continue;
     const TraceResult tr = trace({dpid, in}, hdr);
     if (cfg.check_loops && tr.outcome == TraceOutcome::kLooped) {
       out.push_back({InvariantKind::kNoLoops, tr.last_switch,
@@ -253,27 +253,58 @@ void InvariantChecker::check_rules(const InvariantConfig& cfg,
   }
 }
 
+const netsim::FlowTable& InvariantChecker::table_of(
+    DatapathId dpid, const netsim::SimSwitch& sw) const {
+  if (overlay_) {
+    if (auto it = overlay_->find(dpid); it != overlay_->end()) return it->second;
+  }
+  return sw.table();
+}
+
 std::vector<Violation> InvariantChecker::check_flow_mods(
     const InvariantConfig& cfg, std::span<const of::FlowMod> mods) const {
   std::vector<Violation> out;
   if (!cfg.check_loops && !cfg.check_black_holes) return out;
+
+  // The mods may not have reached the switches yet (delay-buffer NetLog holds
+  // the whole bundle until commit), so verify against the *would-be* state:
+  // per touched switch, a copy of the live table with every pending mod
+  // applied. Traces consult the overlay for these switches and the live
+  // tables elsewhere — for already-applied mods (undo-log mode) the overlay
+  // is byte-equivalent to the live table, so both modes share this path.
+  std::unordered_map<DatapathId, netsim::FlowTable> overlay;
+  for (const auto& mod : mods) {
+    const netsim::SimSwitch* sw = net_.switch_at(mod.dpid);
+    if (!sw || !sw->up()) continue;
+    auto [it, inserted] = overlay.try_emplace(mod.dpid);
+    if (inserted) {
+      // FlowTable owns its classifier index and is move-only; rebuild the
+      // live table entry-by-entry (restore preserves all runtime state).
+      for (const auto& e : sw->table().entries()) it->second.restore(e);
+    }
+    it->second.apply(mod, net_.now());
+  }
+  overlay_ = &overlay;
+
   for (const auto& mod : mods) {
     if (mod.command == of::FlowModCommand::kDelete ||
         mod.command == of::FlowModCommand::kDeleteStrict)
       continue; // removals cannot add rule-level violations
     const netsim::SimSwitch* sw = net_.switch_at(mod.dpid);
     if (!sw || !sw->up()) continue;
+    const netsim::FlowTable& table = table_of(mod.dpid, *sw);
     // Non-strict modify touches every covered entry; re-check them all.
     if (mod.command == of::FlowModCommand::kModify) {
-      for (const auto& e : sw->table().entries()) {
+      for (const auto& e : table.entries()) {
         if (mod.match.subsumes(e.match)) check_entry(cfg, mod.dpid, *sw, e, out);
       }
       continue;
     }
-    if (const netsim::FlowEntry* e = sw->table().find_strict(mod.match, mod.priority)) {
+    if (const netsim::FlowEntry* e = table.find_strict(mod.match, mod.priority)) {
       check_entry(cfg, mod.dpid, *sw, *e, out);
     }
   }
+  overlay_ = nullptr;
   return out;
 }
 

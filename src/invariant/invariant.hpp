@@ -10,6 +10,7 @@
 
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "netsim/network.hpp"
@@ -108,7 +109,18 @@ private:
   void check_reachability(const InvariantConfig& cfg,
                           std::vector<Violation>& out) const;
 
+  /// Flow table to consult for a switch: the pending-rule overlay when one is
+  /// active (check_flow_mods verifying rules that have not reached the switch
+  /// yet — delay-buffer NetLog holds the bundle until commit), otherwise the
+  /// switch's live table.
+  const netsim::FlowTable& table_of(DatapathId dpid,
+                                    const netsim::SimSwitch& sw) const;
+
   const netsim::Network& net_;
+  /// Active only inside check_flow_mods: per-switch copies of the live
+  /// tables with the transaction's pending mods applied on top.
+  mutable const std::unordered_map<DatapathId, netsim::FlowTable>* overlay_ =
+      nullptr;
   static constexpr std::size_t kHopLimit = 128;
 };
 

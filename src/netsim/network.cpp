@@ -185,6 +185,10 @@ DeliveryResult Network::send_to_switch(const of::Message& msg) {
                   : res.looped    ? DeliveryResult::Outcome::kLooped
                   : res.punts     ? DeliveryResult::Outcome::kPunted
                                   : DeliveryResult::Outcome::kDropped;
+    // Controller-driven deliveries (buffered punt resumes, synthetic sends)
+    // are the reactive path; without this the punt-then-forward flow never
+    // shows up in delivery totals.
+    if (res.delivered()) totals_.resumed_delivered += 1;
     return res;
   }
 
@@ -364,12 +368,34 @@ void Network::emit_port_status(const PortLocator& loc, bool up) {
   deliver_northbound({0, ps});
 }
 
+bool Network::link_should_be_up(const Link& l) const {
+  if (!l.admin_up) return false;
+  const SimSwitch* sa = switch_at(l.a.dpid);
+  const SimSwitch* sb = switch_at(l.b.dpid);
+  return sa && sa->up() && sb && sb->up();
+}
+
+bool Network::reconcile_link(Link& l) {
+  const bool eff = link_should_be_up(l);
+  if (l.up == eff) return false;
+  l.up = eff;
+  for (const PortLocator& end : {l.a, l.b}) {
+    SimSwitch* sw = switch_at(end.dpid);
+    if (!sw) continue;
+    if (sw->up()) {
+      emit_port_status(end, eff);
+    } else if (SwitchPort* sp = sw->port(end.port)) {
+      sp->desc.link_up = eff; // dead switches update silently
+    }
+  }
+  return true;
+}
+
 void Network::set_link_state(const PortLocator& end, bool up) {
   Link* l = find_link(end);
-  if (!l || l->up == up) return;
-  l->up = up;
-  emit_port_status(l->a, up);
-  emit_port_status(l->b, up);
+  if (!l) return;
+  l->admin_up = up;
+  reconcile_link(*l);
 }
 
 void Network::set_switch_state(DatapathId dpid, bool up) {
@@ -384,16 +410,12 @@ void Network::set_switch_state(DatapathId dpid, bool up) {
   } else {
     sw->set_up(false);
   }
-  // Neighbours observe their end of every attached link going down/up.
+  // Attached links follow switch liveness, but administrative downs stick: a
+  // bounce restores only links that were admin-up before (or during) the
+  // outage, and only if the far endpoint is itself alive.
   for (auto& l : links_) {
     if (l.a.dpid != dpid && l.b.dpid != dpid) continue;
-    l.up = up;
-    const PortLocator& remote = l.a.dpid == dpid ? l.b : l.a;
-    const PortLocator& local = l.a.dpid == dpid ? l.a : l.b;
-    if (SimSwitch* self = switch_at(local.dpid)) {
-      if (SwitchPort* sp = self->port(local.port)) sp->desc.link_up = up;
-    }
-    emit_port_status(remote, up);
+    reconcile_link(l);
   }
   if (switch_state_) switch_state_(dpid, up);
 }
@@ -521,7 +543,9 @@ std::unique_ptr<Network> Network::star(std::size_t n_leaves, std::size_t hosts_p
 }
 
 std::unique_ptr<Network> Network::fat_tree(std::size_t k) {
-  assert(k >= 2 && k % 2 == 0);
+  if (k < 2 || k % 2 != 0) return nullptr; // real error path: assert is a
+                                           // no-op under NDEBUG and a corrupt
+                                           // topology is worse than none
   auto net = std::make_unique<Network>();
   const std::size_t half = k / 2;
   const std::size_t n_core = half * half;
@@ -572,7 +596,7 @@ std::unique_ptr<Network> Network::random(std::size_t n_switches,
                                          std::size_t extra_links,
                                          std::size_t hosts_per_switch,
                                          std::uint64_t seed) {
-  assert(n_switches >= 2);
+  if (n_switches < 2) return nullptr;
   auto net = std::make_unique<Network>();
   Rng rng(seed);
   // Ports 1..hosts_per_switch host hosts; trunk ports are allocated on

@@ -38,7 +38,13 @@ struct Host {
 struct Link {
   PortLocator a{};
   PortLocator b{};
+  /// Effective state: admin_up AND both endpoint switches up. This is what
+  /// the dataplane consults.
   bool up = true;
+  /// Operator intent, set only by set_link_state(). A switch bounce takes
+  /// attached links down and back up, but never overrides an administrative
+  /// down: the link resurfaces only if admin_up is still true.
+  bool admin_up = true;
 };
 
 /// Result of injecting one packet (or resuming a buffered one).
@@ -80,10 +86,13 @@ public:
   static std::unique_ptr<Network> star(std::size_t n_leaves,
                                        std::size_t hosts_per_leaf = 1);
   /// k-ary fat-tree (k even): k pods, k^2/4 core switches, k^3/4 hosts.
+  /// Returns nullptr for invalid k (k < 2 or odd) — callers building from
+  /// untrusted input (scenario scripts, fuzzers) must check; an assert alone
+  /// would compile away under NDEBUG and hand back a corrupt topology.
   static std::unique_ptr<Network> fat_tree(std::size_t k);
   /// Random connected topology: a random spanning tree plus `extra_links`
   /// additional edges, `hosts_per_switch` hosts everywhere. Deterministic
-  /// for a given seed.
+  /// for a given seed. Returns nullptr when n_switches < 2.
   static std::unique_ptr<Network> random(std::size_t n_switches,
                                          std::size_t extra_links,
                                          std::size_t hosts_per_switch,
@@ -135,10 +144,15 @@ public:
   // --- global statistics ---
   struct Totals {
     std::uint64_t injected = 0;
-    std::uint64_t delivered = 0;
+    std::uint64_t delivered = 0; ///< injections whose first pass reached a host
     std::uint64_t dropped = 0;
     std::uint64_t punted = 0;
     std::uint64_t looped = 0;
+    /// Packets a controller PacketOut delivered to at least one host —
+    /// the reactive path: buffered punt resumes and synthetic sends. A punted
+    /// injection that the controller then forwards counts once under `punted`
+    /// and once here; `delivered + resumed_delivered` is the end-to-end count.
+    std::uint64_t resumed_delivered = 0;
   };
   const Totals& totals() const noexcept { return totals_; }
   void reset_totals() { totals_ = {}; }
@@ -164,6 +178,11 @@ private:
   void deliver_northbound(const of::Message& msg);
   void emit_port_status(const PortLocator& loc, bool up);
   Link* find_link(const PortLocator& end);
+  /// Effective link state implied by operator intent + switch liveness.
+  bool link_should_be_up(const Link& l) const;
+  /// Reconcile one link's effective state, updating port descriptors and
+  /// emitting port-status on a transition. Returns true if the state changed.
+  bool reconcile_link(Link& l);
   /// (Re)arm the expiry heap from a switch's current earliest deadline.
   /// Called wherever a switch's flow table can gain an earlier deadline:
   /// after southbound message handling and on switch revival. Dataplane

@@ -1,0 +1,302 @@
+#include "scenario/fuzz.hpp"
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "netsim/network.hpp"
+
+namespace legosdn::scenario {
+namespace {
+
+/// What the generator needs to know about the topology it picked: the exact
+/// script line, whether the graph can contain cycles (flood-based apps storm
+/// on cyclic graphs — there is no spanning-tree protocol in the simulator,
+/// only the router floods loop-free), and the element inventory for churn.
+struct TopoPlan {
+  std::string line;
+  std::string name;
+  bool cyclic = false;
+  std::vector<DatapathId> switches;
+  std::vector<netsim::Link> links;
+  std::size_t n_hosts = 0;
+};
+
+TopoPlan pick_topology(Rng& rng) {
+  TopoPlan plan;
+  std::unique_ptr<netsim::Network> probe;
+  switch (rng.below(5)) {
+    case 0: {
+      const auto n = rng.range(2, 4);
+      const auto h = rng.range(1, 2);
+      plan.line = "topology linear " + std::to_string(n) + " " + std::to_string(h);
+      plan.name = "linear" + std::to_string(n);
+      probe = netsim::Network::linear(n, h);
+      break;
+    }
+    case 1: {
+      const auto n = rng.range(2, 4);
+      const auto h = rng.range(1, 2);
+      plan.line = "topology star " + std::to_string(n) + " " + std::to_string(h);
+      plan.name = "star" + std::to_string(n);
+      probe = netsim::Network::star(n, h);
+      break;
+    }
+    case 2: {
+      const auto n = rng.range(3, 5);
+      plan.line = "topology ring " + std::to_string(n) + " 1";
+      plan.name = "ring" + std::to_string(n);
+      plan.cyclic = true;
+      probe = netsim::Network::ring(n, 1);
+      break;
+    }
+    case 3: {
+      // k=4 is the real multipath case but costs 16 hosts of probing;
+      // keep it rare so a fuzz batch stays fast.
+      const std::size_t k = rng.chance(0.15) ? 4 : 2;
+      plan.line = "topology fat_tree " + std::to_string(k);
+      plan.name = "fat_tree" + std::to_string(k);
+      plan.cyclic = true;
+      probe = netsim::Network::fat_tree(k);
+      break;
+    }
+    default: {
+      const auto n = rng.range(3, 5);
+      const auto extra = rng.range(0, 2);
+      const auto seed = rng.below(1u << 20);
+      plan.line = "topology random " + std::to_string(n) + " 1 extra=" +
+                  std::to_string(extra) + " seed=" + std::to_string(seed);
+      plan.name = "random" + std::to_string(n) + "+" + std::to_string(extra);
+      plan.cyclic = extra > 0;
+      probe = netsim::Network::random(n, extra, 1, seed);
+      break;
+    }
+  }
+  plan.switches = probe->switch_ids();
+  plan.links = probe->links();
+  plan.n_hosts = probe->hosts().size();
+  return plan;
+}
+
+/// Wrapper pool, constrained by what keeps the oracle sound:
+///  - tp_dst=666 triggers fire only on poison packets, so a recovered-then-
+///    ignored event costs state both runs re-learn during the epilogue;
+///  - every trigger is tp_dst- or event-filtered: a bare skip=N trigger
+///    matches *every* later event, and because rollback restores the
+///    wrapper's trigger state along with the app's (even `transient` re-arms
+///    on recovery), it becomes a permanent crash-storm that lobotomizes the
+///    app — the generator must not emit one;
+///  - the router must keep seeing topology events (ignoring a SwitchDown
+///    would leave it routing into a dead switch forever), so cyclic stacks
+///    only get tp_dst-triggered wrappers;
+///  - byzantine dropall is excluded: drop rules are not invariant violations,
+///    so the corruption is undetectable by design and never rolled back.
+std::string pick_wrapper(Rng& rng, bool router_stack) {
+  const std::uint64_t n = router_stack ? 4 : 6;
+  switch (rng.below(n)) {
+    case 0: return "wrap crashy tp_dst=666";
+    case 1: return "wrap crashy tp_dst=666 skip=" + std::to_string(rng.range(1, 2));
+    case 2: return "wrap byzantine blackhole tp_dst=666";
+    case 3: return "wrap byzantine loop tp_dst=666";
+    case 4: return "wrap crashy tp_dst=666 transient";
+    default: return "wrap crashy event=switch-down";
+  }
+}
+
+} // namespace
+
+GeneratedScenario generate_scenario(const FuzzOptions& opts) {
+  Rng rng(opts.seed ^ 0x5CEA7A10FBA5EULL);
+  const TopoPlan topo = pick_topology(rng);
+
+  std::vector<std::string> lines; // lego variant; reference drops "wrap " lines
+  std::ostringstream summary;
+  summary << "seed=" << opts.seed << " " << topo.name << " hosts=" << topo.n_hosts;
+
+  lines.push_back(topo.line);
+  lines.push_back("architecture legosdn");
+  if (rng.chance(0.5)) lines.push_back("netlog delay-buffer");
+  if (rng.chance(0.5))
+    lines.push_back("checkpoint every " + std::to_string(rng.range(1, 3)));
+
+  // --- app stack: optional firewall, then exactly one forwarding app ---
+  if (rng.chance(0.4)) {
+    lines.push_back("app firewall deny_tp=4242");
+    summary << " firewall";
+  }
+  std::string fwd;
+  if (topo.cyclic) {
+    fwd = "app router idle=30";
+  } else {
+    fwd = rng.chance(0.6) ? "app learning-switch idle=30" : "app hub";
+  }
+  lines.push_back(fwd);
+  summary << " " << fwd.substr(4, fwd.find(' ', 4) - 4);
+
+  const std::uint64_t n_wraps = rng.below(3);
+  for (std::uint64_t i = 0; i < n_wraps; ++i) {
+    const std::string w = pick_wrapper(rng, topo.cyclic);
+    lines.push_back(w);
+    summary << " [" << w.substr(5) << "]";
+  }
+
+  lines.push_back("start");
+  lines.push_back("traffic pairs 1"); // warm both runs identically
+
+  // --- body traffic: poison (trigger fodder), denied flows, patterns ---
+  auto host = [&] { return rng.below(topo.n_hosts); };
+  const std::uint64_t n_body = rng.range(2, 5);
+  for (std::uint64_t i = 0; i < n_body; ++i) {
+    const auto s = host();
+    auto d = host();
+    if (d == s) d = (d + 1) % topo.n_hosts;
+    switch (rng.below(4)) {
+      case 0:
+        lines.push_back("send " + std::to_string(s) + " " + std::to_string(d) +
+                        " 666");
+        break;
+      case 1:
+        lines.push_back("send " + std::to_string(s) + " " + std::to_string(d) +
+                        " 4242");
+        break;
+      case 2:
+        lines.push_back("traffic uniform " + std::to_string(rng.range(2, 6)));
+        break;
+      default:
+        lines.push_back("traffic stride " + std::to_string(rng.range(2, 6)) +
+                        " 2");
+        break;
+    }
+  }
+
+  // --- churn schedule: 1..3 elements bounce (or stay down) inside [5,65] ---
+  const std::uint64_t n_churn = rng.range(1, 3);
+  summary << " churn=" << n_churn;
+  for (std::uint64_t i = 0; i < n_churn; ++i) {
+    const std::int64_t t_down = rng.range(5, 45);
+    if (rng.chance(0.5) || topo.links.empty()) {
+      const auto dpid = topo.switches[rng.below(topo.switches.size())];
+      lines.push_back("at " + std::to_string(t_down) + " switch down " +
+                      std::to_string(raw(dpid)));
+      if (rng.chance(0.75)) {
+        lines.push_back("at " + std::to_string(t_down + rng.range(5, 20)) +
+                        " switch up " + std::to_string(raw(dpid)));
+      }
+    } else {
+      const auto& l = topo.links[rng.below(topo.links.size())];
+      const std::string ep =
+          std::to_string(raw(l.a.dpid)) + " " + std::to_string(raw(l.a.port));
+      lines.push_back("at " + std::to_string(t_down) + " link down " + ep);
+      if (rng.chance(0.75)) {
+        lines.push_back("at " + std::to_string(t_down + rng.range(5, 20)) +
+                        " link up " + ep);
+      }
+    }
+  }
+  // A couple of mid-churn scheduled sends, to exercise traffic landing while
+  // the topology is degraded.
+  const std::uint64_t n_at_sends = rng.range(1, 2);
+  for (std::uint64_t i = 0; i < n_at_sends; ++i) {
+    const auto s = host();
+    auto d = host();
+    if (d == s) d = (d + 1) % topo.n_hosts;
+    lines.push_back("at " + std::to_string(rng.range(6, 60)) + " send " +
+                    std::to_string(s) + " " + std::to_string(d) + " 80");
+  }
+
+  // --- convergence epilogue ---
+  // advance 200 fires every scheduled event at its own time, then leaves 130+
+  // quiet seconds so every idle=30 rule installed during/before churn has
+  // expired; the two all-pairs sweeps then rebuild forwarding state from the
+  // settled topology in both runs before the final-state capture.
+  lines.push_back("advance 200");
+  lines.push_back("traffic pairs 2");
+  lines.push_back("expect controller up");
+
+  GeneratedScenario out;
+  out.summary = summary.str();
+  std::ostringstream lego, ref;
+  lego << "# " << out.summary << "\n";
+  ref << "# reference (fault-free monolithic) for: " << out.summary << "\n";
+  for (const auto& l : lines) {
+    lego << l << "\n";
+    if (l.starts_with("wrap ")) continue;
+    if (l == "architecture legosdn") {
+      ref << "architecture monolithic\n";
+      continue;
+    }
+    ref << l << "\n";
+  }
+  out.lego_script = lego.str();
+  out.reference_script = ref.str();
+  return out;
+}
+
+std::string DiffResult::report() const {
+  std::ostringstream os;
+  os << "divergence: " << (divergence.empty() ? "(none)" : divergence) << "\n"
+     << "--- lego script ---\n" << scenario.lego_script
+     << "--- reference script ---\n" << scenario.reference_script
+     << "--- lego transcript ---\n" << lego.transcript
+     << "--- reference transcript ---\n" << reference.transcript;
+  return os.str();
+}
+
+DiffResult run_differential(const FuzzOptions& opts) {
+  DiffResult out;
+  out.scenario = generate_scenario(opts);
+
+  auto ls = Scenario::parse(out.scenario.lego_script);
+  if (!ls.ok()) {
+    out.divergence = "lego script does not parse: " + ls.error().to_string();
+    return out;
+  }
+  auto rs = Scenario::parse(out.scenario.reference_script);
+  if (!rs.ok()) {
+    out.divergence = "reference script does not parse: " + rs.error().to_string();
+    return out;
+  }
+  out.lego = ls.value().run();
+  out.reference = rs.value().run();
+
+  const auto diverge = [&](std::string why) {
+    out.divergence = std::move(why);
+  };
+  if (!out.lego.error.empty()) {
+    diverge("lego run error: " + out.lego.error);
+  } else if (!out.reference.error.empty()) {
+    diverge("reference run error: " + out.reference.error);
+  } else if (out.lego.failed_checks() > 0) {
+    diverge("lego run failed a check (controller died?)");
+  } else if (out.reference.failed_checks() > 0) {
+    diverge("fault-free reference failed a check");
+  } else if (out.lego.controller_down) {
+    diverge("LegoSDN controller died despite isolation");
+  } else if (out.reference.controller_down) {
+    diverge("fault-free reference controller died");
+  } else if (!out.lego.violations.empty()) {
+    diverge("invariant violations in lego run: " + out.lego.violations.front() +
+            " (+" + std::to_string(out.lego.violations.size() - 1) + " more)");
+  } else if (!out.reference.violations.empty()) {
+    diverge("invariant violations in reference run: " +
+            out.reference.violations.front());
+  } else if (out.lego.n_hosts != out.reference.n_hosts) {
+    diverge("host count mismatch");
+  } else if (out.lego.reachability != out.reference.reachability) {
+    std::string pairs;
+    const std::size_t n = out.lego.n_hosts;
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t d = 0; d < n; ++d) {
+        if (s == d || out.lego.reachable(s, d) == out.reference.reachable(s, d))
+          continue;
+        pairs += " h" + std::to_string(s) + "->h" + std::to_string(d) +
+                 (out.lego.reachable(s, d) ? "(lego only)" : "(reference only)");
+      }
+    }
+    diverge("reachability matrices differ:" + pairs);
+  } else {
+    out.ok = true;
+  }
+  return out;
+}
+
+} // namespace legosdn::scenario

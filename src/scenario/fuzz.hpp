@@ -1,0 +1,61 @@
+// Differential scenario fuzzer: seeded random churn scripts, run under both
+// architectures, compared for convergence equivalence.
+//
+// The oracle is the paper's claim stated as an executable property: a LegoSDN
+// deployment whose apps carry injected fail-stop/byzantine bugs must converge
+// to the same final network state as a *fault-free* monolithic reference —
+// same host-to-host reachability matrix, no invariant violations, controller
+// alive. (Running the faulty apps under monolithic is not a usable reference:
+// the first crash kills that controller by design — that fate-sharing is the
+// paper's motivation, not a fuzzing divergence.)
+//
+// Each seed deterministically produces a script pair:
+//   - a random topology (linear | ring | star | fat_tree | random),
+//   - a random app stack (topology-aware: flood-based apps only on trees,
+//     the spanning-tree-flooding router on cyclic graphs),
+//   - random crashy/byzantine wrappers on the forwarding app (LegoSDN script
+//     only — the reference strips them),
+//   - a random churn schedule (`at <t> switch/link down/up`) plus poison and
+//     background traffic,
+//   - a convergence epilogue (advance past churn + idle-rule expiry, then
+//     two all-pairs sweeps) so both runs settle before the final-state
+//     capture that RunResult carries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "scenario/scenario.hpp"
+
+namespace legosdn::scenario {
+
+struct FuzzOptions {
+  std::uint64_t seed = 0;
+};
+
+/// A generated script pair. Both scripts share topology, traffic, and churn;
+/// they differ only in `architecture` and the presence of `wrap` lines.
+struct GeneratedScenario {
+  std::string lego_script;      ///< architecture legosdn, fault wrappers on
+  std::string reference_script; ///< architecture monolithic, wrappers stripped
+  std::string summary;          ///< one line: topology/apps/wrappers/churn
+};
+
+/// Deterministic: the same options always yield byte-identical scripts.
+GeneratedScenario generate_scenario(const FuzzOptions& opts);
+
+struct DiffResult {
+  bool ok = false;
+  std::string divergence;       ///< empty when ok; else what differed
+  GeneratedScenario scenario;   ///< kept for reproduction dumps
+  RunResult lego;
+  RunResult reference;
+
+  /// Everything needed to reproduce and debug a failure.
+  std::string report() const;
+};
+
+/// Generate one scenario pair, run both architectures, compare final states.
+DiffResult run_differential(const FuzzOptions& opts);
+
+} // namespace legosdn::scenario

@@ -3,7 +3,12 @@
 #include <charconv>
 #include <map>
 #include <optional>
+#include <cstdlib>
+#include <set>
 #include <sstream>
+
+#include "invariant/invariant.hpp"
+#include "netsim/traffic.hpp"
 
 #include "apps/fault_injection.hpp"
 #include "apps/firewall.hpp"
@@ -60,6 +65,14 @@ std::optional<ctl::EventType> event_type_by_name(std::string_view s) {
   return std::nullopt;
 }
 
+/// Strict up/down keyword: anything else is a parse failure, never an
+/// implicit "down".
+std::optional<bool> parse_state(std::string_view s) {
+  if (s == "up") return true;
+  if (s == "down") return false;
+  return std::nullopt;
+}
+
 bool compare(std::uint64_t lhs, const std::string& op, std::uint64_t rhs) {
   if (op == "==") return lhs == rhs;
   if (op == "!=") return lhs != rhs;
@@ -80,7 +93,13 @@ Result<Scenario> Scenario::parse(std::string_view text) {
       {"checkpoint", 3}, {"limits", 2},       {"policy", 2},  {"app", 2},
       {"wrap", 2},       {"start", 1},        {"send", 3},    {"switch", 3},
       {"link", 4},       {"advance", 2},      {"upgrade", 1}, {"expect", 2},
+      {"traffic", 3},    {"at", 3},
   };
+  // Commands that may be scheduled behind an 'at <t>' prefix. Notably not
+  // 'at' itself (no nesting) and not 'expect' (assertions belong to the
+  // script's own sequencing, not the event queue).
+  static const std::set<std::string> kSchedulable = {"switch", "link", "send",
+                                                     "traffic"};
   Scenario sc;
   std::size_t line_no = 0;
   std::size_t pos = 0;
@@ -103,6 +122,23 @@ Result<Scenario> Scenario::parse(std::string_view text) {
                                             std::to_string(it->second - 1) +
                                             " argument(s)"};
     }
+    if (tokens[0] == "at") {
+      // Shape-check the scheduled command here too, so a bad nested command
+      // fails at parse time with this line's number.
+      const std::string& nested = tokens[2];
+      if (!kSchedulable.contains(nested)) {
+        return Error{Error::Code::kParse,
+                     "scenario line " + std::to_string(line_no) + ": '" + nested +
+                         "' cannot be scheduled with 'at'"};
+      }
+      const std::size_t nested_arity = kMinArity.at(nested);
+      if (tokens.size() - 2 < nested_arity) {
+        return Error{Error::Code::kParse,
+                     "scenario line " + std::to_string(line_no) + ": scheduled '" +
+                         nested + "' needs at least " +
+                         std::to_string(nested_arity - 1) + " argument(s)"};
+      }
+    }
     sc.commands_.push_back({line_no, std::move(tokens), std::string(line)});
   }
   return sc;
@@ -118,6 +154,11 @@ public:
     for (const auto& cmd : commands) {
       if (!step(cmd)) break;
     }
+    if (!schedule_.empty()) {
+      log_ << "note: " << schedule_.size()
+           << " scheduled event(s) never fired (script ended before their time)\n";
+    }
+    if (result_.error.empty() && controller_) capture_final_state();
     result_.ok = result_.error.empty() && result_.failed_checks() == 0;
     result_.transcript = log_.str();
     return std::move(result_);
@@ -142,6 +183,64 @@ private:
     return true;
   }
 
+  /// Build the canonical scenario packet (TCP, well-known IPs/MACs) between
+  /// two host indices and push it through the dataplane + controller.
+  void inject_pair(std::size_t s, std::size_t d, std::uint16_t tp) {
+    of::Packet p;
+    p.hdr.eth_src = net_->hosts()[s].mac;
+    p.hdr.eth_dst = net_->hosts()[d].mac;
+    p.hdr.eth_type = of::kEthTypeIpv4;
+    p.hdr.ip_src = net_->hosts()[s].ip;
+    p.hdr.ip_dst = net_->hosts()[d].ip;
+    p.hdr.ip_proto = of::kIpProtoTcp;
+    p.hdr.tp_src = 50000;
+    p.hdr.tp_dst = tp;
+    net_->inject_from_host(p.hdr.eth_src, p);
+    drain();
+  }
+
+  /// Final-state capture for differential comparison: controller liveness,
+  /// invariant violations over the installed rules, then a dataplane
+  /// reachability probe per ordered host pair. Violations are collected
+  /// *before* probing so they describe the state the script produced, not
+  /// rules the probes themselves provoked.
+  void capture_final_state() {
+    result_.started = true;
+    result_.controller_down = controller_->crashed();
+    for (const auto& v : invariant::InvariantChecker(*net_).check_basic()) {
+      result_.violations.push_back(v.to_string());
+    }
+    if (std::getenv("LEGOSDN_SCN_DUMP_TABLES")) {
+      for (const DatapathId dpid : net_->switch_ids()) {
+        const auto* sw = net_->switch_at(dpid);
+        log_ << "TABLE s" << raw(dpid) << (sw->up() ? "" : " (down)") << "\n";
+        for (const auto& e : sw->table().entries()) {
+          std::string acts;
+          for (const auto& a : e.actions) {
+            if (const auto* o = std::get_if<of::ActionOutput>(&a))
+              acts += " out:" + std::to_string(raw(o->port));
+            else
+              acts += " act";
+          }
+          log_ << "  " << e.match.to_string() << " prio=" << e.priority
+               << " idle=" << e.idle_timeout << acts << "\n";
+        }
+      }
+    }
+    const std::size_t n = net_->hosts().size();
+    result_.n_hosts = n;
+    result_.reachability.assign(n * n, 0);
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t d = 0; d < n; ++d) {
+        if (s == d) continue;
+        const std::uint64_t before = net_->hosts()[d].rx_packets;
+        inject_pair(s, d, 80);
+        result_.reachability[s * n + d] =
+            net_->hosts()[d].rx_packets > before ? 1 : 0;
+      }
+    }
+  }
+
   bool build_app(const Scenario::Command& cmd) {
     const std::string& kind = cmd.tokens[1];
     if (kind == "hub") {
@@ -149,13 +248,25 @@ private:
     } else if (kind == "flooder") {
       pending_.push_back(std::make_shared<apps::Flooder>());
     } else if (kind == "learning-switch") {
-      pending_.push_back(std::make_shared<apps::LearningSwitch>());
+      std::uint16_t idle = 0;
+      if (auto p = find_arg(cmd.tokens, 2, "idle")) {
+        auto v = parse_uint(*p);
+        if (!v || *v > 0xFFFF) return fail(cmd, "bad idle");
+        idle = static_cast<std::uint16_t>(*v);
+      }
+      pending_.push_back(std::make_shared<apps::LearningSwitch>(idle));
     } else if (kind == "discovery") {
       pending_.push_back(std::make_shared<apps::LinkDiscovery>());
     } else if (kind == "router") {
       std::vector<apps::ShortestPathRouter::LinkInfo> links;
       for (const auto& l : net_->links()) links.push_back({l.a, l.b});
-      pending_.push_back(std::make_shared<apps::ShortestPathRouter>(links));
+      std::uint16_t idle = 0;
+      if (auto p = find_arg(cmd.tokens, 2, "idle")) {
+        auto v = parse_uint(*p);
+        if (!v || *v > 0xFFFF) return fail(cmd, "bad idle");
+        idle = static_cast<std::uint16_t>(*v);
+      }
+      pending_.push_back(std::make_shared<apps::ShortestPathRouter>(links, idle));
     } else if (kind == "firewall") {
       std::vector<of::Match> deny;
       if (auto p = find_arg(cmd.tokens, 2, "deny_tp")) {
@@ -234,6 +345,59 @@ private:
     return true;
   }
 
+  bool handle_traffic(const Scenario::Command& cmd) {
+    if (!require_started(cmd)) return false;
+    const std::string& pattern = cmd.tokens[1];
+    auto n = parse_uint(cmd.tokens[2]);
+    if (!n) return fail(cmd, "bad count");
+    if (pattern == "pairs") {
+      // Deterministic all-ordered-pairs sweeps: the convergence workload the
+      // fuzzer uses to warm both architectures into a comparable state.
+      const std::size_t hosts = net_->hosts().size();
+      std::size_t sent = 0;
+      for (std::uint64_t sweep = 0; sweep < *n; ++sweep) {
+        for (std::size_t s = 0; s < hosts; ++s) {
+          for (std::size_t d = 0; d < hosts; ++d) {
+            if (s == d) continue;
+            inject_pair(s, d, 80);
+            ++sent;
+          }
+        }
+      }
+      log_ << "traffic pairs x" << *n << " (" << sent << " packets)\n";
+      return true;
+    }
+    netsim::TrafficGenerator::Pattern pat;
+    if (pattern == "uniform") pat = netsim::TrafficGenerator::Pattern::kUniformRandom;
+    else if (pattern == "stride") pat = netsim::TrafficGenerator::Pattern::kStride;
+    else if (pattern == "incast") pat = netsim::TrafficGenerator::Pattern::kIncast;
+    else if (pattern == "hotspot") pat = netsim::TrafficGenerator::Pattern::kHotspot;
+    else return fail(cmd, "unknown traffic pattern '" + pattern + "'");
+    if (net_->hosts().size() < 2) return fail(cmd, "traffic needs >= 2 hosts");
+    std::uint64_t repeats = 1;
+    if (cmd.tokens.size() > 3 && cmd.tokens[3].find('=') == std::string::npos) {
+      auto r = parse_uint(cmd.tokens[3]);
+      if (!r || *r == 0) return fail(cmd, "bad repeats");
+      repeats = *r;
+    }
+    // Each traffic command gets its own generator; the per-script sequence
+    // number keeps successive commands decorrelated yet fully deterministic.
+    std::uint64_t seed = 0x5EED0000 + traffic_seq_;
+    if (auto p = find_arg(cmd.tokens, 3, "seed")) {
+      auto v = parse_uint(*p);
+      if (!v) return fail(cmd, "bad seed");
+      seed = *v;
+    }
+    traffic_seq_ += 1;
+    netsim::TrafficGenerator gen(*net_, pat, seed);
+    for (auto& [src, pkt] : gen.batch(*n, repeats)) {
+      net_->inject_from_host(src, pkt);
+      drain();
+    }
+    log_ << "traffic " << pattern << " " << *n << " x" << repeats << "\n";
+    return true;
+  }
+
   bool step(const Scenario::Command& cmd) {
     const std::string& word = cmd.tokens[0];
 
@@ -242,7 +406,7 @@ private:
       auto n = parse_uint(cmd.tokens[2]);
       if (!n || *n == 0) return fail(cmd, "bad size");
       std::uint64_t hosts = 1;
-      if (cmd.tokens.size() > 3) {
+      if (cmd.tokens.size() > 3 && cmd.tokens[3].find('=') == std::string::npos) {
         auto h = parse_uint(cmd.tokens[3]);
         if (!h) return fail(cmd, "bad hosts_per_switch");
         hosts = *h;
@@ -250,8 +414,29 @@ private:
       if (shape == "linear") net_ = netsim::Network::linear(*n, hosts);
       else if (shape == "ring") net_ = netsim::Network::ring(*n, hosts);
       else if (shape == "star") net_ = netsim::Network::star(*n, hosts);
-      else if (shape == "fat_tree") net_ = netsim::Network::fat_tree(*n);
-      else return fail(cmd, "unknown topology '" + shape + "'");
+      else if (shape == "fat_tree") {
+        net_ = netsim::Network::fat_tree(*n);
+        if (!net_) return fail(cmd, "fat_tree needs an even k >= 2, got " +
+                                        cmd.tokens[2]);
+      } else if (shape == "random") {
+        std::uint64_t extra = 1;
+        std::uint64_t seed = 42;
+        if (auto p = find_arg(cmd.tokens, 3, "extra")) {
+          auto v = parse_uint(*p);
+          if (!v) return fail(cmd, "bad extra");
+          extra = *v;
+        }
+        if (auto p = find_arg(cmd.tokens, 3, "seed")) {
+          auto v = parse_uint(*p);
+          if (!v) return fail(cmd, "bad seed");
+          seed = *v;
+        }
+        net_ = netsim::Network::random(*n, extra, hosts, seed);
+        if (!net_) return fail(cmd, "random needs >= 2 switches, got " +
+                                        cmd.tokens[2]);
+      } else {
+        return fail(cmd, "unknown topology '" + shape + "'");
+      }
       log_ << "topology " << shape << " with " << net_->hosts().size() << " hosts\n";
       return true;
     }
@@ -363,30 +548,70 @@ private:
     }
     if (word == "switch") {
       if (!require_started(cmd)) return false;
+      auto up = parse_state(cmd.tokens[1]);
+      if (!up) return fail(cmd, "bad switch state '" + cmd.tokens[1] +
+                                    "' (want up|down)");
       auto dpid = parse_uint(cmd.tokens[2]);
       if (!dpid) return fail(cmd, "bad dpid");
-      net_->set_switch_state(DatapathId{*dpid}, cmd.tokens[1] == "up");
+      net_->set_switch_state(DatapathId{*dpid}, *up);
       drain();
       log_ << "switch s" << *dpid << " " << cmd.tokens[1] << "\n";
       return true;
     }
     if (word == "link") {
       if (!require_started(cmd)) return false;
+      auto up = parse_state(cmd.tokens[1]);
+      if (!up) return fail(cmd, "bad link state '" + cmd.tokens[1] +
+                                    "' (want up|down)");
       auto dpid = parse_uint(cmd.tokens[2]);
       auto port = parse_uint(cmd.tokens[3]);
       if (!dpid || !port) return fail(cmd, "bad link endpoint");
       net_->set_link_state({DatapathId{*dpid}, PortNo{static_cast<std::uint16_t>(*port)}},
-                           cmd.tokens[1] == "up");
+                           *up);
       drain();
       log_ << "link s" << *dpid << ":p" << *port << " " << cmd.tokens[1] << "\n";
+      return true;
+    }
+    if (word == "traffic") return handle_traffic(cmd);
+    if (word == "at") {
+      if (!require_started(cmd)) return false;
+      auto secs = parse_uint(cmd.tokens[1]);
+      if (!secs) return fail(cmd, "bad event time");
+      Scenario::Command nested;
+      nested.line = cmd.line;
+      nested.tokens.assign(cmd.tokens.begin() + 2, cmd.tokens.end());
+      nested.raw = cmd.raw;
+      const std::int64_t t_ns =
+          static_cast<std::int64_t>(*secs) * 1'000'000'000;
+      schedule_.emplace(t_ns, std::move(nested));
       return true;
     }
     if (word == "advance") {
       if (!require_started(cmd)) return false;
       auto secs = parse_uint(cmd.tokens[1]);
       if (!secs) return fail(cmd, "bad seconds");
-      net_->advance_time(std::chrono::seconds(*secs));
-      drain();
+      const std::int64_t target_ns =
+          raw(net_->now()) +
+          static_cast<std::int64_t>(*secs) * 1'000'000'000;
+      // Fire due scheduled events in time order (FIFO among equal times),
+      // advancing the clock to each event's moment so flow expiry and the
+      // event interleave exactly as they would in real time. Events whose
+      // time already passed fire immediately at the current clock.
+      while (!schedule_.empty() && schedule_.begin()->first <= target_ns) {
+        auto node = schedule_.extract(schedule_.begin());
+        const std::int64_t now_ns = raw(net_->now());
+        if (node.key() > now_ns) {
+          net_->advance_time(std::chrono::nanoseconds(node.key() - now_ns));
+          drain();
+        }
+        log_ << "t=" << node.key() / 1'000'000'000 << "s fire: ";
+        if (!step(node.mapped())) return false;
+      }
+      const std::int64_t now_ns = raw(net_->now());
+      if (target_ns > now_ns) {
+        net_->advance_time(std::chrono::nanoseconds(target_ns - now_ns));
+        drain();
+      }
       return true;
     }
     if (word == "upgrade") {
@@ -412,18 +637,46 @@ private:
 
     const std::string& what = cmd.tokens[1];
     if (what == "controller") {
-      const bool want_up = cmd.tokens.size() > 2 && cmd.tokens[2] == "up";
-      check.passed = controller_->crashed() != want_up;
+      auto want_up = parse_state(cmd.tokens.size() > 2 ? cmd.tokens[2] : "");
+      if (!want_up)
+        return fail(cmd, "expected 'expect controller (up|down)'");
+      check.passed = controller_->crashed() != *want_up;
       check.detail = controller_->crashed() ? "controller is down" : "controller is up";
     } else if (what == "app") {
       if (!lego_) return fail(cmd, "'expect app' needs architecture legosdn");
       auto idx = parse_uint(cmd.tokens.size() > 2 ? cmd.tokens[2] : "");
       if (!idx || *idx >= lego_->appvisor().entries().size())
         return fail(cmd, "bad app index");
+      const std::string& state = cmd.tokens.size() > 3 ? cmd.tokens[3] : "";
+      if (state != "alive" && state != "down")
+        return fail(cmd, "expected 'expect app <index> (alive|down)'");
       const bool alive = lego_->appvisor().entries()[*idx].domain->alive();
-      const bool want_alive = cmd.tokens.size() > 3 && cmd.tokens[3] == "alive";
-      check.passed = alive == want_alive;
+      check.passed = alive == (state == "alive");
       check.detail = alive ? "app alive" : "app down";
+    } else if (what == "reachable" || what == "unreachable") {
+      if (cmd.tokens.size() < 4)
+        return fail(cmd, "expected 'expect " + what + " <src> <dst>'");
+      auto s = parse_uint(cmd.tokens[2]);
+      auto d = parse_uint(cmd.tokens[3]);
+      if (!s || !d || *s >= net_->hosts().size() || *d >= net_->hosts().size() ||
+          *s == *d) {
+        return fail(cmd, "bad host indices");
+      }
+      // Symbolic trace over the *installed* rules (no counters touched, no
+      // controller involved): does a canonical src->dst packet reach dst?
+      of::PacketHeader hdr;
+      hdr.eth_src = net_->hosts()[*s].mac;
+      hdr.eth_dst = net_->hosts()[*d].mac;
+      hdr.eth_type = of::kEthTypeIpv4;
+      hdr.ip_src = net_->hosts()[*s].ip;
+      hdr.ip_dst = net_->hosts()[*d].ip;
+      hdr.ip_proto = of::kIpProtoTcp;
+      hdr.tp_src = 50000;
+      hdr.tp_dst = 80;
+      const auto tr =
+          invariant::InvariantChecker(*net_).trace(net_->hosts()[*s].attach, hdr);
+      check.passed = tr.delivered_any == (what == "reachable");
+      check.detail = tr.delivered_any ? "delivered" : "not delivered";
     } else {
       // numeric comparisons: expect <metric> [arg] <op> <n>
       std::size_t i = 2;
@@ -453,6 +706,10 @@ private:
         actual = lego_->lego_stats().events_transformed;
       } else if (what == "punts") {
         actual = net_->totals().punted;
+      } else if (what == "resumed") {
+        actual = net_->totals().resumed_delivered;
+      } else if (what == "violations") {
+        actual = invariant::InvariantChecker(*net_).check_basic().size();
       } else {
         return fail(cmd, "unknown metric '" + what + "'");
       }
@@ -476,6 +733,10 @@ private:
   lego::LegoConfig cfg_;
   std::string policy_text_;
   bool lego_mode_ = true;
+  /// Scheduled churn events keyed by absolute sim time (ns); multimap keeps
+  /// same-second events in script order.
+  std::multimap<std::int64_t, Scenario::Command> schedule_;
+  std::uint64_t traffic_seq_ = 0;
   RunResult result_;
   std::ostringstream log_;
 };

@@ -16,33 +16,49 @@
 //   expect delivered 2 >= 2
 //
 // Grammar (one command per line, '#' comments):
-//   topology (linear|ring|star|fat_tree) <n> [hosts_per_switch]
+//   topology (linear|ring|star) <n> [hosts_per_switch]
+//   topology fat_tree <k>          # k even and >= 2
+//   topology random <n> [hosts_per_switch] [extra=<links>] [seed=<s>]
 //   architecture (legosdn|monolithic)
 //   backend (inprocess|process)
 //   netlog (undo-log|delay-buffer)
 //   checkpoint every <k>
 //   limits max_messages=<n> max_faults=<n>
 //   policy <rule...>              # appended to the policy program
-//   app (hub|flooder|learning-switch|router|discovery|firewall [deny_tp=<p>]
-//        |load-balancer)
+//   app (hub|flooder|learning-switch [idle=<secs>]|router|discovery
+//        |firewall [deny_tp=<p>]|load-balancer)
 //   wrap crashy [tp_dst=<p>] [event=<type>] [skip=<n>] [transient]
 //   wrap byzantine (blackhole|loop|dropall) [tp_dst=<p>] [event=<type>]
 //   wrap chatty <burst> [tp_dst=<p>]
 //   start
 //   send <src_host> <dst_host> [tp_dst]
+//   traffic (uniform|stride|incast|hotspot) <n_flows> [repeats] [seed=<s>]
+//   traffic pairs <sweeps>         # every ordered host pair, <sweeps> times
 //   switch (down|up) <dpid>
 //   link (down|up) <dpid> <port>
-//   advance <seconds>
+//   at <t> (switch|link|send|traffic) ...
+//                                  # schedule for absolute sim-second <t>;
+//                                  # fired, in time order, by 'advance'
+//   advance <seconds>              # advances time, firing due 'at' events
 //   upgrade                        # controller restart (legosdn keeps state)
 //   expect controller (up|down)
 //   expect app <index> (alive|down)
+//   expect (reachable|unreachable) <src_host> <dst_host>
+//                                  # symbolic trace over installed rules
 //   expect (delivered <host>|crashes|byzantine|tickets|recoveries|ignored
-//           |transformed|punts) (==|!=|>=|<=|>|<) <n>
+//           |transformed|punts|violations|resumed) (==|!=|>=|<=|>|<) <n>
+//
+// State keywords are strict: anything other than up/down (alive/down for
+// apps) is a line-numbered error, never silently treated as "down".
 //
 // parse() reports syntax errors with line numbers; run() executes and
-// returns per-assertion outcomes.
+// returns per-assertion outcomes plus a final-state capture (controller
+// liveness, invariant violations, dataplane reachability matrix) that the
+// differential fuzzer compares across architectures.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -64,6 +80,22 @@ struct RunResult {
   std::string error;               ///< runtime error (bad host index, ...)
   std::vector<CheckResult> checks;
   std::string transcript;          ///< human-readable execution log
+
+  // Final-state capture, filled once the script reached 'start'. The
+  // reachability matrix is measured by injecting one probe per ordered host
+  // pair through the live dataplane (controller included) after the script
+  // body ran; violations are InvariantChecker::check_basic() over the rules
+  // installed at that point. Two runs of behaviorally equivalent deployments
+  // must agree on all three — that is the differential fuzzer's oracle.
+  bool started = false;
+  bool controller_down = false;
+  std::vector<std::string> violations;
+  std::size_t n_hosts = 0;
+  std::vector<std::uint8_t> reachability; ///< n_hosts * n_hosts, row-major
+
+  bool reachable(std::size_t src, std::size_t dst) const {
+    return reachability[src * n_hosts + dst] != 0;
+  }
 
   std::size_t failed_checks() const {
     std::size_t n = 0;

@@ -120,6 +120,50 @@ TEST(LearningSwitch, ForgetsOnSwitchDownAndPortDown) {
   EXPECT_EQ(ls->lookup(DatapathId{1}, net->hosts()[0].mac), nullptr);
 }
 
+// Regression (found by the scenario fuzzer): when the learned location of a
+// packet's destination is the port the packet just arrived on, the copy is a
+// flood echo from a neighbor that had forgotten the destination. Sending it
+// back out the ingress port re-circulates it and teaches the upstream switch
+// a wrong location for the source — the seed of post-churn forwarding loops.
+TEST(LearningSwitch, DropsFloodEchoInsteadOfUturning) {
+  auto net = netsim::Network::linear(4, 1);
+  ctl::Controller c(*net);
+  auto ls = std::make_shared<LearningSwitch>(30);
+  c.register_app(ls);
+  c.start();
+  c.run();
+
+  // Teach every switch where h4 lives (h4 -> h1 floods the whole line).
+  EXPECT_TRUE(send_and_pump(*net, c, 3, 0));
+
+  // Bounce s4: the app forgets s4's table (SwitchDown) and h4 behind s3's
+  // now-dead port (PortStatus) — but s2 still remembers h4 via s3.
+  net->set_switch_state(DatapathId{4}, false);
+  c.run();
+  net->set_switch_state(DatapathId{4}, true);
+  c.run();
+
+  // h3 -> h4: s3 no longer knows h4 and floods. The copy that reaches s2
+  // matches s2's stale (and still correct) h4-via-s3 entry whose port is the
+  // copy's own ingress — the echo must be dropped, not sent back.
+  EXPECT_TRUE(send_and_pump(*net, c, 2, 3));
+
+  // h3 must still be learned at its true attachment port on s3; pre-fix the
+  // echo returned to s3 and overwrote it with the inter-switch port.
+  const PortNo* h3_at_s3 = ls->lookup(DatapathId{3}, net->hosts()[2].mac);
+  ASSERT_NE(h3_at_s3, nullptr);
+  EXPECT_EQ(*h3_at_s3, PortNo{1});
+
+  // And no switch may hold a U-turn rule (output == ingress port).
+  for (const DatapathId dpid : net->switch_ids()) {
+    for (const auto& e : net->switch_at(dpid)->table().entries()) {
+      if (e.match.wildcarded(of::kWcInPort)) continue;
+      EXPECT_FALSE(e.outputs_to(e.match.in_port))
+          << "U-turn rule at s" << raw(dpid) << ": " << e.match.to_string();
+    }
+  }
+}
+
 TEST(Router, InstallsEndToEndPath) {
   auto net = netsim::Network::linear(4, 1);
   ctl::Controller c(*net);

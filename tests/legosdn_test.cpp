@@ -11,6 +11,7 @@
 #include "helpers.hpp"
 #include "legosdn/delta_debug.hpp"
 #include "legosdn/diversity.hpp"
+#include "invariant/invariant.hpp"
 #include "legosdn/lego_controller.hpp"
 
 namespace legosdn::lego {
@@ -172,6 +173,36 @@ TEST(LegoController, ByzantineBlackHoleIsRolledBack) {
   ASSERT_EQ(c.tickets().count(), 1u);
   EXPECT_NE(c.tickets().all()[0].crash_info.find("byzantine"), std::string::npos);
   // Network still works.
+  EXPECT_TRUE(send_and_pump(*net, c, 0, 1));
+}
+
+// Regression (found by the scenario fuzzer): in delay-buffer mode NetLog
+// holds the whole bundle until commit, so at verification time the written
+// rules are not in the switch tables yet. The checker used to look the rules
+// up in the live tables, find nothing, and wave every byzantine transaction
+// through — poison rules reached the network unchecked. check_flow_mods now
+// verifies against an overlay of the would-be state.
+TEST(LegoController, DelayBufferByzantineBlackHoleIsRolledBack) {
+  auto net = netsim::Network::linear(2, 1);
+  LegoConfig cfg;
+  cfg.netlog.mode = netlog::Mode::kDelayBuffer;
+  LegoController c(*net, cfg);
+  apps::CrashTrigger t = poison_packet_trigger();
+  c.add_app(std::make_shared<apps::ByzantineApp>(std::make_shared<apps::LearningSwitch>(),
+                                                 t, apps::ByzantineApp::Mode::kBlackHole));
+  ASSERT_TRUE(c.start_system());
+  c.run();
+
+  send_and_pump(*net, c, 0, 1);
+  send_and_pump(*net, c, 1, 0);
+
+  send_and_pump(*net, c, 0, 1, 666);
+  EXPECT_EQ(c.lego_stats().byzantine_failures, 1u);
+  EXPECT_EQ(c.lego_stats().txns_rolled_back, 1u);
+  for (const auto& e : net->switch_at(DatapathId{1})->table().entries()) {
+    EXPECT_FALSE(e.outputs_to(PortNo{0xEE00}));
+  }
+  EXPECT_TRUE(invariant::InvariantChecker(*net).check_basic().empty());
   EXPECT_TRUE(send_and_pump(*net, c, 0, 1));
 }
 

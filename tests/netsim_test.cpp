@@ -331,6 +331,76 @@ TEST(Failures, DeadSwitchIgnoresMessages) {
   EXPECT_TRUE(nb.empty());
 }
 
+// Regression: a switch bounce used to force every attached link back up,
+// silently resurrecting links the operator had admin-downed before (or
+// during) the outage.
+TEST(Failures, AdminDownedLinkSurvivesSwitchBounce) {
+  auto net = Network::linear(3, 1); // trunks: s1:3 <-> s2:2, s2:3 <-> s3:2
+  const PortLocator left{DatapathId{2}, PortNo{2}};
+  const PortLocator right{DatapathId{2}, PortNo{3}};
+  net->set_link_state(left, false);  // admin down before the crash
+  net->set_switch_state(DatapathId{2}, false);
+  net->set_link_state(right, false); // ... and during it
+  net->set_switch_state(DatapathId{2}, true);
+  EXPECT_FALSE(net->link_up(left));
+  EXPECT_FALSE(net->link_up(right));
+  // Admin re-enable restores them now that the switch is back.
+  net->set_link_state(left, true);
+  EXPECT_TRUE(net->link_up(left));
+  net->set_link_state(right, true);
+  EXPECT_TRUE(net->link_up(right));
+}
+
+TEST(Failures, LinkStaysDownUntilBothEndpointsRevive) {
+  auto net = Network::linear(2, 1); // trunk: s1:3 <-> s2:2
+  const PortLocator end{DatapathId{1}, PortNo{3}};
+  net->set_switch_state(DatapathId{1}, false);
+  net->set_switch_state(DatapathId{2}, false);
+  net->set_switch_state(DatapathId{1}, true);
+  EXPECT_FALSE(net->link_up(end)); // far endpoint still dead
+  net->set_switch_state(DatapathId{2}, true);
+  EXPECT_TRUE(net->link_up(end));
+}
+
+// Regression: deliveries performed by a controller PacketOut (buffered punt
+// resumes included) never reached Totals, so the reactive forwarding path —
+// exactly what the differential fuzzer compares across architectures — was
+// invisible to delivery accounting.
+TEST(Counters, PacketOutResumeCountsInTotals) {
+  auto net = Network::linear(1, 2); // one switch, hosts on ports 1 and 2
+  std::vector<of::Message> nb;
+  net->set_northbound([&](const of::Message& m) { nb.push_back(m); });
+  auto res = net->inject_from_host(net->hosts()[0].mac, host_packet(*net, 0, 1));
+  EXPECT_EQ(res.outcome, DeliveryResult::Outcome::kPunted);
+  EXPECT_EQ(net->totals().punted, 1u);
+  EXPECT_EQ(net->totals().delivered, 0u);
+  ASSERT_EQ(nb.size(), 1u);
+  const auto* pin = nb[0].get_if<of::PacketIn>();
+  ASSERT_NE(pin, nullptr);
+  // The controller resumes the buffered packet out the destination port.
+  of::PacketOut po;
+  po.dpid = pin->dpid;
+  po.buffer_id = pin->buffer_id;
+  po.in_port = pin->in_port;
+  po.actions = of::output_to(PortNo{2});
+  res = net->send_to_switch({1, po});
+  EXPECT_EQ(res.outcome, DeliveryResult::Outcome::kDelivered);
+  EXPECT_EQ(net->hosts()[1].rx_packets, 1u);
+  EXPECT_EQ(net->totals().resumed_delivered, 1u);
+  EXPECT_EQ(net->totals().delivered, 0u); // first-pass count is untouched
+}
+
+TEST(Topology, FatTreeRejectsInvalidK) {
+  EXPECT_EQ(Network::fat_tree(3), nullptr);
+  EXPECT_EQ(Network::fat_tree(0), nullptr);
+  EXPECT_NE(Network::fat_tree(2), nullptr);
+}
+
+TEST(Topology, RandomRejectsTooFewSwitches) {
+  EXPECT_EQ(Network::random(1, 0, 1, 7), nullptr);
+  EXPECT_NE(Network::random(2, 0, 1, 7), nullptr);
+}
+
 TEST(Timeouts, AdvanceTimeExpiresFlows) {
   auto net = Network::linear(1, 2);
   std::vector<of::Message> nb;

@@ -1,0 +1,76 @@
+// Differential scenario fuzzing: every seeded random churn script must
+// converge identically under LegoSDN-with-faults and a fault-free monolithic
+// reference. LEGOSDN_FUZZ_SCRIPTS overrides the batch size (CI smoke uses a
+// small value; the default exercises 200 seeds).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "scenario/fuzz.hpp"
+
+namespace legosdn::scenario {
+namespace {
+
+std::size_t batch_size() {
+  if (const char* env = std::getenv("LEGOSDN_FUZZ_SCRIPTS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 200;
+}
+
+constexpr std::uint64_t kBaseSeed = 0xC0FFEE00;
+
+TEST(Fuzz, GeneratorIsDeterministic) {
+  for (std::uint64_t seed : {0ULL, 7ULL, 123456789ULL}) {
+    const auto a = generate_scenario({.seed = seed});
+    const auto b = generate_scenario({.seed = seed});
+    EXPECT_EQ(a.lego_script, b.lego_script);
+    EXPECT_EQ(a.reference_script, b.reference_script);
+    EXPECT_EQ(a.summary, b.summary);
+  }
+}
+
+TEST(Fuzz, GeneratedScriptsParse) {
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const auto g = generate_scenario({.seed = kBaseSeed + i});
+    const auto lego = Scenario::parse(g.lego_script);
+    EXPECT_TRUE(lego.ok()) << (lego.ok() ? "" : lego.error().to_string())
+                           << "\n" << g.lego_script;
+    const auto ref = Scenario::parse(g.reference_script);
+    EXPECT_TRUE(ref.ok()) << (ref.ok() ? "" : ref.error().to_string())
+                          << "\n" << g.reference_script;
+    // The reference must be wrapper-free and monolithic.
+    EXPECT_EQ(g.reference_script.find("wrap "), std::string::npos);
+    EXPECT_NE(g.reference_script.find("architecture monolithic"),
+              std::string::npos);
+    EXPECT_NE(g.lego_script.find("architecture legosdn"), std::string::npos);
+  }
+}
+
+TEST(Fuzz, DifferentialConvergence) {
+  const std::size_t n = batch_size();
+  std::size_t divergences = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const DiffResult r = run_differential({.seed = kBaseSeed + i});
+    if (!r.ok) {
+      divergences += 1;
+      ADD_FAILURE() << "seed " << (kBaseSeed + i) << " ["
+                    << r.scenario.summary << "]\n" << r.report();
+    }
+  }
+  EXPECT_EQ(divergences, 0u) << divergences << " of " << n
+                             << " scripts diverged";
+}
+
+TEST(Fuzz, DifferentialRunIsDeterministic) {
+  const DiffResult a = run_differential({.seed = kBaseSeed + 1});
+  const DiffResult b = run_differential({.seed = kBaseSeed + 1});
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.lego.transcript, b.lego.transcript);
+  EXPECT_EQ(a.reference.transcript, b.reference.transcript);
+  EXPECT_EQ(a.lego.reachability, b.lego.reachability);
+}
+
+} // namespace
+} // namespace legosdn::scenario

@@ -1,0 +1,277 @@
+// Experiment C12: sharded dispatch throughput — events/sec and completion
+// latency of the LegoSDN pipeline at 1, 2 and 4 shard lanes (DESIGN.md §4.5).
+//
+// Three workloads over a fat-tree(4), thousands of distinct L4 flows injected
+// as packet-ins round-robin across every switch:
+//
+//   cpu-bound     — the handler does a fixed amount of in-core work (hash
+//                   mixing) per event. On a multi-core host this is where
+//                   sharding shows raw parallel speedup; on a single-core CI
+//                   container the lanes time-slice one CPU and the row mostly
+//                   measures dispatch overhead.
+//   blocking-50us — the handler blocks 50us per event, modeling the external
+//                   calls a real SDN-App makes (policy DBs, REST backends,
+//                   the paper's process-isolated stubs with their RPC round
+//                   trips). Lanes overlap the stalls, so the speedup is real
+//                   even on one CPU — this is the headline row, and the one
+//                   scripts/check_bench.py gates.
+//   blocking+barriers — same, with 1% cross-switch (global) events forcing
+//                   the stop-the-world barrier protocol; measures what the
+//                   ordering guarantee costs.
+//
+// Latency semantics: sharded rows report submit-to-completion from the
+// dispatcher (includes lane queueing within an injection batch); the serial
+// row times each dispatch individually (there is no queue wait to speak of —
+// the same thread injects and dispatches). Events are injected in batches of
+// 256 with a drain between batches so queueing stays bounded in both modes.
+//
+// JSON: per-row events/sec + p50/p99, plus a top-level "headline" object
+// (blocking-50us speedup at 4 shards vs 1) that the CI regression gate
+// compares against the committed BENCH_throughput.json baseline.
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/bytes.hpp"
+#include "common/stats.hpp"
+#include "controller/app.hpp"
+#include "legosdn/lego_controller.hpp"
+#include "netsim/network.hpp"
+
+namespace {
+
+using namespace legosdn;
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  return a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2));
+}
+
+/// Dpid-partitionable bench app: per-switch event counters, a configurable
+/// per-event cost (spin iterations and/or a blocking sleep), and one exact
+/// flow-mod emitted per packet-in so every event drives a NetLog transaction.
+class BenchApp : public ctl::App {
+public:
+  BenchApp(std::uint64_t spin_iters, std::uint64_t sleep_us)
+      : spin_iters_(spin_iters), sleep_us_(sleep_us) {}
+
+  std::string name() const override { return "bench-app"; }
+
+  std::vector<ctl::EventType> subscriptions() const override {
+    return {ctl::EventType::kPacketIn};
+  }
+
+  ctl::AppPtr clone() const override {
+    return std::make_shared<BenchApp>(spin_iters_, sleep_us_);
+  }
+
+  ctl::Disposition handle_event(const ctl::Event& e, ctl::ServiceApi& api) override {
+    const auto* pin = std::get_if<of::PacketIn>(&e);
+    if (!pin) return ctl::Disposition::kContinue;
+
+    std::uint64_t acc = pin->packet.trace_tag;
+    for (std::uint64_t i = 0; i < spin_iters_; ++i) acc = mix(acc, i);
+    sink_ = acc; // keep the spin loop observable
+    if (sleep_us_ > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep_us_));
+    }
+    counters_[raw(pin->dpid)] += 1;
+
+    if (raw(pin->dpid) != 0) { // global markers carry dpid 0: no emission
+      of::FlowMod mod;
+      mod.dpid = pin->dpid;
+      mod.match = of::Match::exact(pin->in_port, pin->packet.hdr);
+      mod.actions = of::output_to(PortNo{1});
+      api.send({api.next_xid(), mod});
+    }
+    return ctl::Disposition::kContinue;
+  }
+
+  std::vector<std::uint8_t> snapshot_state() const override {
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(counters_.size()));
+    for (const auto& [d, n] : counters_) {
+      w.u64(d);
+      w.u64(n);
+    }
+    return std::move(w).take();
+  }
+  void restore_state(std::span<const std::uint8_t> state) override {
+    counters_.clear();
+    ByteReader r(state);
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+      const std::uint64_t d = r.u64();
+      counters_[d] = r.u64();
+    }
+  }
+  void reset() override { counters_.clear(); }
+
+private:
+  std::map<std::uint64_t, std::uint64_t> counters_;
+  std::uint64_t spin_iters_;
+  std::uint64_t sleep_us_;
+  volatile std::uint64_t sink_ = 0;
+};
+
+struct Workload {
+  const char* name;
+  std::uint64_t spin_iters;
+  std::uint64_t sleep_us;
+  std::uint64_t global_every; ///< 0 = never; else 1 barrier per N events
+};
+
+struct Cell {
+  double events_per_sec = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+of::PacketIn flow_event(const std::vector<DatapathId>& ids, std::uint64_t i,
+                        std::uint64_t global_every) {
+  of::PacketIn pin;
+  const bool global = global_every && i % global_every == global_every - 1;
+  pin.dpid = global ? DatapathId{0} : ids[i % ids.size()];
+  pin.in_port = PortNo{static_cast<std::uint16_t>(1 + i % 4)};
+  pin.packet.hdr.eth_src = MacAddress::from_uint64(0xA00000 + i);
+  pin.packet.hdr.eth_dst = MacAddress::from_uint64(0xB00000 + i);
+  pin.packet.hdr.eth_type = of::kEthTypeIpv4;
+  pin.packet.hdr.ip_proto = of::kIpProtoTcp;
+  pin.packet.hdr.tp_src = static_cast<std::uint16_t>(1024 + i % 40000);
+  pin.packet.hdr.tp_dst = static_cast<std::uint16_t>(i % 40000);
+  pin.packet.size_bytes = 100;
+  pin.packet.trace_tag = i;
+  return pin;
+}
+
+Cell run_cell(const Workload& w, std::size_t shards, std::size_t events) {
+  auto net = netsim::Network::fat_tree(4);
+  lego::LegoConfig cfg;
+  cfg.dispatch.shards = shards;
+  cfg.checkpoint_every = 16; // realistic cadence; per-event would swamp dispatch
+  cfg.byzantine_detection = false;
+  lego::LegoController c(*net, cfg);
+  c.add_app(std::make_shared<BenchApp>(w.spin_iters, w.sleep_us));
+  c.start_system();
+  c.run();
+
+  const auto ids = net->switch_ids();
+  constexpr std::size_t kBatch = 256;
+
+  // Warm: one batch outside the clock (page in lanes, stripes, app clones).
+  for (std::uint64_t i = 0; i < kBatch; ++i)
+    c.inject_event(ctl::Event{flow_event(ids, 1'000'000 + i, w.global_every)});
+  while (c.run() > 0) {
+  }
+
+  Summary serial_lat;
+  bench::Stopwatch total;
+  total.start();
+  if (shards <= 1) {
+    for (std::uint64_t i = 0; i < events; ++i) {
+      c.inject_event(ctl::Event{flow_event(ids, i, w.global_every)});
+      if ((i + 1) % kBatch == 0 || i + 1 == events) {
+        bench::Stopwatch sw;
+        for (;;) {
+          sw.start();
+          if (!c.process_one()) break;
+          serial_lat.add(sw.elapsed_us());
+        }
+      }
+    }
+  } else {
+    for (std::uint64_t i = 0; i < events; ++i) {
+      c.inject_event(ctl::Event{flow_event(ids, i, w.global_every)});
+      if ((i + 1) % kBatch == 0) c.run();
+    }
+    c.run();
+  }
+  const double elapsed_us = total.elapsed_us();
+
+  Cell cell;
+  cell.events_per_sec = 1e6 * static_cast<double>(events) / elapsed_us;
+  if (shards <= 1) {
+    cell.p50_us = serial_lat.percentile(50);
+    cell.p99_us = serial_lat.percentile(99);
+  } else {
+    const auto st = c.dispatch_engine()->stats();
+    cell.p50_us = st.latency_us.percentile(50);
+    cell.p99_us = st.latency_us.percentile(99);
+  }
+  return cell;
+}
+
+} // namespace
+
+int main() {
+  using namespace legosdn;
+
+  const std::size_t events = bench::smoke() ? 2'000 : 20'000;
+  const std::vector<std::size_t> shard_counts = {1, 2, 4};
+  const std::vector<Workload> workloads = {
+      {"cpu-bound", 2'000, 0, 0},
+      {"blocking-50us", 0, 50, 0},
+      {"blocking+barriers", 0, 50, 100},
+  };
+
+  bench::section("sharded dispatch throughput (fat-tree(4), " +
+                 std::to_string(events) + " events)");
+  bench::note("host_cpus=" + std::to_string(std::thread::hardware_concurrency()) +
+              " — blocking rows overlap handler stalls and speed up even on "
+              "one CPU; the cpu-bound row needs real cores to scale");
+
+  bench::Table table({"workload", "shards", "events/s", "p50_us", "p99_us",
+                      "speedup"});
+  bench::Json j;
+  j.begin_obj();
+  j.kv("bench", std::string("throughput"));
+  j.kv("topology", std::string("fat-tree(4)"));
+  j.kv("events", static_cast<std::uint64_t>(events));
+  j.kv("host_cpus",
+       static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  j.begin_arr("rows");
+
+  double headline_serial = 0, headline_4shard = 0;
+  for (const auto& w : workloads) {
+    double serial_eps = 0;
+    for (std::size_t shards : shard_counts) {
+      const Cell cell = run_cell(w, shards, events);
+      if (shards == 1) serial_eps = cell.events_per_sec;
+      const double speedup =
+          serial_eps > 0 ? cell.events_per_sec / serial_eps : 0;
+      if (std::string(w.name) == "blocking-50us") {
+        if (shards == 1) headline_serial = cell.events_per_sec;
+        if (shards == 4) headline_4shard = cell.events_per_sec;
+      }
+      table.row({w.name, std::to_string(shards),
+                 bench::fmt(cell.events_per_sec, 0), bench::fmt(cell.p50_us),
+                 bench::fmt(cell.p99_us), bench::fmt(speedup)});
+      j.begin_obj();
+      j.kv("workload", std::string(w.name));
+      j.kv("shards", static_cast<std::uint64_t>(shards));
+      j.kv("events_per_sec", cell.events_per_sec, 1);
+      j.kv("p50_us", cell.p50_us);
+      j.kv("p99_us", cell.p99_us);
+      j.kv("speedup_vs_serial", speedup);
+      j.end_obj();
+    }
+  }
+  j.end_arr();
+
+  const double headline_speedup =
+      headline_serial > 0 ? headline_4shard / headline_serial : 0;
+  j.begin_obj("headline");
+  j.kv("metric", std::string("blocking-50us events/sec, 4 shards vs 1"));
+  j.kv("speedup", headline_speedup);
+  j.kv("serial_events_per_sec", headline_serial, 1);
+  j.kv("sharded_events_per_sec", headline_4shard, 1);
+  j.end_obj();
+  j.end_obj();
+
+  table.print();
+  bench::note("headline: blocking-50us 4-shard speedup = " +
+              bench::fmt(headline_speedup) + "x");
+  bench::emit_json(j);
+  return 0;
+}

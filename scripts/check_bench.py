@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Bench output gate: structural checks for every BENCH_*.json, plus a
+regression gate for benches that declare a headline metric.
+
+Usage: check_bench.py [--baseline-dir DIR] [--max-regression N] PATH...
+
+PATH is a JSON file or a directory (scanned for BENCH_*.json). Every file
+must be a non-empty JSON object; a "rows" key, when present, must be a
+non-empty list of objects. Files carrying a top-level "headline" object (the
+convention for benches whose trajectory CI tracks) must have a positive
+numeric headline.speedup; when a committed baseline of the same filename
+exists in --baseline-dir, the fresh speedup must not fall more than
+--max-regression times below it. The floor is deliberately loose — CI runners
+vary wildly — so only an order-of-magnitude collapse (a serialization bug, a
+disabled shard pool) trips it, not runner noise.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_structure(path: Path, doc) -> None:
+    if not isinstance(doc, dict) or not doc:
+        fail(f"{path}: expected a non-empty JSON object")
+    rows = doc.get("rows")
+    if rows is not None:
+        if not isinstance(rows, list) or not rows:
+            fail(f"{path}: 'rows' must be a non-empty list")
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict) or not row:
+                fail(f"{path}: rows[{i}] must be a non-empty object")
+
+
+def headline_speedup(path: Path, doc) -> float | None:
+    headline = doc.get("headline")
+    if headline is None:
+        return None
+    if not isinstance(headline, dict):
+        fail(f"{path}: 'headline' must be an object")
+    speedup = headline.get("speedup")
+    if not isinstance(speedup, (int, float)) or speedup <= 0:
+        fail(f"{path}: headline.speedup must be a positive number, got {speedup!r}")
+    return float(speedup)
+
+
+def check_file(path: Path, baseline_dir: Path, max_regression: float) -> str:
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    check_structure(path, doc)
+
+    speedup = headline_speedup(path, doc)
+    if speedup is None:
+        return f"{path}: structure ok (no headline)"
+
+    base_path = baseline_dir / path.name
+    if not base_path.is_file():
+        return f"{path}: headline speedup {speedup:.2f}x (no baseline at {base_path})"
+    base_doc = json.loads(base_path.read_text())
+    base = headline_speedup(base_path, base_doc)
+    if base is None:
+        return f"{path}: headline speedup {speedup:.2f}x (baseline has no headline)"
+    floor = base / max_regression
+    if speedup < floor:
+        fail(
+            f"{path}: headline speedup {speedup:.2f}x regressed below "
+            f"{floor:.2f}x (baseline {base:.2f}x / {max_regression:g})"
+        )
+    return f"{path}: headline speedup {speedup:.2f}x >= floor {floor:.2f}x (baseline {base:.2f}x)"
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("paths", nargs="+", type=Path)
+    ap.add_argument("--baseline-dir", type=Path, default=Path("."))
+    ap.add_argument("--max-regression", type=float, default=5.0)
+    args = ap.parse_args()
+
+    files: list[Path] = []
+    for p in args.paths:
+        if p.is_dir():
+            files.extend(sorted(p.glob("BENCH_*.json")))
+        else:
+            files.append(p)
+    if not files:
+        fail(f"no bench JSON files found under {[str(p) for p in args.paths]}")
+
+    for f in files:
+        print(check_file(f, args.baseline_dir, args.max_regression))
+    print(f"check_bench: {len(files)} file(s) ok")
+
+
+if __name__ == "__main__":
+    main()

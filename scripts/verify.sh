@@ -10,10 +10,19 @@
 #                (CI sets ccache); out-of-source in build-ci/ when any of
 #                those is set, the plain `default` preset otherwise.
 #   asan         the asan preset (ASan+UBSan) build + ctest.
+#   tsan         the tsan preset (ThreadSanitizer) build, then the
+#                concurrency-relevant test binaries run directly (controller,
+#                legosdn, checkpoint, netlog, sharded dispatch) — the gate
+#                for the sharded parallel event pipeline. Honours
+#                LEGOSDN_SHARD_DIFF_SEEDS (default 10 here: TSan is ~15x
+#                slower and the differential runs at 50 seeds in plain ctest).
 #   bench-smoke  run the JSON-emitting benches (checkpoint, isolation
-#                latency, flow table, netlog, micro) with tiny iteration
-#                counts (LEGOSDN_BENCH_SMOKE=1), assert exit 0 and that
-#                each emits parseable JSON into bench-out/.
+#                latency, flow table, netlog, micro, throughput) with tiny
+#                iteration counts (LEGOSDN_BENCH_SMOKE=1), assert exit 0 and
+#                that each emits parseable JSON into bench-out/, then gate
+#                them with scripts/check_bench.py against the committed
+#                BENCH_*.json baselines (order-of-magnitude floor on
+#                headline speedups).
 #   fuzz-smoke   run the differential scenario fuzzer over a reduced seed
 #                batch (LEGOSDN_FUZZ_SCRIPTS, default 20): every generated
 #                churn script must converge identically under LegoSDN-with-
@@ -47,10 +56,27 @@ cmd_asan() {
   ctest --preset asan
 }
 
+cmd_tsan() {
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$(nproc)"
+  # GTest registers Suite.Test names with ctest, so running the binaries
+  # directly is both faster and gives one TSan report per suite. These are
+  # the suites that exercise the shard lanes, stripe locks and the
+  # checkpoint worker — the code TSan exists to police.
+  local t
+  for t in controller_test sharded_dispatch_test legosdn_test \
+           checkpoint_test checkpoint_pipeline_test netlog_test; do
+    echo "== tsan: $t =="
+    TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    LEGOSDN_SHARD_DIFF_SEEDS="${LEGOSDN_SHARD_DIFF_SEEDS:-10}" \
+      "./build-tsan/tests/$t" --gtest_brief=1
+  done
+}
+
 cmd_bench_smoke() {
   local dir="build"
   [ -d build-ci ] && dir="build-ci"
-  local benches="bench_checkpoint bench_isolation_latency bench_flow_table bench_netlog bench_micro"
+  local benches="bench_checkpoint bench_isolation_latency bench_flow_table bench_netlog bench_micro bench_throughput"
   # shellcheck disable=SC2086
   cmake --build "$dir" -j "$(nproc)" --target $benches
   mkdir -p bench-out
@@ -58,14 +84,8 @@ cmd_bench_smoke() {
   for bench in $benches; do
     local json="bench-out/BENCH_${bench#bench_}.json"
     LEGOSDN_BENCH_SMOKE=1 LEGOSDN_BENCH_JSON="$json" "./$dir/bench/$bench"
-    python3 -c "
-import json, sys
-with open('$json') as f:
-    doc = json.load(f)
-assert isinstance(doc, dict) and doc, '$json: expected a non-empty JSON object'
-print('$json: ok,', len(json.dumps(doc)), 'bytes')
-"
   done
+  python3 scripts/check_bench.py bench-out --baseline-dir .
 }
 
 cmd_fuzz_smoke() {
@@ -89,6 +109,7 @@ cmd_format() {
 case "${1:-all}" in
   build)       cmd_build ;;
   asan)        cmd_asan ;;
+  tsan)        cmd_tsan ;;
   bench-smoke) cmd_bench_smoke ;;
   fuzz-smoke)  cmd_fuzz_smoke ;;
   format)      cmd_format ;;
@@ -99,7 +120,7 @@ case "${1:-all}" in
     fi
     ;;
   *)
-    echo "unknown command: $1 (expected build|asan|bench-smoke|fuzz-smoke|format)" >&2
+    echo "unknown command: $1 (expected build|asan|tsan|bench-smoke|fuzz-smoke|format)" >&2
     exit 2
     ;;
 esac

@@ -35,6 +35,12 @@ public:
   void restore_state(std::span<const std::uint8_t> state) override;
   void reset() override { table_.clear(); }
 
+  /// MAC-table state is keyed by (dpid, mac) — cleanly dpid-partitionable,
+  /// so the sharded dispatcher may run one clone per shard.
+  ctl::AppPtr clone() const override {
+    return std::make_shared<LearningSwitch>(idle_timeout_, priority_);
+  }
+
   /// Number of learned (switch, MAC) entries — visible app state for tests.
   std::size_t learned() const noexcept { return table_.size(); }
   const PortNo* lookup(DatapathId dpid, const MacAddress& mac) const;

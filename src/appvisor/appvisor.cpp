@@ -2,7 +2,8 @@
 
 namespace legosdn::appvisor {
 
-AppId AppVisor::add_app(ctl::AppPtr app, Backend backend, ProcessDomain::Config cfg) {
+AppId AppVisor::add_app(ctl::AppPtr app, Backend backend, ProcessDomain::Config cfg,
+                        int shard) {
   DomainPtr domain;
   switch (backend) {
     case Backend::kInProcess:
@@ -12,15 +13,16 @@ AppId AppVisor::add_app(ctl::AppPtr app, Backend backend, ProcessDomain::Config 
       domain = std::make_unique<ProcessDomain>(std::move(app), cfg);
       break;
   }
-  return add_domain(std::move(domain));
+  return add_domain(std::move(domain), shard);
 }
 
-AppId AppVisor::add_domain(DomainPtr domain) {
+AppId AppVisor::add_domain(DomainPtr domain, int shard) {
   AppEntry e;
   e.id = AppId{static_cast<std::uint32_t>(entries_.size() + 1)};
   for (ctl::EventType t : domain->subscriptions())
     e.subscribed[static_cast<std::size_t>(t)] = true;
   e.domain = std::move(domain);
+  e.shard = shard;
   entries_.push_back(std::move(e));
   return entries_.back().id;
 }

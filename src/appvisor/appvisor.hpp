@@ -7,6 +7,8 @@
 // per-app failure bookkeeping. LegoController consults it to drive dispatch.
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "appvisor/inprocess_domain.hpp"
@@ -20,10 +22,20 @@ enum class Backend {
   kProcess,   ///< real fork()ed stub over UDP (the paper's prototype)
 };
 
+/// Shard tag for apps not pinned to one dispatch lane.
+inline constexpr int kAllShards = -1;
+
 struct AppEntry {
   AppId id{};
   DomainPtr domain;
   bool subscribed[ctl::kEventTypeCount] = {};
+
+  /// Sharded dispatch: >= 0 pins this entry (a per-shard clone) to one lane;
+  /// kAllShards means any lane may deliver, serialized through `mu`.
+  int shard = kAllShards;
+  /// Per-entry delivery lock for kAllShards entries under sharded dispatch
+  /// (unique_ptr keeps AppEntry movable). Unused by serial dispatch.
+  std::unique_ptr<std::mutex> mu = std::make_unique<std::mutex>();
 
   // bookkeeping
   std::uint64_t events_delivered = 0;
@@ -37,12 +49,13 @@ public:
   AppVisor(const AppVisor&) = delete;
   AppVisor& operator=(const AppVisor&) = delete;
 
-  /// Register an app under the chosen isolation backend.
+  /// Register an app under the chosen isolation backend, optionally pinned
+  /// to one dispatch shard (a per-shard clone).
   AppId add_app(ctl::AppPtr app, Backend backend,
-                ProcessDomain::Config cfg = {});
+                ProcessDomain::Config cfg = {}, int shard = kAllShards);
 
   /// Register a pre-built domain (used by diversity/clone wrappers).
-  AppId add_domain(DomainPtr domain);
+  AppId add_domain(DomainPtr domain, int shard = kAllShards);
 
   /// Start every domain. Fails fast on the first domain that cannot start.
   Status start_all();

@@ -3,6 +3,7 @@
 namespace legosdn::checkpoint {
 
 void EventLog::append(AppId app, std::uint64_t seq, ctl::Event event) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto& q = by_app_[app];
   q.push_back({seq, std::move(event)});
   while (q.size() > keep_) q.pop_front();
@@ -10,6 +11,7 @@ void EventLog::append(AppId app, std::uint64_t seq, ctl::Event event) {
 
 std::vector<LoggedEvent> EventLog::range(AppId app, std::uint64_t from_seq,
                                          std::uint64_t to_seq) const {
+  std::lock_guard<std::mutex> lk(mu_);
   std::vector<LoggedEvent> out;
   auto it = by_app_.find(app);
   if (it == by_app_.end()) return out;
@@ -20,6 +22,7 @@ std::vector<LoggedEvent> EventLog::range(AppId app, std::uint64_t from_seq,
 }
 
 void EventLog::truncate(AppId app, std::uint64_t before_seq) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = by_app_.find(app);
   if (it == by_app_.end()) return;
   auto& q = it->second;
@@ -27,6 +30,7 @@ void EventLog::truncate(AppId app, std::uint64_t before_seq) {
 }
 
 std::size_t EventLog::count(AppId app) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = by_app_.find(app);
   return it == by_app_.end() ? 0 : it->second.size();
 }

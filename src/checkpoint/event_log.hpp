@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -37,9 +38,15 @@ public:
   void truncate(AppId app, std::uint64_t before_seq);
 
   std::size_t count(AppId app) const;
-  void clear(AppId app) { by_app_.erase(app); }
+  void clear(AppId app) {
+    std::lock_guard<std::mutex> lk(mu_);
+    by_app_.erase(app);
+  }
 
 private:
+  /// Shard lanes append for their own apps concurrently; one mutex is fine —
+  /// append is O(1) and recovery-time reads are rare.
+  mutable std::mutex mu_;
   std::unordered_map<AppId, std::deque<LoggedEvent>> by_app_;
   std::size_t keep_;
 };

@@ -50,6 +50,13 @@ public:
     return s[lo] * (1.0 - frac) + s[hi] * frac;
   }
 
+  /// Pool another accumulator's samples into this one (e.g. combining
+  /// per-shard latency series into a whole-pipeline distribution).
+  void merge(const Summary& o) {
+    samples_.insert(samples_.end(), o.samples_.begin(), o.samples_.end());
+    sum_ += o.sum_;
+  }
+
   void clear() {
     samples_.clear();
     sum_ = 0;

@@ -69,6 +69,13 @@ public:
 
   /// Reboot: discard all state, as a process restart without restore would.
   virtual void reset() {}
+
+  /// Fresh instance with empty state, or nullptr if this app's state is not
+  /// partitionable by switch. Apps whose state is keyed per-dpid (learning
+  /// switches) return a clone so the sharded dispatcher can run one instance
+  /// per shard with no shared state; apps with cross-switch state return
+  /// nullptr and are serialized by the dispatcher instead.
+  virtual std::shared_ptr<App> clone() const { return nullptr; }
 };
 
 using AppPtr = std::shared_ptr<App>;

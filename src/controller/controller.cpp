@@ -28,12 +28,36 @@ void Controller::start() {
 }
 
 void Controller::inject_event(Event e) {
+  if (engine_) {
+    // Engine mode never marks the controller crashed (the LegoSDN layer
+    // absorbs app crashes), so no drop path here.
+    engine_->submit(std::move(e));
+    return;
+  }
   if (crashed_) {
     // A down controller has no OF connections; arriving messages are lost.
     stats_.events_dropped += 1;
     return;
   }
   queue_.push_back(std::move(e));
+}
+
+void Controller::install_dispatch_engine(ShardedDispatcher::Config cfg,
+                                         ShardedDispatcher::Sink sink) {
+  remove_dispatch_engine();
+  engine_run_mark_ = 0;
+  // Hand queued events over so none are stranded in the serial queue.
+  engine_ = std::make_unique<ShardedDispatcher>(cfg, std::move(sink));
+  while (!queue_.empty()) {
+    engine_->submit(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+}
+
+void Controller::remove_dispatch_engine() {
+  if (!engine_) return;
+  engine_->drain();
+  engine_.reset();
 }
 
 void Controller::on_northbound(const of::Message& msg) {
@@ -66,7 +90,7 @@ void Controller::on_switch_state(DatapathId dpid, bool up) {
 }
 
 bool Controller::process_one() {
-  if (crashed_ || queue_.empty()) return false;
+  if (engine_ || crashed_ || queue_.empty()) return false;
   Event e = std::move(queue_.front());
   queue_.pop_front();
   dispatch(std::move(e));
@@ -74,6 +98,13 @@ bool Controller::process_one() {
 }
 
 std::size_t Controller::run(std::size_t max_events) {
+  if (engine_) {
+    engine_->drain();
+    const std::uint64_t done = engine_->stats().dispatched;
+    const std::uint64_t n = done - engine_run_mark_;
+    engine_run_mark_ = done;
+    return static_cast<std::size_t>(n);
+  }
   std::size_t n = 0;
   while (n < max_events && process_one()) ++n;
   return n;

@@ -10,12 +10,14 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "controller/app.hpp"
+#include "controller/sharded_dispatch.hpp"
 #include "netsim/network.hpp"
 
 namespace legosdn::ctl {
@@ -44,15 +46,33 @@ public:
   /// Announce every existing switch to the apps (SwitchUp events).
   void start();
 
-  /// Queue an event as if it arrived from the network.
+  /// Queue an event as if it arrived from the network. With a dispatch
+  /// engine installed the event is submitted to its shard lane instead
+  /// (and may start executing immediately on a lane thread).
   void inject_event(Event e);
 
   /// Process one queued event through the dispatch chain.
   /// Returns false when the queue is empty or the controller is down.
+  /// Engine mode has no serial queue; this always returns false there.
   bool process_one();
 
   /// Drain the queue (bounded by max_events). Returns events processed.
+  /// Engine mode ignores max_events: it waits for the shard lanes to
+  /// quiesce and returns how many events they completed since the last run().
   std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  // --- parallel dispatch engine (sharded_dispatch.hpp) ---
+  /// Route subsequent events through a sharded dispatcher. `sink` executes on
+  /// lane threads and must be thread-safe; events for the same dpid stay on
+  /// one lane, cross-switch events arrive with shard == ShardRouter::kGlobal
+  /// under a stop-the-world barrier. Call before start().
+  void install_dispatch_engine(ShardedDispatcher::Config cfg,
+                               ShardedDispatcher::Sink sink);
+
+  /// Drain and tear down the engine; events queue serially again.
+  void remove_dispatch_engine();
+
+  ShardedDispatcher* dispatch_engine() noexcept { return engine_.get(); }
 
   // --- fate-sharing semantics of the monolithic architecture ---
   bool crashed() const noexcept { return crashed_; }
@@ -91,6 +111,8 @@ protected:
   netsim::Network& net_;
   std::vector<AppRecord> apps_;
   std::deque<Event> queue_;
+  std::unique_ptr<ShardedDispatcher> engine_;
+  std::uint64_t engine_run_mark_ = 0; ///< dispatched count at last run()
   bool crashed_ = false;
   std::string crash_reason_;
   std::uint32_t next_xid_ = 1;

@@ -1,0 +1,17 @@
+#include "controller/shard_router.hpp"
+
+namespace legosdn::ctl {
+
+std::size_t ShardRouter::route(const Event& e) const {
+  if (shards_ == 1) return 0;
+  if (const auto* ld = std::get_if<LinkDown>(&e)) {
+    const std::size_t a = shard_of(ld->a.dpid);
+    const std::size_t b = shard_of(ld->b.dpid);
+    return a == b ? a : kGlobal;
+  }
+  const DatapathId d = event_dpid(e);
+  if (raw(d) == 0) return kGlobal;
+  return shard_of(d);
+}
+
+} // namespace legosdn::ctl

@@ -1,0 +1,152 @@
+#include "controller/sharded_dispatch.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace legosdn::ctl {
+
+namespace {
+
+double us_since(std::chrono::steady_clock::time_point start) {
+  const auto dt = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double, std::micro>(dt).count();
+}
+
+} // namespace
+
+ShardedDispatcher::ShardedDispatcher(Config cfg, Sink sink)
+    : cfg_(cfg), sink_(std::move(sink)), router_(cfg.shards) {
+  lanes_.reserve(router_.shards());
+  for (std::size_t i = 0; i < router_.shards(); ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    lanes_[i]->thread = std::thread([this, i] { run(*lanes_[i], i); });
+  }
+}
+
+ShardedDispatcher::~ShardedDispatcher() {
+  for (auto& lane : lanes_) {
+    {
+      std::lock_guard<std::mutex> lk(lane->mu);
+      lane->stop = true;
+    }
+    lane->cv.notify_all();
+  }
+  for (auto& lane : lanes_) {
+    if (lane->thread.joinable()) lane->thread.join();
+  }
+}
+
+void ShardedDispatcher::submit(Event e) {
+  const auto now = cfg_.measure_latency ? std::chrono::steady_clock::now()
+                                        : std::chrono::steady_clock::time_point{};
+  const std::size_t target = router_.route(e);
+
+  std::lock_guard<std::mutex> submit_lk(submit_mu_);
+  if (target != ShardRouter::kGlobal) {
+    inflight_.fetch_add(1, std::memory_order_relaxed);
+    Lane& lane = *lanes_[target];
+    {
+      std::lock_guard<std::mutex> lk(lane.mu);
+      lane.queue.push_back(Item{std::move(e), nullptr, now});
+      lane.peak = std::max(lane.peak, lane.queue.size());
+    }
+    lane.cv.notify_one();
+    return;
+  }
+
+  // Global event: one barrier token per lane, landed atomically (we hold
+  // submit_mu_, so no other submission can slip between two lanes' tokens).
+  inflight_.fetch_add(lanes_.size(), std::memory_order_relaxed);
+  auto barrier = std::make_shared<BarrierState>();
+  barrier->remaining = lanes_.size();
+  barrier->event = std::move(e);
+  barrier->submitted_at = now;
+  for (auto& lane : lanes_) {
+    {
+      std::lock_guard<std::mutex> lk(lane->mu);
+      lane->queue.push_back(Item{Event{}, barrier, now});
+      lane->peak = std::max(lane->peak, lane->queue.size());
+    }
+    lane->cv.notify_one();
+  }
+}
+
+void ShardedDispatcher::run(Lane& lane, std::size_t idx) {
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lk(lane.mu);
+      lane.cv.wait(lk, [&] { return lane.stop || !lane.queue.empty(); });
+      if (lane.queue.empty()) return; // stop requested and fully drained
+      item = std::move(lane.queue.front());
+      lane.queue.pop_front();
+    }
+    if (item.barrier) {
+      arrive_barrier(item.barrier, idx);
+    } else {
+      sink_(std::move(item.event), idx);
+      std::lock_guard<std::mutex> lk(lane.mu);
+      ++lane.done;
+      if (cfg_.measure_latency) lane.latency_us.add(us_since(item.submitted_at));
+    }
+    finish();
+  }
+}
+
+void ShardedDispatcher::arrive_barrier(const std::shared_ptr<BarrierState>& b,
+                                       std::size_t idx) {
+  std::unique_lock<std::mutex> lk(b->mu);
+  if (--b->remaining > 0) {
+    // Not last: park until the last arriver has run the event. This lane's
+    // queue keeps absorbing submissions meanwhile; it just doesn't serve them.
+    b->cv.wait(lk, [&] { return b->done; });
+    return;
+  }
+  // Last arriver: every lane has finished all pre-barrier work and started
+  // none of the post-barrier work — run the global event solo.
+  lk.unlock();
+  sink_(std::move(b->event), ShardRouter::kGlobal);
+  barriers_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> llk(lanes_[idx]->mu);
+    ++lanes_[idx]->done;
+    if (cfg_.measure_latency) {
+      lanes_[idx]->latency_us.add(us_since(b->submitted_at));
+    }
+  }
+  lk.lock();
+  b->done = true;
+  lk.unlock();
+  b->cv.notify_all();
+}
+
+void ShardedDispatcher::finish() {
+  if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lk(drain_mu_);
+    drain_cv_.notify_all();
+  }
+}
+
+void ShardedDispatcher::drain() {
+  std::unique_lock<std::mutex> lk(drain_mu_);
+  drain_cv_.wait(lk, [&] { return inflight_.load(std::memory_order_acquire) == 0; });
+}
+
+ShardedDispatcher::Stats ShardedDispatcher::stats() const {
+  Stats s;
+  s.barriers = barriers_.load(std::memory_order_relaxed);
+  s.per_shard.reserve(lanes_.size());
+  for (const auto& lane : lanes_) {
+    std::lock_guard<std::mutex> lk(lane->mu);
+    s.per_shard.push_back(lane->done);
+    s.dispatched += lane->done;
+    s.queue_peak = std::max(s.queue_peak, lane->peak);
+    s.latency_us.merge(lane->latency_us);
+  }
+  return s;
+}
+
+} // namespace legosdn::ctl

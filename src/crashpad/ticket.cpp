@@ -23,12 +23,19 @@ std::string ProblemTicket::to_string() const {
 }
 
 std::uint64_t TicketLog::file(ProblemTicket t) {
+  std::lock_guard<std::mutex> lk(mu_);
   t.id = next_id_++;
   tickets_.push_back(std::move(t));
   return tickets_.back().id;
 }
 
+std::size_t TicketLog::count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return tickets_.size();
+}
+
 std::vector<const ProblemTicket*> TicketLog::for_app(const std::string& app) const {
+  std::lock_guard<std::mutex> lk(mu_);
   std::vector<const ProblemTicket*> out;
   for (const auto& t : tickets_)
     if (t.app == app) out.push_back(&t);

@@ -9,6 +9,14 @@
 
 namespace legosdn::lego {
 
+namespace {
+
+/// Guards against recursive recovery (a transformed event crashing again).
+/// Thread-local: each shard lane's recovery call stack is independent.
+thread_local bool t_in_recovery = false;
+
+} // namespace
+
 LegoController::LegoController(netsim::Network& net, LegoConfig cfg)
     : ctl::Controller(net),
       cfg_(std::move(cfg)),
@@ -23,15 +31,42 @@ LegoController::LegoController(netsim::Network& net, LegoConfig cfg)
 LegoController::~LegoController() { visor_.shutdown_all(); }
 
 AppId LegoController::add_app(ctl::AppPtr app) {
-  return visor_.add_app(std::move(app), cfg_.backend, cfg_.process);
+  const std::size_t shards = cfg_.dispatch.shards;
+  if (shards > 1 && cfg_.dispatch.clone_apps && app->clone() != nullptr) {
+    // Dpid-partitionable state: one clone per shard, each a full citizen —
+    // own AppId, isolation domain, checkpoint chain, event log, recovery.
+    // The clone on lane s only ever sees events whose dpid hashes to s, so
+    // the union of clone states equals the serial app's state.
+    AppId first{};
+    for (std::size_t s = 0; s < shards; ++s) {
+      ctl::AppPtr inst = (s + 1 == shards) ? std::move(app) : app->clone();
+      const AppId id = visor_.add_app(std::move(inst), cfg_.backend, cfg_.process,
+                                      static_cast<int>(s));
+      per_app_[id] = PerApp{};
+      if (s == 0) first = id;
+    }
+    return first;
+  }
+  const AppId id = visor_.add_app(std::move(app), cfg_.backend, cfg_.process);
+  per_app_[id] = PerApp{};
+  return id;
 }
 
 AppId LegoController::add_domain(appvisor::DomainPtr domain) {
-  return visor_.add_domain(std::move(domain));
+  const AppId id = visor_.add_domain(std::move(domain));
+  per_app_[id] = PerApp{};
+  return id;
 }
 
 Status LegoController::start_system() {
   if (auto st = visor_.start_all(); !st) return st;
+  if (cfg_.dispatch.shards > 1 && !dispatch_engine()) {
+    install_dispatch_engine(
+        {cfg_.dispatch.shards, /*measure_latency=*/true},
+        [this](ctl::Event e, std::size_t shard) {
+          dispatch_core(std::move(e), shard);
+        });
+  }
   start();
   return Status::success();
 }
@@ -39,6 +74,7 @@ Status LegoController::start_system() {
 void LegoController::upgrade_restart() {
   // The controller process bounces: queued events are lost and switches are
   // re-announced — but the isolated apps keep running with their state.
+  if (dispatch_engine()) run(); // quiesce the lanes before the bounce
   stats_.events_dropped += queue_.size();
   queue_.clear();
   stats_.reboots += 1;
@@ -65,8 +101,11 @@ void LegoController::maybe_checkpoint(appvisor::AppEntry& entry, const ctl::Even
     const auto t0 = std::chrono::steady_clock::now();
     auto snap = entry.domain->snapshot();
     if (snap) {
-      lego_stats_.checkpoints += 1;
-      lego_stats_.checkpoint_bytes += snap.value().size();
+      {
+        std::lock_guard<std::mutex> lk(lego_mu_);
+        lego_stats_.checkpoints += 1;
+        lego_stats_.checkpoint_bytes += snap.value().size();
+      }
       const std::uint64_t interval =
           pa.last_checkpoint ? pa.seen - pa.last_checkpoint : 1;
       ckpt_worker_.submit(entry.id, pa.seen, net_.now(), std::move(snap).value());
@@ -89,6 +128,7 @@ void LegoController::maybe_checkpoint(appvisor::AppEntry& entry, const ctl::Even
                                                           : 1;
         if (pa.cost_ewma_us > ad.budget_us_per_event && cur < ad.max_every) {
           pa.effective_every = std::min(cur * 2, ad.max_every);
+          std::lock_guard<std::mutex> lk(lego_mu_);
           lego_stats_.adaptive_widens += 1;
         }
       }
@@ -122,6 +162,17 @@ bool LegoController::apply_transaction(appvisor::AppEntry& entry,
   std::set<std::string> baseline;
   std::vector<of::FlowMod> written;
   const bool verify = cfg_.byzantine_detection && has_state_change;
+  // Verification traces reachability across the whole network, so it cannot
+  // tolerate concurrent commits from other lanes: verifying transactions
+  // take the transaction lock exclusively (stopping the world of writers),
+  // everything else runs shared. Uncontended in serial mode.
+  std::shared_lock<std::shared_mutex> ro_lock;
+  std::unique_lock<std::shared_mutex> rw_lock;
+  if (verify) {
+    rw_lock = std::unique_lock<std::shared_mutex>(txn_rw_);
+  } else {
+    ro_lock = std::shared_lock<std::shared_mutex>(txn_rw_);
+  }
   if (verify) {
     for (const auto& msg : emitted) {
       if (const auto* mod = msg.get_if<of::FlowMod>()) written.push_back(*mod);
@@ -151,13 +202,19 @@ bool LegoController::apply_transaction(appvisor::AppEntry& entry,
     }
     if (!detail.empty()) {
       netlog_.rollback(txn);
-      lego_stats_.txns_rolled_back += 1;
+      {
+        std::lock_guard<std::mutex> lk(lego_mu_);
+        lego_stats_.txns_rolled_back += 1;
+      }
       if (violation) *violation = detail;
       return false;
     }
   }
   netlog_.commit(txn);
-  lego_stats_.txns_committed += 1;
+  {
+    std::lock_guard<std::mutex> lk(lego_mu_);
+    lego_stats_.txns_committed += 1;
+  }
   return true;
 }
 
@@ -173,10 +230,13 @@ ctl::Disposition LegoController::guarded_deliver(appvisor::AppEntry& entry,
     // same way, but they are counted apart: a timeout blames the channel or a
     // wedged handler, not a crashing app.
     entry.crashes += 1;
-    if (outcome.kind == appvisor::EventOutcome::Kind::kTimeout) {
-      lego_stats_.stub_timeouts += 1;
-    } else {
-      lego_stats_.failstop_crashes += 1;
+    {
+      std::lock_guard<std::mutex> lk(lego_mu_);
+      if (outcome.kind == appvisor::EventOutcome::Kind::kTimeout) {
+        lego_stats_.stub_timeouts += 1;
+      } else {
+        lego_stats_.failstop_crashes += 1;
+      }
     }
     LEGOSDN_LOG_INFO("crash-pad", "app '%s' %s on %s: %s",
                      entry.domain->app_name().c_str(),
@@ -192,7 +252,10 @@ ctl::Disposition LegoController::guarded_deliver(appvisor::AppEntry& entry,
   if (cfg_.limits.max_messages_per_event != 0 &&
       outcome.emitted.size() > cfg_.limits.max_messages_per_event) {
     entry.crashes += 1;
-    lego_stats_.quota_violations += 1;
+    {
+      std::lock_guard<std::mutex> lk(lego_mu_);
+      lego_stats_.quota_violations += 1;
+    }
     LEGOSDN_LOG_INFO("crash-pad", "app '%s' exceeded message quota (%zu > %zu)",
                      entry.domain->app_name().c_str(), outcome.emitted.size(),
                      cfg_.limits.max_messages_per_event);
@@ -210,7 +273,10 @@ ctl::Disposition LegoController::guarded_deliver(appvisor::AppEntry& entry,
     // Byzantine failure: output violated a network invariant. The rules are
     // already rolled back; now recover the app itself.
     entry.crashes += 1;
-    lego_stats_.byzantine_failures += 1;
+    {
+      std::lock_guard<std::mutex> lk(lego_mu_);
+      lego_stats_.byzantine_failures += 1;
+    }
     LEGOSDN_LOG_INFO("crash-pad", "app '%s' byzantine on %s: %s",
                      entry.domain->app_name().c_str(), ctl::describe(e).c_str(),
                      violation.c_str());
@@ -221,8 +287,17 @@ ctl::Disposition LegoController::guarded_deliver(appvisor::AppEntry& entry,
 }
 
 void LegoController::dispatch(ctl::Event e) {
-  stats_.events_dispatched += 1;
-  event_seq_ += 1;
+  // Serial dispatch behaves exactly like the barrier case of the sharded
+  // pipeline: full shadow sweep, every entry eligible.
+  dispatch_core(std::move(e), ctl::ShardRouter::kGlobal);
+}
+
+void LegoController::dispatch_core(ctl::Event e, std::size_t shard) {
+  {
+    std::lock_guard<std::mutex> lk(lego_mu_);
+    stats_.events_dispatched += 1;
+  }
+  event_seq_.fetch_add(1, std::memory_order_relaxed);
 
   // Keep NetLog's shadow tables in sync and fix up stats replies from the
   // counter-cache before any app sees them (§3.2).
@@ -232,11 +307,33 @@ void LegoController::dispatch(ctl::Event e) {
   if (auto* sr = std::get_if<of::StatsReply>(&e)) {
     netlog_.correct_stats(*sr);
   }
-  netlog_.expire_shadows(now());
+  if (shard == ctl::ShardRouter::kGlobal) {
+    netlog_.expire_shadows(now());
+  } else {
+    // Lane-local events only ever consult their own switch's shadow; keeping
+    // exactly that one fresh avoids a world-stop per event.
+    const DatapathId d = ctl::event_dpid(e);
+    if (raw(d) != 0) netlog_.expire_shadow(d, now());
+  }
 
+  const bool engine = dispatch_engine() != nullptr;
   const auto type_idx = static_cast<std::size_t>(ctl::event_type(e));
   for (auto& entry : visor_.entries()) {
     if (!entry.subscribed[type_idx]) continue;
+    // Lane-local events skip clones pinned to other lanes. Barrier events
+    // (shard == kGlobal) reach every entry — the world is stopped, and each
+    // clone must see e.g. the SwitchDown for a dpid it may have state for.
+    if (shard != ctl::ShardRouter::kGlobal &&
+        entry.shard != appvisor::kAllShards &&
+        entry.shard != static_cast<int>(shard)) {
+      continue;
+    }
+    // Non-cloneable apps can be reached from any lane: serialize them.
+    std::unique_lock<std::mutex> entry_lock;
+    if (engine && shard != ctl::ShardRouter::kGlobal &&
+        entry.shard == appvisor::kAllShards) {
+      entry_lock = std::unique_lock<std::mutex>(*entry.mu);
+    }
     PerApp& pa = per_app_[entry.id];
     pa.seen += 1;
     if (!entry.domain->alive()) {
@@ -265,7 +362,10 @@ bool LegoController::restore_app(appvisor::AppEntry& entry) {
     return false;
   }
   entry.recoveries += 1;
-  lego_stats_.recoveries += 1;
+  {
+    std::lock_guard<std::mutex> lk(lego_mu_);
+    lego_stats_.recoveries += 1;
+  }
 
   // Periodic checkpointing (§5): replay events logged since the snapshot so
   // the app state catches up to just before the offender. Replay outputs are
@@ -293,7 +393,10 @@ bool LegoController::restore_app(appvisor::AppEntry& entry) {
       for (std::size_t i = 0; i < logged.size(); ++i) {
         if (skip[i]) continue;
         auto outcome = entry.domain->deliver(logged[i].event, net_.now());
-        lego_stats_.replayed_events += 1;
+        {
+          std::lock_guard<std::mutex> lk(lego_mu_);
+          lego_stats_.replayed_events += 1;
+        }
         if (!outcome.ok()) {
           skip[i] = true;
           Status rewind = snap ? entry.domain->restore(snap->state)
@@ -361,7 +464,10 @@ void LegoController::recover(appvisor::AppEntry& entry, const ctl::Event& offend
   // is disabled outright, whatever the per-event policy says.
   if (cfg_.limits.max_faults != 0 && entry.crashes >= cfg_.limits.max_faults) {
     policy = crashpad::RecoveryPolicy::kNoCompromise;
-    lego_stats_.breaker_disables += 1;
+    {
+      std::lock_guard<std::mutex> lk(lego_mu_);
+      lego_stats_.breaker_disables += 1;
+    }
     LEGOSDN_LOG_WARN("crash-pad", "app '%s' hit the fault breaker (%llu faults)",
                      entry.domain->app_name().c_str(),
                      static_cast<unsigned long long>(entry.crashes));
@@ -375,13 +481,14 @@ void LegoController::recover(appvisor::AppEntry& entry, const ctl::Event& offend
     if (pa.effective_every != 0) {
       pa.effective_every = 0;
       pa.cost_ewma_us = 0;
+      std::lock_guard<std::mutex> lk(lego_mu_);
       lego_stats_.adaptive_tightens += 1;
     }
   }
 
   crashpad::ProblemTicket ticket;
   ticket.app = entry.domain->app_name();
-  ticket.event_seq = event_seq_;
+  ticket.event_seq = event_seq_.load(std::memory_order_relaxed);
   ticket.offending_event = ctl::describe(offender);
   ticket.crash_info = (byzantine ? "[byzantine] " : "[fail-stop] ") + crash_info;
   ticket.policy_applied = crashpad::to_string(policy);
@@ -413,6 +520,7 @@ void LegoController::recover(appvisor::AppEntry& entry, const ctl::Event& offend
     // stays down. For a byzantine failure the app is still technically
     // alive; take it down explicitly so it cannot do further damage.
     entry.domain->shutdown();
+    std::lock_guard<std::mutex> lk(lego_mu_);
     lego_stats_.apps_left_down += 1;
     return;
   }
@@ -420,15 +528,19 @@ void LegoController::recover(appvisor::AppEntry& entry, const ctl::Event& offend
   // Revert to the pre-event snapshot. "Replay of the offending event will
   // most likely cause the SDN-App to fail", so we never replay it verbatim.
   if (!restore_app(entry)) {
+    std::lock_guard<std::mutex> lk(lego_mu_);
     lego_stats_.apps_left_down += 1;
     return;
   }
 
-  if (policy == crashpad::RecoveryPolicy::kEquivalenceCompromise && !in_recovery_) {
+  if (policy == crashpad::RecoveryPolicy::kEquivalenceCompromise && !t_in_recovery) {
     auto equivalents = transformer_.equivalent(offender);
     if (!equivalents.empty()) {
-      lego_stats_.events_transformed += 1;
-      in_recovery_ = true; // a crash on a transformed event falls back to ignore
+      {
+        std::lock_guard<std::mutex> lk(lego_mu_);
+        lego_stats_.events_transformed += 1;
+      }
+      t_in_recovery = true; // a crash on a transformed event falls back to ignore
       for (const auto& ev : equivalents) {
         const auto type_idx = static_cast<std::size_t>(ctl::event_type(ev));
         if (!entry.subscribed[type_idx]) continue;
@@ -437,17 +549,22 @@ void LegoController::recover(appvisor::AppEntry& entry, const ctl::Event& offend
         per_app_[entry.id].seen += 1;
         guarded_deliver(entry, ev, /*allow_recovery=*/true);
       }
-      in_recovery_ = false;
+      t_in_recovery = false;
       return;
     }
     // No equivalent form exists: degrade to Absolute Compromise.
   }
 
+  std::lock_guard<std::mutex> lk(lego_mu_);
   lego_stats_.events_ignored += 1;
 }
 
 LegoController::LegoStats LegoController::lego_stats() const {
-  LegoStats s = lego_stats_;
+  LegoStats s;
+  {
+    std::lock_guard<std::mutex> lk(lego_mu_);
+    s = lego_stats_;
+  }
   const auto ws = ckpt_worker_.stats();
   s.full_snapshots = ws.full_snapshots;
   s.delta_snapshots = ws.delta_snapshots;

@@ -19,6 +19,10 @@
 // relationships of the monolithic design are gone.
 #pragma once
 
+#include <atomic>
+#include <mutex>
+#include <shared_mutex>
+
 #include "appvisor/appvisor.hpp"
 #include "checkpoint/checkpoint_worker.hpp"
 #include "checkpoint/event_log.hpp"
@@ -38,6 +42,20 @@ struct LegoConfig {
   appvisor::ProcessDomain::Config process{};
 
   netlog::NetLogConfig netlog{};
+
+  /// Sharded parallel event dispatch (DESIGN.md §4.5). shards = 1 keeps the
+  /// serial pipeline exactly as before; shards > 1 installs a
+  /// ShardedDispatcher in start_system(): events are dpid-hash-partitioned
+  /// onto lanes, cross-switch events run under a stop-the-world barrier, and
+  /// NetLog commits serialize per switch through its stripe locks.
+  struct DispatchConfig {
+    std::size_t shards = 1;
+    /// Run one clone per shard for apps whose state partitions by dpid
+    /// (App::clone() != nullptr); non-cloneable apps get one instance
+    /// serialized by a per-entry lock instead.
+    bool clone_apps = true;
+  };
+  DispatchConfig dispatch{};
 
   crashpad::PolicyTable policies{}; ///< default: Absolute Compromise
 
@@ -201,6 +219,12 @@ private:
   ctl::Disposition guarded_deliver(appvisor::AppEntry& entry, const ctl::Event& e,
                                    bool allow_recovery);
 
+  /// The dispatch pipeline shared by both paths. Serial dispatch() calls it
+  /// with shard = ShardRouter::kGlobal (deliver to every entry, full shadow
+  /// sweep); shard lanes call it with their index (deliver to this lane's
+  /// clones plus lock-serialized kAllShards entries, per-dpid shadow expiry).
+  void dispatch_core(ctl::Event e, std::size_t shard);
+
   void maybe_checkpoint(appvisor::AppEntry& entry, const ctl::Event& e);
   bool apply_transaction(appvisor::AppEntry& entry,
                          std::vector<of::Message> emitted, std::string* violation);
@@ -217,10 +241,18 @@ private:
   crashpad::EventTransformer transformer_;
   crashpad::TicketLog tickets_;
   invariant::InvariantChecker checker_;
+  /// Guards lego_stats_, the Controller::Stats counters this class touches,
+  /// and per_app_ *values* are entry-pinned so need no lock of their own
+  /// (the map structure is frozen after registration).
+  mutable std::mutex lego_mu_;
   LegoStats lego_stats_;
+  /// Invariant verification reads the whole network (reachability traces
+  /// across every switch), so a verifying transaction takes this unique —
+  /// stopping concurrent commits — while non-verifying transactions run
+  /// shared. Acquired before any NetLog stripe, never after.
+  std::shared_mutex txn_rw_;
   std::unordered_map<AppId, PerApp> per_app_;
-  std::uint64_t event_seq_ = 0;
-  bool in_recovery_ = false; ///< guards against recursive recovery
+  std::atomic<std::uint64_t> event_seq_{0};
 };
 
 } // namespace legosdn::lego

@@ -43,18 +43,86 @@ std::size_t NetLog::CounterKeyHash::operator()(const CounterKey& k) const noexce
   return static_cast<std::size_t>(h);
 }
 
+// --- StripeGuard -----------------------------------------------------------
+
+NetLog::StripeGuard::StripeGuard(NetLog& log, const std::vector<DatapathId>& dpids)
+    : log_(log) {
+  held_.reserve(dpids.size());
+  for (const DatapathId d : dpids) held_.push_back(stripe_of(d));
+  std::sort(held_.begin(), held_.end());
+  held_.erase(std::unique(held_.begin(), held_.end()), held_.end());
+  for (const std::size_t i : held_) log_.stripes_[i].lock();
+}
+
+NetLog::StripeGuard::StripeGuard(NetLog& log, DatapathId dpid) : log_(log) {
+  held_.push_back(stripe_of(dpid));
+  log_.stripes_[held_.front()].lock();
+}
+
+NetLog::StripeGuard NetLog::StripeGuard::all(NetLog& log) {
+  StripeGuard g(log);
+  g.held_.reserve(kStripes);
+  for (std::size_t i = 0; i < kStripes; ++i) {
+    g.held_.push_back(i);
+    log.stripes_[i].lock();
+  }
+  return g;
+}
+
+NetLog::StripeGuard::~StripeGuard() {
+  // Reverse order of acquisition (not required for correctness, just tidy).
+  for (auto it = held_.rbegin(); it != held_.rend(); ++it)
+    log_.stripes_[*it].unlock();
+}
+
+// ---------------------------------------------------------------------------
+
 NetLog::NetLog(netsim::Network& net, NetLogConfig cfg) : net_(net), cfg_(cfg) {}
 
 TxnId NetLog::begin(AppId app) {
-  const TxnId id{next_txn_++};
-  open_[id] = Txn{app, {}, {}, {}};
-  stats_.begun += 1;
+  const TxnId id{next_txn_.fetch_add(1, std::memory_order_relaxed)};
+  auto txn = std::make_unique<Txn>();
+  txn->app = app;
+  {
+    std::lock_guard<std::mutex> lk(open_mu_);
+    open_[id] = std::move(txn);
+  }
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    stats_.begun += 1;
+  }
   return id;
 }
 
-netsim::FlowTable& NetLog::shadow_mut(DatapathId dpid) { return shadow_[dpid]; }
+bool NetLog::is_open(TxnId id) const {
+  std::lock_guard<std::mutex> lk(open_mu_);
+  return open_.contains(id);
+}
+
+NetLog::Txn* NetLog::find_open(TxnId id) {
+  std::lock_guard<std::mutex> lk(open_mu_);
+  const auto it = open_.find(id);
+  return it == open_.end() ? nullptr : it->second.get();
+}
+
+std::unique_ptr<NetLog::Txn> NetLog::take_open(TxnId id) {
+  std::lock_guard<std::mutex> lk(open_mu_);
+  const auto it = open_.find(id);
+  if (it == open_.end()) return nullptr;
+  std::unique_ptr<Txn> txn = std::move(it->second);
+  open_.erase(it);
+  return txn;
+}
+
+netsim::FlowTable& NetLog::shadow_mut(DatapathId dpid) {
+  // The map mutex covers structure only; the returned table's *contents* are
+  // guarded by dpid's stripe, which every caller already holds.
+  std::lock_guard<std::mutex> lk(shadow_map_mu_);
+  return shadow_[dpid];
+}
 
 const netsim::FlowTable* NetLog::shadow(DatapathId dpid) const {
+  std::lock_guard<std::mutex> lk(shadow_map_mu_);
   auto it = shadow_.find(dpid);
   return it == shadow_.end() ? nullptr : &it->second;
 }
@@ -72,20 +140,26 @@ void NetLog::touch(Txn& txn, DatapathId dpid) {
 void NetLog::forward(const of::Message& msg) { net_.send_to_switch(msg); }
 
 Status NetLog::apply(TxnId id, const of::Message& msg) {
-  auto it = open_.find(id);
-  if (it == open_.end())
-    return Error{Error::Code::kNotFound, "no open transaction"};
-  Txn& txn = it->second;
-  stats_.messages += 1;
+  Txn* txn = find_open(id);
+  if (!txn) return Error{Error::Code::kNotFound, "no open transaction"};
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    stats_.messages += 1;
+  }
 
   if (const auto* mod = msg.get_if<of::FlowMod>()) {
-    touch(txn, mod->dpid);
+    StripeGuard guard(*this, mod->dpid);
+    touch(*txn, mod->dpid);
     if (cfg_.mode == Mode::kUndoLog) {
-      record_undo(txn, *mod);
-      stats_.undo_bytes_peak = std::max(stats_.undo_bytes_peak, undo_bytes(txn));
+      record_undo(*txn, *mod);
+      const std::size_t bytes = undo_bytes(*txn);
+      {
+        std::lock_guard<std::mutex> lk(stats_mu_);
+        stats_.undo_bytes_peak = std::max(stats_.undo_bytes_peak, bytes);
+      }
       forward(msg);
     } else {
-      txn.buffered.push_back(msg);
+      txn->buffered.push_back(msg);
     }
     return Status::success();
   }
@@ -94,14 +168,38 @@ Status NetLog::apply(TxnId id, const of::Message& msg) {
   // to invert. Undo-log mode forwards them immediately; delay-buffer mode
   // holds them with the rest of the bundle, as the paper's prototype did.
   if (cfg_.mode == Mode::kDelayBuffer) {
-    txn.buffered.push_back(msg);
+    txn->buffered.push_back(msg);
+    return Status::success();
+  }
+  if (msg.get_if<of::PacketOut>()) {
+    // The forwarding engine walks the packet across arbitrary switches
+    // (and mutates network-wide totals): stop the world on all stripes.
+    StripeGuard guard = StripeGuard::all(*this);
+    forward(msg);
+    return Status::success();
+  }
+  DatapathId target{};
+  bool have_target = false;
+  std::visit(
+      [&](const auto& m) {
+        if constexpr (requires { m.dpid; }) {
+          target = m.dpid;
+          have_target = true;
+        }
+      },
+      msg.body);
+  if (have_target) {
+    StripeGuard guard(*this, target);
+    forward(msg);
   } else {
+    StripeGuard guard = StripeGuard::all(*this);
     forward(msg);
   }
   return Status::success();
 }
 
 void NetLog::record_undo(Txn& txn, const of::FlowMod& mod) {
+  const std::size_t ops_before = txn.undo.size();
   // Replay the mod through the shadow to learn exactly what it changes.
   netsim::FlowTable& shadow = shadow_mut(mod.dpid);
   const auto res = shadow.apply(mod, net_.now());
@@ -149,15 +247,17 @@ void NetLog::record_undo(Txn& txn, const of::FlowMod& mod) {
     // commits, the flow is genuinely gone — deleted or replaced with reset
     // counters — and the stale record must not leak onto a future flow with
     // the same (dpid, match, priority) identity.
-    if (const auto cit = counter_cache_.find(
-            CounterKey{mod.dpid, op.inverse.match, op.inverse.priority});
-        cit != counter_cache_.end()) {
-      op.packet_count += cit->second.packet_count;
-      op.byte_count += cit->second.byte_count;
-      counter_cache_.erase(cit);
+    {
+      std::lock_guard<std::mutex> lk(cache_mu_);
+      if (const auto cit = counter_cache_.find(
+              CounterKey{mod.dpid, op.inverse.match, op.inverse.priority});
+          cit != counter_cache_.end()) {
+        op.packet_count += cit->second.packet_count;
+        op.byte_count += cit->second.byte_count;
+        counter_cache_.erase(cit);
+      }
     }
     txn.undo.push_back(std::move(op));
-    stats_.undo_ops_recorded += 1;
   }
   // Entries modified in place: put the old actions/cookie back.
   for (const auto& before : res.modified) {
@@ -169,7 +269,6 @@ void NetLog::record_undo(Txn& txn, const of::FlowMod& mod) {
     op.inverse.cookie = before.cookie;
     op.inverse.actions = before.actions;
     txn.undo.push_back(std::move(op));
-    stats_.undo_ops_recorded += 1;
   }
   // Entries newly added (and not replacements, which the removal-restore
   // above already reverts): delete them.
@@ -185,7 +284,10 @@ void NetLog::record_undo(Txn& txn, const of::FlowMod& mod) {
     op.inverse.match = added.match;
     op.inverse.priority = added.priority;
     txn.undo.push_back(std::move(op));
-    stats_.undo_ops_recorded += 1;
+  }
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    stats_.undo_ops_recorded += txn.undo.size() - ops_before;
   }
 }
 
@@ -196,54 +298,69 @@ std::size_t NetLog::undo_bytes(const Txn& txn) const {
 }
 
 Status NetLog::commit(TxnId id) {
-  auto it = open_.find(id);
-  if (it == open_.end())
-    return Error{Error::Code::kNotFound, "no open transaction"};
-  Txn txn = std::move(it->second);
-  open_.erase(it);
+  std::unique_ptr<Txn> txn = take_open(id);
+  if (!txn) return Error{Error::Code::kNotFound, "no open transaction"};
+
+  // Cross-shard commit barrier: hold every touched switch's stripe (sorted —
+  // deadlock-free against any other multi-stripe holder) so the barrier sends
+  // and the shadow-vs-switch audit see one atomic cut of the network.
+  // Delay-buffer release may contain packet-outs: stop the whole world.
+  StripeGuard guard =
+      cfg_.mode == Mode::kDelayBuffer
+          ? StripeGuard::all(*this)
+          : StripeGuard(*this, txn->dpids);
 
   if (cfg_.mode == Mode::kDelayBuffer) {
     // Release the bundle; shadows learn about the flow-mods now.
-    for (const auto& msg : txn.buffered) {
+    for (const auto& msg : txn->buffered) {
       if (const auto* mod = msg.get_if<of::FlowMod>())
         shadow_mut(mod->dpid).apply(*mod, net_.now());
       forward(msg);
     }
   }
   if (cfg_.barrier_on_commit) {
-    for (const DatapathId d : txn.dpids)
-      forward({next_xid_++, of::BarrierRequest{d}});
+    for (const DatapathId d : txn->dpids)
+      forward({next_xid_.fetch_add(1, std::memory_order_relaxed),
+               of::BarrierRequest{d}});
   }
   // Cheap commit-time audit: every touched shadow should agree with the live
   // switch table structure-for-structure (both digests are O(1) to read).
   // Divergence means the shadow drifted — e.g. the switch idle-expired an
   // entry the shadow kept alive, or dropped messages while down.
-  for (const DatapathId d : txn.dpids) {
+  std::uint64_t checks = 0, mismatches = 0;
+  for (const DatapathId d : txn->dpids) {
     const netsim::SimSwitch* sw = net_.switch_at(d);
     if (!sw || !sw->up()) continue;
     const netsim::FlowTable* sh = shadow(d);
-    stats_.shadow_sync_checks += 1;
+    checks += 1;
     if (!sh || sh->logical_digest() != sw->table().logical_digest())
-      stats_.shadow_sync_mismatches += 1;
+      mismatches += 1;
   }
-  stats_.committed += 1;
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    stats_.shadow_sync_checks += checks;
+    stats_.shadow_sync_mismatches += mismatches;
+    stats_.committed += 1;
+  }
   return Status::success();
 }
 
 Status NetLog::rollback(TxnId id) {
-  auto it = open_.find(id);
-  if (it == open_.end())
-    return Error{Error::Code::kNotFound, "no open transaction"};
-  Txn txn = std::move(it->second);
-  open_.erase(it);
+  std::unique_ptr<Txn> txn = take_open(id);
+  if (!txn) return Error{Error::Code::kNotFound, "no open transaction"};
 
   if (cfg_.mode == Mode::kUndoLog) {
-    for (auto op = txn.undo.rbegin(); op != txn.undo.rend(); ++op) {
+    // Undo ops only name touched dpids, so the same sorted stripe set that
+    // fences commit fences the whole inverse replay.
+    StripeGuard guard(*this, txn->dpids);
+    std::uint64_t applied = 0;
+    for (auto op = txn->undo.rbegin(); op != txn->undo.rend(); ++op) {
       // Keep the shadow in lock-step with the switch.
       shadow_mut(op->inverse.dpid).apply(op->inverse, net_.now());
-      forward({next_xid_++, op->inverse});
-      stats_.undo_ops_applied += 1;
+      forward({next_xid_.fetch_add(1, std::memory_order_relaxed), op->inverse});
+      applied += 1;
       if (op->cache_counters && (op->packet_count || op->byte_count)) {
+        std::lock_guard<std::mutex> lk(cache_mu_);
         CachedCounters& c = counter_cache_[CounterKey{
             op->inverse.dpid, op->inverse.match, op->inverse.priority}];
         c.packet_count += op->packet_count;
@@ -251,32 +368,43 @@ Status NetLog::rollback(TxnId id) {
       }
     }
     if (cfg_.barrier_on_commit) {
-      for (const DatapathId d : txn.dpids)
-        forward({next_xid_++, of::BarrierRequest{d}});
+      for (const DatapathId d : txn->dpids)
+        forward({next_xid_.fetch_add(1, std::memory_order_relaxed),
+                 of::BarrierRequest{d}});
     }
     // Verify the undo log actually inverted the transaction: each touched
     // shadow must be digest-identical to its pre-transaction state. This is
     // the paper's invertibility claim, checked in O(touched switches).
-    for (const DatapathId d : txn.dpids) {
-      stats_.rollback_digest_checks += 1;
-      const auto pre = txn.pre_digest.find(d);
+    std::uint64_t checks = 0, mismatches = 0;
+    for (const DatapathId d : txn->dpids) {
+      checks += 1;
+      const auto pre = txn->pre_digest.find(d);
       const netsim::FlowTable* sh = shadow(d);
-      if (pre == txn.pre_digest.end() || !sh ||
+      if (pre == txn->pre_digest.end() || !sh ||
           sh->logical_digest() != pre->second)
-        stats_.rollback_digest_mismatches += 1;
+        mismatches += 1;
     }
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    stats_.undo_ops_applied += applied;
+    stats_.rollback_digest_checks += checks;
+    stats_.rollback_digest_mismatches += mismatches;
   }
   // Delay-buffer mode: held messages simply evaporate.
-  stats_.rolled_back += 1;
+  {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    stats_.rolled_back += 1;
+  }
   return Status::success();
 }
 
 std::vector<DatapathId> NetLog::touched(TxnId id) const {
+  std::lock_guard<std::mutex> lk(open_mu_);
   auto it = open_.find(id);
-  return it == open_.end() ? std::vector<DatapathId>{} : it->second.dpids;
+  return it == open_.end() ? std::vector<DatapathId>{} : it->second->dpids;
 }
 
 void NetLog::correct_stats(of::StatsReply& reply) const {
+  std::lock_guard<std::mutex> lk(cache_mu_);
   if (reply.kind != of::StatsKind::kFlow || counter_cache_.empty()) return;
   for (auto& f : reply.flows) {
     const auto it =
@@ -288,6 +416,7 @@ void NetLog::correct_stats(of::StatsReply& reply) const {
 }
 
 std::vector<CounterCacheEntry> NetLog::counter_cache() const {
+  std::lock_guard<std::mutex> lk(cache_mu_);
   std::vector<CounterCacheEntry> out;
   out.reserve(counter_cache_.size());
   for (const auto& [k, v] : counter_cache_)
@@ -295,14 +424,34 @@ std::vector<CounterCacheEntry> NetLog::counter_cache() const {
   return out;
 }
 
+std::size_t NetLog::counter_cache_size() const {
+  std::lock_guard<std::mutex> lk(cache_mu_);
+  return counter_cache_.size();
+}
+
 void NetLog::expire_shadows(SimTime now) {
+  StripeGuard guard = StripeGuard::all(*this);
+  std::lock_guard<std::mutex> lk(shadow_map_mu_);
   for (auto& [_, table] : shadow_) {
     if (table.has_pending_expiry(now)) table.expire(now);
   }
 }
 
+void NetLog::expire_shadow(DatapathId dpid, SimTime now) {
+  StripeGuard guard(*this, dpid);
+  netsim::FlowTable* table = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(shadow_map_mu_);
+    const auto it = shadow_.find(dpid);
+    if (it == shadow_.end()) return;
+    table = &it->second;
+  }
+  if (table->has_pending_expiry(now)) table->expire(now);
+}
+
 void NetLog::observe_northbound(const of::Message& msg) {
   if (const auto* fr = msg.get_if<of::FlowRemoved>()) {
+    StripeGuard guard(*this, fr->dpid);
     of::FlowMod del;
     del.dpid = fr->dpid;
     del.command = of::FlowModCommand::kDeleteStrict;
@@ -313,8 +462,14 @@ void NetLog::observe_northbound(const of::Message& msg) {
     // counters were reported in the flow-removed itself, so any cached
     // rollback ticks die with it — a later flow reusing this identity
     // starts from zero.
+    std::lock_guard<std::mutex> lk(cache_mu_);
     counter_cache_.erase(CounterKey{fr->dpid, fr->match, fr->priority});
   }
+}
+
+NetLog::Stats NetLog::stats() const {
+  std::lock_guard<std::mutex> lk(stats_mu_);
+  return stats_;
 }
 
 } // namespace legosdn::netlog

@@ -432,6 +432,11 @@ bool expiry_rec_after(const std::int64_t da, const DatapathId a,
 } // namespace
 
 void Network::arm_switch_expiry(DatapathId dpid) {
+  std::lock_guard<std::mutex> lk(expiry_mu_);
+  arm_switch_expiry_locked(dpid);
+}
+
+void Network::arm_switch_expiry_locked(DatapathId dpid) {
   const SimSwitch* sw = switch_at(dpid);
   if (!sw) return;
   const std::int64_t dl = sw->table().earliest_deadline();
@@ -454,27 +459,30 @@ void Network::arm_switch_expiry(DatapathId dpid) {
 void Network::advance_time(std::chrono::nanoseconds delta) {
   clock_.advance_by(delta);
   const std::int64_t now_ns = raw(clock_.now());
-  // The heap front is the earliest armed deadline network-wide (possibly an
-  // over-approximation from a refreshed idle clock, never an under-one), so
-  // the idle tick is a single comparison regardless of switch count.
-  if (expiry_heap_.empty() || expiry_heap_.front().deadline > now_ns) return;
-  const auto heap_cmp = [](const ExpiryRec& a, const ExpiryRec& b) {
-    return expiry_rec_after(a.deadline, a.dpid, b.deadline, b.dpid);
-  };
   std::vector<of::Message> out;
-  while (!expiry_heap_.empty() && expiry_heap_.front().deadline <= now_ns) {
-    std::pop_heap(expiry_heap_.begin(), expiry_heap_.end(), heap_cmp);
-    const ExpiryRec rec = expiry_heap_.back();
-    expiry_heap_.pop_back();
-    const auto it = armed_expiry_.find(rec.dpid);
-    if (it == armed_expiry_.end() || it->second != rec.deadline)
-      continue; // stale: superseded by an earlier arm or a cold restart
-    armed_expiry_.erase(it);
-    SimSwitch* sw = switch_at(rec.dpid);
-    if (!sw) continue;
-    if (!sw->up()) continue; // down switches don't expire; re-armed on revival
-    sw->expire_flows(clock_.now(), out);
-    arm_switch_expiry(rec.dpid); // next deadline, if any remain
+  {
+    std::lock_guard<std::mutex> lk(expiry_mu_);
+    // The heap front is the earliest armed deadline network-wide (possibly an
+    // over-approximation from a refreshed idle clock, never an under-one), so
+    // the idle tick is a single comparison regardless of switch count.
+    if (expiry_heap_.empty() || expiry_heap_.front().deadline > now_ns) return;
+    const auto heap_cmp = [](const ExpiryRec& a, const ExpiryRec& b) {
+      return expiry_rec_after(a.deadline, a.dpid, b.deadline, b.dpid);
+    };
+    while (!expiry_heap_.empty() && expiry_heap_.front().deadline <= now_ns) {
+      std::pop_heap(expiry_heap_.begin(), expiry_heap_.end(), heap_cmp);
+      const ExpiryRec rec = expiry_heap_.back();
+      expiry_heap_.pop_back();
+      const auto it = armed_expiry_.find(rec.dpid);
+      if (it == armed_expiry_.end() || it->second != rec.deadline)
+        continue; // stale: superseded by an earlier arm or a cold restart
+      armed_expiry_.erase(it);
+      SimSwitch* sw = switch_at(rec.dpid);
+      if (!sw) continue;
+      if (!sw->up()) continue; // down switches don't expire; re-armed on revival
+      sw->expire_flows(clock_.now(), out);
+      arm_switch_expiry_locked(rec.dpid); // next deadline, if any remain
+    }
   }
   for (const auto& m : out) deliver_northbound(m);
 }

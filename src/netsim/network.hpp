@@ -17,6 +17,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -189,6 +190,8 @@ private:
   /// traffic only ever *extends* idle deadlines, which the lazy records
   /// already over-approximate, so the forwarding path needs no hook.
   void arm_switch_expiry(DatapathId dpid);
+  /// Heap/armed-map update with expiry_mu_ already held.
+  void arm_switch_expiry_locked(DatapathId dpid);
 
   SimClock clock_;
   std::map<DatapathId, std::unique_ptr<SimSwitch>> switches_;
@@ -202,6 +205,10 @@ private:
   SwitchStateFn switch_state_;
   Totals totals_;
 
+  /// Guards the expiry heap + armed map. Sharded dispatch commits flow-mods
+  /// to *different* switches concurrently (each under its own NetLog stripe),
+  /// but the expiry bookkeeping is one network-wide structure.
+  std::mutex expiry_mu_;
   std::vector<ExpiryRec> expiry_heap_; ///< min-heap via std::push_heap/pop_heap
   std::unordered_map<DatapathId, std::int64_t> armed_expiry_; ///< per-switch armed deadline
 

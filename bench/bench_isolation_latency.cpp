@@ -129,12 +129,17 @@ int main() {
   }
 
   const double base = rows[0].us.percentile(50);
-  bench::Table table({"dispatch path", "p50 (us)", "p95 (us)", "p99 (us)",
-                      "mean (us)", "slowdown vs direct"});
+  std::vector<std::string> headers{"dispatch path"};
+  for (auto& h : bench::latency_headers(/*with_mean=*/true))
+    headers.push_back(std::move(h));
+  headers.push_back("slowdown vs direct");
+  bench::Table table(std::move(headers));
   for (const auto& r : rows) {
-    table.row({r.path, bench::fmt(r.us.percentile(50)), bench::fmt(r.us.percentile(95)),
-               bench::fmt(r.us.percentile(99)), bench::fmt(r.us.mean()),
-               bench::fmt(r.us.percentile(50) / base, 1) + "x"});
+    std::vector<std::string> cells{r.path};
+    for (auto& c : bench::latency_cells(r.us, /*with_mean=*/true))
+      cells.push_back(std::move(c));
+    cells.push_back(bench::fmt(r.us.percentile(50) / base, 1) + "x");
+    table.row(std::move(cells));
   }
   table.print();
   std::printf("\n");
@@ -195,14 +200,21 @@ int main() {
     loss_rows.push_back(std::move(row));
   }
 
-  bench::Table lt({"loss rate", "p50 (us)", "p95 (us)", "p99 (us)", "retransmits",
-                   "flakes recovered", "timeouts", "dup/stale chunks dropped"});
+  std::vector<std::string> lh{"loss rate"};
+  for (auto& h : bench::latency_headers()) lh.push_back(std::move(h));
+  for (const char* h : {"retransmits", "flakes recovered", "timeouts",
+                        "dup/stale chunks dropped"})
+    lh.push_back(h);
+  bench::Table lt(std::move(lh));
   for (const auto& r : loss_rows) {
-    lt.row({bench::fmt_pct(r.loss), bench::fmt(r.us.percentile(50)),
-            bench::fmt(r.us.percentile(95)), bench::fmt(r.us.percentile(99)),
-            std::to_string(r.retransmits), std::to_string(r.flakes_recovered),
-            std::to_string(r.timeouts),
-            std::to_string(r.dup_chunks) + "/" + std::to_string(r.stale_chunks)});
+    std::vector<std::string> cells{bench::fmt_pct(r.loss)};
+    for (auto& c : bench::latency_cells(r.us)) cells.push_back(std::move(c));
+    cells.push_back(std::to_string(r.retransmits));
+    cells.push_back(std::to_string(r.flakes_recovered));
+    cells.push_back(std::to_string(r.timeouts));
+    cells.push_back(std::to_string(r.dup_chunks) + "/" +
+                    std::to_string(r.stale_chunks));
+    lt.row(std::move(cells));
   }
   lt.print();
   std::printf("\n");
@@ -215,22 +227,15 @@ int main() {
       .kv("bench", std::string("isolation_latency"))
       .begin_arr("paths");
   for (const auto& r : rows) {
-    j.begin_obj()
-        .kv("path", r.path)
-        .kv("p50_us", r.us.percentile(50))
-        .kv("p95_us", r.us.percentile(95))
-        .kv("p99_us", r.us.percentile(99))
-        .kv("mean_us", r.us.mean())
-        .end_obj();
+    j.begin_obj().kv("path", r.path);
+    bench::latency_kv(j, r.us, /*with_mean=*/true).end_obj();
   }
   j.end_arr().begin_arr("loss_sweep");
   for (const auto& r : loss_rows) {
     j.begin_obj()
         .kv("loss_rate", r.loss, 3)
-        .kv("rpcs", static_cast<std::uint64_t>(r.us.count()))
-        .kv("p50_us", r.us.percentile(50))
-        .kv("p95_us", r.us.percentile(95))
-        .kv("p99_us", r.us.percentile(99))
+        .kv("rpcs", static_cast<std::uint64_t>(r.us.count()));
+    bench::latency_kv(j, r.us)
         .kv("retransmits", r.retransmits)
         .kv("flakes_recovered", r.flakes_recovered)
         .kv("timeouts", r.timeouts)

@@ -25,7 +25,7 @@
 // the same thread injects and dispatches). Events are injected in batches of
 // 256 with a drain between batches so queueing stays bounded in both modes.
 //
-// JSON: per-row events/sec + p50/p99, plus a top-level "headline" object
+// JSON: per-row events/sec + p50/p95/p99, plus a top-level "headline" object
 // (blocking-50us speedup at 4 shards vs 1) that the CI regression gate
 // compares against the committed BENCH_throughput.json baseline.
 #include <cstdint>
@@ -124,8 +124,7 @@ struct Workload {
 
 struct Cell {
   double events_per_sec = 0;
-  double p50_us = 0;
-  double p99_us = 0;
+  Summary lat; ///< per-event completion latency (us)
 };
 
 of::PacketIn flow_event(const std::vector<DatapathId>& ids, std::uint64_t i,
@@ -191,14 +190,7 @@ Cell run_cell(const Workload& w, std::size_t shards, std::size_t events) {
 
   Cell cell;
   cell.events_per_sec = 1e6 * static_cast<double>(events) / elapsed_us;
-  if (shards <= 1) {
-    cell.p50_us = serial_lat.percentile(50);
-    cell.p99_us = serial_lat.percentile(99);
-  } else {
-    const auto st = c.dispatch_engine()->stats();
-    cell.p50_us = st.latency_us.percentile(50);
-    cell.p99_us = st.latency_us.percentile(99);
-  }
+  cell.lat = shards <= 1 ? serial_lat : c.dispatch_engine()->stats().latency_us;
   return cell;
 }
 
@@ -221,8 +213,10 @@ int main() {
               " — blocking rows overlap handler stalls and speed up even on "
               "one CPU; the cpu-bound row needs real cores to scale");
 
-  bench::Table table({"workload", "shards", "events/s", "p50_us", "p99_us",
-                      "speedup"});
+  std::vector<std::string> headers{"workload", "shards", "events/s"};
+  for (auto& h : bench::latency_headers()) headers.push_back(std::move(h));
+  headers.push_back("speedup");
+  bench::Table table(std::move(headers));
   bench::Json j;
   j.begin_obj();
   j.kv("bench", std::string("throughput"));
@@ -244,15 +238,16 @@ int main() {
         if (shards == 1) headline_serial = cell.events_per_sec;
         if (shards == 4) headline_4shard = cell.events_per_sec;
       }
-      table.row({w.name, std::to_string(shards),
-                 bench::fmt(cell.events_per_sec, 0), bench::fmt(cell.p50_us),
-                 bench::fmt(cell.p99_us), bench::fmt(speedup)});
+      std::vector<std::string> cells{w.name, std::to_string(shards),
+                                     bench::fmt(cell.events_per_sec, 0)};
+      for (auto& c : bench::latency_cells(cell.lat)) cells.push_back(std::move(c));
+      cells.push_back(bench::fmt(speedup));
+      table.row(std::move(cells));
       j.begin_obj();
       j.kv("workload", std::string(w.name));
       j.kv("shards", static_cast<std::uint64_t>(shards));
       j.kv("events_per_sec", cell.events_per_sec, 1);
-      j.kv("p50_us", cell.p50_us);
-      j.kv("p99_us", cell.p99_us);
+      bench::latency_kv(j, cell.lat);
       j.kv("speedup_vs_serial", speedup);
       j.end_obj();
     }

@@ -122,6 +122,37 @@ private:
   bool need_comma_ = false;
 };
 
+/// Emit the standard latency triple (p50_us/p95_us/p99_us, optionally
+/// mean_us) into the current JSON object. Every bench reports latency under
+/// these exact keys; keeping them in one place stops per-bench key drift
+/// that downstream parsers (scripts/check_bench.py, trajectory plots) would
+/// otherwise have to chase.
+inline Json& latency_kv(Json& j, const Summary& s, bool with_mean = false) {
+  j.kv("p50_us", s.percentile(50));
+  j.kv("p95_us", s.percentile(95));
+  j.kv("p99_us", s.percentile(99));
+  if (with_mean) j.kv("mean_us", s.mean());
+  return j;
+}
+
+/// The matching Table cells: {p50, p95, p99[, mean]} formatted like every
+/// other latency column. Splice into a row next to the bench's own cells.
+inline std::vector<std::string> latency_cells(const Summary& s,
+                                              bool with_mean = false) {
+  std::vector<std::string> cells{fmt(s.percentile(50)), fmt(s.percentile(95)),
+                                 fmt(s.percentile(99))};
+  if (with_mean) cells.push_back(fmt(s.mean()));
+  return cells;
+}
+
+/// The matching Table headers, so column titles stay in lockstep with
+/// latency_cells().
+inline std::vector<std::string> latency_headers(bool with_mean = false) {
+  std::vector<std::string> h{"p50 (us)", "p95 (us)", "p99 (us)"};
+  if (with_mean) h.push_back("mean (us)");
+  return h;
+}
+
 /// True when the harness asked for a tiny run (the CI bench-smoke job sets
 /// LEGOSDN_BENCH_SMOKE=1): benches shrink iteration counts and sweeps so the
 /// binary exercises every code path in seconds, not minutes.

@@ -38,6 +38,36 @@ def check_structure(path: Path, doc) -> None:
                 fail(f"{path}: rows[{i}] must be a non-empty object")
 
 
+def check_southbound(path: Path, doc) -> None:
+    """Schema for BENCH_southbound.json (experiment C13): the socket-scale
+    bench must report a handshake-storm sweep, per-(connections, shards)
+    throughput rows with the standard latency triple, and — outside smoke
+    mode — an actually-driven fleet of at least 5000 concurrent connections
+    (the acceptance floor for the epoll southbound)."""
+    handshake = doc.get("handshake")
+    if not isinstance(handshake, list) or not handshake:
+        fail(f"{path}: 'handshake' must be a non-empty list")
+    for i, row in enumerate(handshake):
+        for key in ("connections", "ms", "per_sec"):
+            if not isinstance(row.get(key), (int, float)):
+                fail(f"{path}: handshake[{i}].{key} must be numeric")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        fail(f"{path}: 'rows' must be a non-empty list")
+    for i, row in enumerate(rows):
+        for key in ("connections", "shards", "events_per_sec", "p50_us", "p99_us"):
+            if not isinstance(row.get(key), (int, float)):
+                fail(f"{path}: rows[{i}].{key} must be numeric")
+    max_conns = doc.get("max_connections")
+    if not isinstance(max_conns, int) or max_conns <= 0:
+        fail(f"{path}: max_connections must be a positive integer")
+    if not doc.get("smoke") and max_conns < 5000:
+        fail(
+            f"{path}: max_connections {max_conns} below the 5000-connection "
+            "floor for a full (non-smoke) southbound run"
+        )
+
+
 def headline_speedup(path: Path, doc) -> float | None:
     headline = doc.get("headline")
     if headline is None:
@@ -56,6 +86,8 @@ def check_file(path: Path, baseline_dir: Path, max_regression: float) -> str:
     except (OSError, json.JSONDecodeError) as e:
         fail(f"{path}: {e}")
     check_structure(path, doc)
+    if doc.get("bench") == "southbound":
+        check_southbound(path, doc)
 
     speedup = headline_speedup(path, doc)
     if speedup is None:

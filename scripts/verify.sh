@@ -16,9 +16,14 @@
 #                for the sharded parallel event pipeline. Honours
 #                LEGOSDN_SHARD_DIFF_SEEDS (default 10 here: TSan is ~15x
 #                slower and the differential runs at 50 seeds in plain ctest).
+#   socket-tests the loopback-socket suites (southbound epoll server, OF 1.0
+#                wire codec) run directly from a release build. These open
+#                real TCP sockets; the dedicated CI job keeps an EMFILE or
+#                firewalled runner from reading as a logic regression in the
+#                main matrix.
 #   bench-smoke  run the JSON-emitting benches (checkpoint, isolation
-#                latency, flow table, netlog, micro, throughput) with tiny
-#                iteration counts (LEGOSDN_BENCH_SMOKE=1), assert exit 0 and
+#                latency, flow table, netlog, micro, throughput, southbound)
+#                with tiny iteration counts (LEGOSDN_BENCH_SMOKE=1), assert exit 0 and
 #                that each emits parseable JSON into bench-out/, then gate
 #                them with scripts/check_bench.py against the committed
 #                BENCH_*.json baselines (order-of-magnitude floor on
@@ -65,7 +70,8 @@ cmd_tsan() {
   # checkpoint worker — the code TSan exists to police.
   local t
   for t in controller_test sharded_dispatch_test legosdn_test \
-           checkpoint_test checkpoint_pipeline_test netlog_test; do
+           checkpoint_test checkpoint_pipeline_test netlog_test \
+           southbound_test; do
     echo "== tsan: $t =="
     TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
     LEGOSDN_SHARD_DIFF_SEEDS="${LEGOSDN_SHARD_DIFF_SEEDS:-10}" \
@@ -73,10 +79,21 @@ cmd_tsan() {
   done
 }
 
+cmd_socket_tests() {
+  local dir="build"
+  [ -d build-ci ] && dir="build-ci"
+  cmake --build "$dir" -j "$(nproc)" --target southbound_test wire10_test
+  local t
+  for t in southbound_test wire10_test; do
+    echo "== socket: $t =="
+    "./$dir/tests/$t" --gtest_brief=1
+  done
+}
+
 cmd_bench_smoke() {
   local dir="build"
   [ -d build-ci ] && dir="build-ci"
-  local benches="bench_checkpoint bench_isolation_latency bench_flow_table bench_netlog bench_micro bench_throughput"
+  local benches="bench_checkpoint bench_isolation_latency bench_flow_table bench_netlog bench_micro bench_throughput bench_southbound"
   # shellcheck disable=SC2086
   cmake --build "$dir" -j "$(nproc)" --target $benches
   mkdir -p bench-out
@@ -107,12 +124,13 @@ cmd_format() {
 }
 
 case "${1:-all}" in
-  build)       cmd_build ;;
-  asan)        cmd_asan ;;
-  tsan)        cmd_tsan ;;
-  bench-smoke) cmd_bench_smoke ;;
-  fuzz-smoke)  cmd_fuzz_smoke ;;
-  format)      cmd_format ;;
+  build)        cmd_build ;;
+  asan)         cmd_asan ;;
+  tsan)         cmd_tsan ;;
+  socket-tests) cmd_socket_tests ;;
+  bench-smoke)  cmd_bench_smoke ;;
+  fuzz-smoke)   cmd_fuzz_smoke ;;
+  format)       cmd_format ;;
   all)
     cmd_build
     if [ "${LEGOSDN_SKIP_ASAN:-0}" != "1" ]; then
@@ -120,7 +138,7 @@ case "${1:-all}" in
     fi
     ;;
   *)
-    echo "unknown command: $1 (expected build|asan|tsan|bench-smoke|fuzz-smoke|format)" >&2
+    echo "unknown command: $1 (expected build|asan|tsan|socket-tests|bench-smoke|fuzz-smoke|format)" >&2
     exit 2
     ;;
 esac

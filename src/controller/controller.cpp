@@ -21,6 +21,10 @@ AppId Controller::register_app(AppPtr app) {
 }
 
 void Controller::start() {
+  if (announcer_) {
+    announcer_();
+    return;
+  }
   for (const DatapathId dpid : net_.switch_ids()) {
     const netsim::SimSwitch* sw = net_.switch_at(dpid);
     if (sw && sw->up()) inject_event(SwitchUp{dpid, sw->features()});
@@ -147,6 +151,10 @@ void Controller::reboot() {
 
 void Controller::send(const of::Message& msg) {
   stats_.messages_sent += 1;
+  if (southbound_) {
+    southbound_(msg);
+    return;
+  }
   net_.send_to_switch(msg);
 }
 

@@ -83,6 +83,20 @@ public:
   /// events (the OF connections were severed) and re-announces switches.
   void reboot();
 
+  // --- southbound override (socket layer) ---
+  /// When set, send() hands messages to this instead of the in-process
+  /// network adapter. May be called from dispatcher lane threads; the
+  /// callback must be thread-safe.
+  using SouthboundFn = std::function<void(const of::Message&)>;
+  void set_southbound(SouthboundFn fn) { southbound_ = std::move(fn); }
+
+  /// When set, start() (and reboot()) defer switch announcement to the
+  /// southbound layer: SwitchUp events come from real handshakes instead of
+  /// a network scan.
+  void set_switch_announcer(std::function<void()> fn) {
+    announcer_ = std::move(fn);
+  }
+
   // --- ServiceApi ---
   void send(const of::Message& msg) override;
   std::uint32_t next_xid() override { return next_xid_++; }
@@ -117,6 +131,9 @@ protected:
   std::string crash_reason_;
   std::uint32_t next_xid_ = 1;
   Stats stats_;
+
+  SouthboundFn southbound_;
+  std::function<void()> announcer_;
 
 private:
   void on_northbound(const of::Message& msg);

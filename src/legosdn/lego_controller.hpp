@@ -20,6 +20,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <mutex>
 #include <shared_mutex>
 
@@ -149,6 +150,17 @@ public:
   LocalizeResult localize_fault(AppId app, const ctl::Event& offender);
 
   // --- introspection ---
+  /// Serialize an out-of-band network write against verifying transactions.
+  /// A verifier reads switch tables network-wide under the exclusive side of
+  /// the transaction lock; anything else that mutates switch state from
+  /// outside a transaction (the wire southbound's pump thread applying a
+  /// controller->switch message) must run under the shared side, like a
+  /// non-verifying commit does. Acquire before any NetLog stripe.
+  void with_txn_write_gate(const std::function<void()>& fn) {
+    std::shared_lock<std::shared_mutex> lk(txn_rw_);
+    fn();
+  }
+
   netlog::NetLog& netlog() noexcept { return netlog_; }
   crashpad::TicketLog& tickets() noexcept { return tickets_; }
   appvisor::AppVisor& appvisor() noexcept { return visor_; }

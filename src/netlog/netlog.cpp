@@ -77,6 +77,11 @@ NetLog::StripeGuard::~StripeGuard() {
 
 // ---------------------------------------------------------------------------
 
+void NetLog::with_world_lock(const std::function<void()>& fn) {
+  auto guard = StripeGuard::all(*this);
+  fn();
+}
+
 NetLog::NetLog(netsim::Network& net, NetLogConfig cfg) : net_(net), cfg_(cfg) {}
 
 TxnId NetLog::begin(AppId app) {
@@ -137,7 +142,13 @@ void NetLog::touch(Txn& txn, DatapathId dpid) {
   }
 }
 
-void NetLog::forward(const of::Message& msg) { net_.send_to_switch(msg); }
+void NetLog::forward(const of::Message& msg) {
+  if (southbound_) {
+    southbound_(msg);
+    return;
+  }
+  net_.send_to_switch(msg);
+}
 
 Status NetLog::apply(TxnId id, const of::Message& msg) {
   Txn* txn = find_open(id);

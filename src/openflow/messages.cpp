@@ -27,6 +27,21 @@ std::string type_name(const MessageBody& body) {
       body);
 }
 
+DatapathId dpid_of(const MessageBody& body) {
+  return std::visit(
+      [](const auto& m) -> DatapathId {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, Hello> || std::is_same_v<T, EchoRequest> ||
+                      std::is_same_v<T, EchoReply> ||
+                      std::is_same_v<T, FeaturesRequest>) {
+          return DatapathId{0};
+        } else {
+          return m.dpid;
+        }
+      },
+      body);
+}
+
 bool is_state_changing(const MessageBody& body) {
   // FlowMod mutates flow tables; PacketOut injects traffic but leaves no
   // switch state behind, so it is logged for diagnostics yet needs no inverse.

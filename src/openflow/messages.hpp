@@ -273,6 +273,11 @@ struct Message {
 /// Human-readable message-type name ("flow-mod", "packet-in", ...).
 std::string type_name(const MessageBody& body);
 
+/// Which switch is this message addressed to / from? DatapathId{0} for
+/// connection-scoped messages (hello, echo, features-request) that carry no
+/// datapath. Used by socket southbounds to pick the owning connection.
+DatapathId dpid_of(const MessageBody& body);
+
 /// Does this message mutate switch/network state when sent by the controller?
 /// (NetLog only logs/undoes state-changing messages.)
 bool is_state_changing(const MessageBody& body);

@@ -362,6 +362,18 @@ std::size_t frame_length(std::span<const std::uint8_t> buffer) {
   return (std::size_t{buffer[2]} << 8) | buffer[3];
 }
 
+FrameStatus peek_frame(std::span<const std::uint8_t> buffer,
+                       std::size_t* total_len, std::size_t max_frame) {
+  if (buffer.size() < 4) return FrameStatus::kNeedMore;
+  const std::size_t len = (std::size_t{buffer[2]} << 8) | buffer[3];
+  // A length below sizeof(ofp_header) can never frame a valid message and,
+  // worse, would make a naive reassembler spin without consuming bytes.
+  if (len < kHeaderLen || len > max_frame) return FrameStatus::kBad;
+  if (buffer.size() < len) return FrameStatus::kNeedMore;
+  *total_len = len;
+  return FrameStatus::kReady;
+}
+
 Result<std::vector<std::uint8_t>> encode(const Message& msg) {
   ByteWriter w(64);
   const std::uint32_t xid = msg.xid;
@@ -545,6 +557,8 @@ Result<Message> decode(std::span<const std::uint8_t> frame, DatapathId conn_dpid
                  "OF version " + std::to_string(version)};
   const auto type = static_cast<OfpType>(r.u8());
   const std::uint16_t length = r.u16();
+  if (length < kHeaderLen)
+    return Error{Error::Code::kParse, "ofp_header length below header size"};
   if (length != frame.size())
     return Error{Error::Code::kParse, "ofp_header length mismatch"};
   Message msg;

@@ -29,6 +29,9 @@ constexpr std::uint8_t kVersion = 0x01;
 constexpr std::size_t kHeaderLen = 8;
 constexpr std::size_t kMatchLen = 40;
 constexpr std::size_t kPhyPortLen = 48;
+/// Largest frame a peer may send: ofp_header.length is 16 bits, so anything
+/// on the wire fits; connection layers may impose a tighter cap.
+constexpr std::size_t kMaxFrameLen = 0xFFFF;
 
 /// ofp_type values (OpenFlow 1.0 §5.1).
 enum class OfpType : std::uint8_t {
@@ -67,7 +70,26 @@ Result<Message> decode(std::span<const std::uint8_t> frame, DatapathId conn_dpid
 
 /// Peek at a buffer: returns the total length of the first frame if the
 /// header is complete, 0 otherwise. For stream reassembly.
+///
+/// NOTE: this trusts the peer's length field. Stream reassemblers must use
+/// peek_frame() instead — a length below sizeof(ofp_header) would otherwise
+/// wedge or mis-frame the byte stream forever.
 std::size_t frame_length(std::span<const std::uint8_t> buffer);
+
+/// Stream-reassembly verdict for the bytes at the head of a receive buffer.
+enum class FrameStatus : std::uint8_t {
+  kNeedMore, ///< length field (or body) not fully buffered yet
+  kReady,    ///< *total_len bytes form one complete frame
+  kBad,      ///< malformed: length < sizeof(ofp_header) or > max_frame
+};
+
+/// Validate the frame at the head of `buffer` without copying or decoding.
+/// On kReady, *total_len is the byte count to hand to decode(). A kBad
+/// verdict means the stream is unrecoverable (framing is length-prefixed;
+/// a bogus length loses sync) — the connection must be dropped.
+FrameStatus peek_frame(std::span<const std::uint8_t> buffer,
+                       std::size_t* total_len,
+                       std::size_t max_frame = kMaxFrameLen);
 
 // --- exposed for tests ---
 

@@ -9,6 +9,7 @@
 
 #include "invariant/invariant.hpp"
 #include "netsim/traffic.hpp"
+#include "southbound/southbound_bridge.hpp"
 
 #include "apps/fault_injection.hpp"
 #include "apps/firewall.hpp"
@@ -90,6 +91,7 @@ Result<Scenario> Scenario::parse(std::string_view text) {
   // checks shape: known command words and minimal arity, with line numbers.
   static const std::map<std::string, std::size_t> kMinArity = {
       {"topology", 3},  {"architecture", 2}, {"backend", 2}, {"netlog", 2},
+      {"southbound", 2},
       {"checkpoint", 3}, {"limits", 2},       {"policy", 2},  {"app", 2},
       {"wrap", 2},       {"start", 1},        {"send", 3},    {"switch", 3},
       {"link", 4},       {"advance", 2},      {"upgrade", 1}, {"expect", 2},
@@ -171,6 +173,12 @@ private:
   }
 
   void drain() {
+    if (bridge_) {
+      // Wire mode: quiescence spans the sockets too — frames in flight on a
+      // loopback connection are work just like undispatched events.
+      bridge_->settle();
+      return;
+    }
     while (controller_->run() > 0) {
     }
   }
@@ -209,6 +217,17 @@ private:
     result_.controller_down = controller_->crashed();
     for (const auto& v : invariant::InvariantChecker(*net_).check_basic()) {
       result_.violations.push_back(v.to_string());
+    }
+    // Transaction outcome + per-switch digests before the probes mutate
+    // tables: the wire-vs-in-process differential compares these directly.
+    if (lego_) {
+      const auto ns = lego_->netlog().stats();
+      result_.netlog_committed = ns.committed;
+      result_.netlog_rolled_back = ns.rolled_back;
+    }
+    for (const DatapathId dpid : net_->switch_ids()) {
+      result_.switch_digests.push_back(
+          net_->switch_at(dpid)->table().logical_digest());
     }
     if (std::getenv("LEGOSDN_SCN_DUMP_TABLES")) {
       for (const DatapathId dpid : net_->switch_ids()) {
@@ -452,6 +471,13 @@ private:
       else return fail(cmd, "unknown backend");
       return true;
     }
+    if (word == "southbound") {
+      if (controller_) return fail(cmd, "'southbound' after start");
+      if (cmd.tokens[1] == "inprocess") wire_mode_ = false;
+      else if (cmd.tokens[1] == "wire") wire_mode_ = true;
+      else return fail(cmd, "unknown southbound '" + cmd.tokens[1] + "'");
+      return true;
+    }
     if (word == "netlog") {
       if (cmd.tokens[1] == "undo-log") cfg_.netlog.mode = netlog::Mode::kUndoLog;
       else if (cmd.tokens[1] == "delay-buffer")
@@ -502,20 +528,39 @@ private:
         if (!parsed) return fail(cmd, parsed.error().to_string());
         cfg_.policies = std::move(parsed).value();
       }
+      // Wire mode swaps the in-process adapter for real loopback sockets.
+      // The bridge must hook the network and controller *before* start():
+      // the switch announcement itself then runs as OF handshakes.
+      auto attach_bridge = [this](ctl::Controller& c) -> Status {
+        if (!wire_mode_) return Status::success();
+        bridge_ = std::make_unique<southbound::SouthboundBridge>(*net_, c);
+        return bridge_->start();
+      };
       if (lego_mode_) {
         auto lego = std::make_unique<lego::LegoController>(*net_, cfg_);
         for (auto& a : pending_) lego->add_app(std::move(a));
+        if (auto st = attach_bridge(*lego); !st) return fail(cmd, st.error().to_string());
+        if (bridge_) {
+          bridge_->attach_netlog(lego->netlog());
+          bridge_->set_delivery_gate(
+              [l = lego.get()](const std::function<void()>& fn) {
+                l->with_txn_write_gate(fn);
+              });
+        }
         if (auto st = lego->start_system(); !st) return fail(cmd, st.error().to_string());
         lego_ = lego.get();
         controller_ = std::move(lego);
       } else {
         controller_ = std::make_unique<ctl::Controller>(*net_);
         for (auto& a : pending_) controller_->register_app(std::move(a));
+        if (auto st = attach_bridge(*controller_); !st)
+          return fail(cmd, st.error().to_string());
         controller_->start();
       }
       pending_.clear();
       drain();
-      log_ << "started (" << (lego_mode_ ? "legosdn" : "monolithic") << ")\n";
+      log_ << "started (" << (lego_mode_ ? "legosdn" : "monolithic")
+           << (wire_mode_ ? ", wire southbound" : "") << ")\n";
       return true;
     }
     if (word == "send") {
@@ -728,11 +773,15 @@ private:
 
   std::unique_ptr<netsim::Network> net_;
   std::vector<ctl::AppPtr> pending_;
+  // Declared before controller_ so destruction drains the controller's
+  // dispatch lanes while the bridge (and its server) is still alive.
+  std::unique_ptr<southbound::SouthboundBridge> bridge_;
   std::unique_ptr<ctl::Controller> controller_;
   lego::LegoController* lego_ = nullptr;
   lego::LegoConfig cfg_;
   std::string policy_text_;
   bool lego_mode_ = true;
+  bool wire_mode_ = false;
   /// Scheduled churn events keyed by absolute sim time (ns); multimap keeps
   /// same-second events in script order.
   std::multimap<std::int64_t, Scenario::Command> schedule_;

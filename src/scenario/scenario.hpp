@@ -21,6 +21,7 @@
 //   topology random <n> [hosts_per_switch] [extra=<links>] [seed=<s>]
 //   architecture (legosdn|monolithic)
 //   backend (inprocess|process)
+//   southbound (inprocess|wire)   # wire: real loopback TCP + OF 1.0 framing
 //   netlog (undo-log|delay-buffer)
 //   checkpoint every <k>
 //   limits max_messages=<n> max_faults=<n>
@@ -92,6 +93,14 @@ struct RunResult {
   std::vector<std::string> violations;
   std::size_t n_hosts = 0;
   std::vector<std::uint8_t> reachability; ///< n_hosts * n_hosts, row-major
+
+  // NetLog transaction outcome (legosdn only; zero for monolithic) and the
+  // per-switch FlowTable::logical_digest() values in switch-id order, both
+  // captured before the reachability probes. The wire southbound must
+  // reproduce these byte-for-byte against the in-process path.
+  std::uint64_t netlog_committed = 0;
+  std::uint64_t netlog_rolled_back = 0;
+  std::vector<std::uint64_t> switch_digests;
 
   bool reachable(std::size_t src, std::size_t dst) const {
     return reachability[src * n_hosts + dst] != 0;

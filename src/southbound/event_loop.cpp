@@ -1,0 +1,84 @@
+#include "southbound/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <array>
+
+namespace legosdn::southbound {
+
+EventLoop::EventLoop() {
+  epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epfd_ >= 0 && wake_fd_ >= 0) {
+    ::epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = wake_fd_;
+    ::epoll_ctl(epfd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epfd_ >= 0) ::close(epfd_);
+}
+
+bool EventLoop::add(int fd, std::uint32_t events, IoFn fn) {
+  ::epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) return false;
+  handlers_[fd] = std::make_shared<IoFn>(std::move(fn));
+  return true;
+}
+
+bool EventLoop::modify(int fd, std::uint32_t events) {
+  ::epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  return ::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+void EventLoop::remove(int fd) {
+  ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+int EventLoop::poll(int timeout_ms) {
+  std::array<::epoll_event, 256> events;
+  int n;
+  do {
+    n = ::epoll_wait(epfd_, events.data(), static_cast<int>(events.size()),
+                     timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n <= 0) return 0;
+
+  int handled = 0;
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    if (fd == wake_fd_) {
+      std::uint64_t junk;
+      while (::read(wake_fd_, &junk, sizeof(junk)) > 0) {
+      }
+      continue;
+    }
+    // Re-look up per event: an earlier callback in this batch may have
+    // removed this fd (peer reset tears down its neighbour's conn, etc.).
+    // Level-triggered semantics make the residual fd-reuse race benign — a
+    // spurious callback reads EAGAIN and returns.
+    auto it = handlers_.find(fd);
+    if (it == handlers_.end()) continue;
+    auto fn = it->second; // keep alive across self-removal
+    (*fn)(events[i].events);
+    ++handled;
+  }
+  return handled;
+}
+
+void EventLoop::wakeup() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+} // namespace legosdn::southbound

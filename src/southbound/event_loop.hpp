@@ -1,0 +1,53 @@
+// Level-triggered epoll reactor.
+//
+// One loop multiplexes the listening socket plus every connection socket of
+// an OFServer (or the client sockets of a WireSwitchClient fleet). poll()
+// runs on exactly one thread; other threads may only call wakeup(), which
+// pokes an eventfd so a blocking poll() returns and the owner can sweep
+// cross-thread work (e.g. frames enqueued by dispatcher lanes).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+namespace legosdn::southbound {
+
+class EventLoop {
+public:
+  /// Called with the ready epoll event mask (EPOLLIN | EPOLLOUT | ...).
+  using IoFn = std::function<void(std::uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  bool valid() const noexcept { return epfd_ >= 0; }
+
+  /// Register `fd` for `events`. The callback may add/remove fds freely,
+  /// including removing its own fd mid-dispatch.
+  bool add(int fd, std::uint32_t events, IoFn fn);
+  bool modify(int fd, std::uint32_t events);
+  void remove(int fd);
+
+  /// One dispatch pass: wait up to `timeout_ms` (0 = nonblocking, -1 =
+  /// forever), run callbacks for every ready fd. Returns callbacks invoked.
+  int poll(int timeout_ms);
+
+  /// Thread-safe: interrupt a blocking poll().
+  void wakeup();
+
+  std::size_t watched() const noexcept { return handlers_.size(); }
+
+private:
+  int epfd_ = -1;
+  int wake_fd_ = -1;
+  // shared_ptr so a handler that removes its own registration (connection
+  // teardown inside the callback) doesn't free the lambda it is running in.
+  std::unordered_map<int, std::shared_ptr<IoFn>> handlers_;
+};
+
+} // namespace legosdn::southbound

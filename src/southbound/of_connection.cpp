@@ -1,0 +1,105 @@
+#include "southbound/of_connection.hpp"
+
+#include <cerrno>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+namespace legosdn::southbound {
+
+OFConnection::OFConnection(int fd, Limits limits) : fd_(fd), limits_(limits) {}
+
+OFConnection::~OFConnection() {
+  if (!closed_) ::close(fd_);
+}
+
+void OFConnection::close() {
+  std::lock_guard<std::mutex> lk(out_mu_);
+  if (closed_) return;
+  closed_ = true;
+  ::shutdown(fd_, SHUT_RDWR);
+  ::close(fd_);
+}
+
+OFConnection::IoStatus OFConnection::read_frames(const FrameFn& on_frame) {
+  if (closed_) return IoStatus::kError;
+  std::size_t read_this_pass = 0;
+  bool saw_eof = false;
+
+  while (read_this_pass < limits_.max_read_per_pass) {
+    ::iovec iov[2];
+    const int iovcnt = in_.free_iovecs(limits_.read_chunk, iov);
+    const ssize_t n = ::readv(fd_, iov, iovcnt);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return IoStatus::kError;
+    }
+    if (n == 0) {
+      saw_eof = true;
+      break;
+    }
+    in_.commit(static_cast<std::size_t>(n));
+    read_this_pass += static_cast<std::size_t>(n);
+    stats_.bytes_in += static_cast<std::uint64_t>(n);
+    if (static_cast<std::size_t>(n) < limits_.read_chunk) break; // drained
+  }
+
+  // Extract every complete frame. peek_frame validates the length field, so
+  // a runt (len < 8) or oversized length tears the connection down instead
+  // of spinning or desynchronizing the stream.
+  for (;;) {
+    std::uint8_t hdr[4];
+    if (in_.size() < 4) break;
+    in_.peek(hdr, 4);
+    std::size_t len = 0;
+    const auto st = of::wire10::peek_frame(std::span<const std::uint8_t>(hdr, 4),
+                                           &len, limits_.max_frame);
+    if (st == of::wire10::FrameStatus::kBad) return IoStatus::kProtocol;
+    // A 4-byte peek validates only the length field (kNeedMore there means
+    // the body extends past the header); completeness is the ring's size.
+    len = (std::size_t{hdr[2]} << 8) | hdr[3]; // validated >= kHeaderLen above
+    if (in_.size() < len) break;
+    const auto frame = in_.view(len, frame_scratch_);
+    stats_.frames_in += 1;
+    on_frame(frame);
+    in_.consume(len);
+    if (closed_) return IoStatus::kOk; // handler tore us down (protocol error)
+  }
+
+  return saw_eof ? IoStatus::kPeerClosed : IoStatus::kOk;
+}
+
+bool OFConnection::enqueue(std::span<const std::uint8_t> frame) {
+  std::lock_guard<std::mutex> lk(out_mu_);
+  if (closed_) return false;
+  out_.append(frame);
+  frames_enqueued_ += 1;
+  return true;
+}
+
+OFConnection::IoStatus OFConnection::flush() {
+  std::lock_guard<std::mutex> lk(out_mu_);
+  if (closed_) return IoStatus::kError;
+  stats_.frames_out = frames_enqueued_;
+  while (!out_.empty()) {
+    ::iovec iov[2];
+    const int iovcnt = out_.data_iovecs(iov);
+    const ssize_t n = ::writev(fd_, iov, iovcnt);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kOk;
+      return IoStatus::kError;
+    }
+    out_.consume(static_cast<std::size_t>(n));
+    stats_.bytes_out += static_cast<std::uint64_t>(n);
+  }
+  return IoStatus::kOk;
+}
+
+std::size_t OFConnection::pending_out() const {
+  std::lock_guard<std::mutex> lk(out_mu_);
+  return out_.size();
+}
+
+} // namespace legosdn::southbound

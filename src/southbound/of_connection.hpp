@@ -1,0 +1,99 @@
+// One framed OF 1.0 byte stream over a nonblocking socket.
+//
+// Owns the receive ring (frame reassembly across partial reads, validated by
+// wire10::peek_frame so a hostile length field can never wedge or mis-frame
+// the stream) and the send ring (coalesced flushes: frames accumulate and a
+// single writev pushes the batch). The send ring is the only cross-thread
+// surface — dispatcher lanes enqueue() encoded replies while the loop thread
+// flushes — so it is mutex-guarded; everything else is loop-thread-only.
+//
+// Backpressure: the connection only reports watermark state
+// (should_pause_reads / should_resume_reads); the owning server decides,
+// because pausing means dropping EPOLLIN interest, and epoll registration
+// belongs to the server's loop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+
+#include "openflow/wire10.hpp"
+#include "southbound/ring_buffer.hpp"
+
+namespace legosdn::southbound {
+
+class OFConnection {
+public:
+  struct Limits {
+    std::size_t high_watermark = 1 << 20; ///< pause reads above this backlog
+    std::size_t low_watermark = 64 << 10; ///< resume reads at/below this
+    std::size_t max_frame = of::wire10::kMaxFrameLen;
+    std::size_t read_chunk = 16 << 10;    ///< readv target per syscall
+    std::size_t max_read_per_pass = 256 << 10; ///< fairness cap per io pass
+  };
+
+  enum class IoStatus : std::uint8_t {
+    kOk,         ///< made progress (possibly zero bytes: EAGAIN)
+    kPeerClosed, ///< orderly EOF
+    kError,      ///< socket error; connection unusable
+    kProtocol,   ///< malformed framing; connection must be dropped
+  };
+
+  using FrameFn = std::function<void(std::span<const std::uint8_t> frame)>;
+
+  /// Takes ownership of `fd` (closed on destruction).
+  OFConnection(int fd, Limits limits);
+  ~OFConnection();
+
+  OFConnection(const OFConnection&) = delete;
+  OFConnection& operator=(const OFConnection&) = delete;
+
+  int fd() const noexcept { return fd_; }
+  bool closed() const noexcept { return closed_; }
+
+  /// Loop thread: shut the socket down. enqueue() fails afterwards.
+  void close();
+
+  /// Loop thread: drain the socket into the receive ring and invoke
+  /// `on_frame` for every complete frame (bounded by max_read_per_pass;
+  /// level-triggered epoll re-reports the rest).
+  IoStatus read_frames(const FrameFn& on_frame);
+
+  /// Any thread: append one encoded frame to the send ring.
+  /// Returns false when the connection is closed.
+  bool enqueue(std::span<const std::uint8_t> frame);
+
+  /// Loop thread: writev as much of the send ring as the kernel accepts.
+  IoStatus flush();
+
+  /// Thread-safe: bytes waiting in the send ring.
+  std::size_t pending_out() const;
+
+  bool should_pause_reads() const { return pending_out() >= limits_.high_watermark; }
+  bool should_resume_reads() const { return pending_out() <= limits_.low_watermark; }
+
+  struct Stats {
+    std::uint64_t bytes_in = 0;
+    std::uint64_t bytes_out = 0;
+    std::uint64_t frames_in = 0;
+    std::uint64_t frames_out = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+private:
+  const int fd_;
+  const Limits limits_;
+  bool closed_ = false;
+
+  RingBuffer in_;
+  std::vector<std::uint8_t> frame_scratch_; ///< linearizes wrapped frames
+
+  mutable std::mutex out_mu_;
+  RingBuffer out_;
+  std::uint64_t frames_enqueued_ = 0; ///< under out_mu_; folded into stats_
+
+  Stats stats_;
+};
+
+} // namespace legosdn::southbound

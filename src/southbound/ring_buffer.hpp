@@ -1,0 +1,112 @@
+// Growable byte ring for the southbound socket layer.
+//
+// Each OF connection owns two of these: the receive ring reassembles frames
+// across partial reads, the send ring coalesces outbound frames so one
+// writev() flushes a whole batch. Contents and free space are exposed as
+// at-most-two iovec spans, so socket I/O runs scatter/gather without ever
+// linearizing the ring.
+#pragma once
+
+#include <sys/uio.h>
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace legosdn::southbound {
+
+class RingBuffer {
+public:
+  explicit RingBuffer(std::size_t initial_capacity = 4096)
+      : buf_(initial_capacity ? initial_capacity : 1) {}
+
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return buf_.size(); }
+  std::size_t free_space() const noexcept { return buf_.size() - size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Grow (doubling) until at least `n` bytes are free.
+  void ensure_free(std::size_t n) {
+    if (free_space() >= n) return;
+    std::size_t cap = buf_.size();
+    while (cap - size_ < n) cap *= 2;
+    relinearize(cap);
+  }
+
+  /// Append bytes (copies; for encoded frames landing on the send ring).
+  void append(std::span<const std::uint8_t> data) {
+    ensure_free(data.size());
+    const std::size_t tail = (head_ + size_) % buf_.size();
+    const std::size_t first = std::min(data.size(), buf_.size() - tail);
+    std::memcpy(buf_.data() + tail, data.data(), first);
+    if (first < data.size())
+      std::memcpy(buf_.data(), data.data() + first, data.size() - first);
+    size_ += data.size();
+  }
+
+  /// Expose free space as up to two iovecs for readv(). Call ensure_free()
+  /// first; returns the iovec count (0 when completely full).
+  int free_iovecs(std::size_t want, ::iovec iov[2]) {
+    ensure_free(want);
+    const std::size_t avail = std::min(want, free_space());
+    if (avail == 0) return 0;
+    const std::size_t tail = (head_ + size_) % buf_.size();
+    const std::size_t first = std::min(avail, buf_.size() - tail);
+    iov[0] = {buf_.data() + tail, first};
+    if (first == avail) return 1;
+    iov[1] = {buf_.data(), avail - first};
+    return 2;
+  }
+
+  /// Account for `n` bytes the kernel deposited into free_iovecs() space.
+  void commit(std::size_t n) { size_ += n; }
+
+  /// Expose contents as up to two iovecs for writev().
+  int data_iovecs(::iovec iov[2]) const {
+    if (size_ == 0) return 0;
+    const std::size_t first = std::min(size_, buf_.size() - head_);
+    iov[0] = {const_cast<std::uint8_t*>(buf_.data()) + head_, first};
+    if (first == size_) return 1;
+    iov[1] = {const_cast<std::uint8_t*>(buf_.data()), size_ - first};
+    return 2;
+  }
+
+  /// Copy `n` bytes from the front (without consuming) into `dst`.
+  void peek(std::uint8_t* dst, std::size_t n) const {
+    const std::size_t first = std::min(n, buf_.size() - head_);
+    std::memcpy(dst, buf_.data() + head_, first);
+    if (first < n) std::memcpy(dst + first, buf_.data(), n - first);
+  }
+
+  /// Contiguous view of the first `n` bytes. Usually zero-copy; when the
+  /// range wraps, it is linearized into `scratch` first.
+  std::span<const std::uint8_t> view(std::size_t n,
+                                     std::vector<std::uint8_t>& scratch) const {
+    if (buf_.size() - head_ >= n) return {buf_.data() + head_, n};
+    scratch.resize(n);
+    peek(scratch.data(), n);
+    return {scratch.data(), n};
+  }
+
+  /// Drop `n` bytes from the front.
+  void consume(std::size_t n) {
+    head_ = (head_ + n) % buf_.size();
+    size_ -= n;
+    if (size_ == 0) head_ = 0; // free reset keeps views contiguous
+  }
+
+private:
+  void relinearize(std::size_t new_cap) {
+    std::vector<std::uint8_t> next(new_cap);
+    peek(next.data(), size_);
+    buf_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<std::uint8_t> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+} // namespace legosdn::southbound

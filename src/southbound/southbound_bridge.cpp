@@ -1,0 +1,137 @@
+#include "southbound/southbound_bridge.hpp"
+
+namespace legosdn::southbound {
+
+SouthboundBridge::SouthboundBridge(netsim::Network& net,
+                                   ctl::Controller& controller, Config cfg)
+    : net_(net), controller_(controller), cfg_(std::move(cfg)) {}
+
+SouthboundBridge::~SouthboundBridge() {
+  clients_.clear();
+  server_.close();
+}
+
+Status SouthboundBridge::start() {
+  auto st = server_.listen(cfg_.server, [this](ctl::Event e) {
+    controller_.inject_event(std::move(e));
+  });
+  if (!st) return st;
+
+  // Switch-originated messages cross the wire via the switch's client.
+  net_.set_northbound([this](const of::Message& msg) {
+    auto it = clients_.find(of::dpid_of(msg.body));
+    if (it == clients_.end() || !it->second->ready() ||
+        !it->second->send(msg)) {
+      stats_.northbound_dropped += 1;
+    }
+  });
+  // Liveness transitions become real connects/disconnects; the controller
+  // hears about them through handshakes and EOFs, not a callback.
+  net_.set_switch_state_callback([this](DatapathId dpid, bool up) {
+    if (up) {
+      connect_one(dpid);
+    } else {
+      drop_one(dpid);
+    }
+  });
+  // Controller-originated messages cross the wire via the owning connection.
+  controller_.set_southbound([this](const of::Message& msg) {
+    if (!server_.send(of::dpid_of(msg.body), msg)) stats_.southbound_dropped += 1;
+  });
+  controller_.set_switch_announcer([this] { announce(); });
+  return Status::success();
+}
+
+void SouthboundBridge::attach_netlog(netlog::NetLog& nl) {
+  netlog_ = &nl;
+  nl.set_southbound([this](const of::Message& msg) {
+    if (!server_.send(of::dpid_of(msg.body), msg)) stats_.southbound_dropped += 1;
+  });
+}
+
+void SouthboundBridge::deliver_to_network(const of::Message& msg) {
+  // In-process, controller->switch messages are applied on the lane thread
+  // under the transaction's locks (the controller's transaction gate, then
+  // the NetLog stripes). Over the wire they arrive back on the pump thread
+  // instead, so re-acquire both in the same order here: without the stripes,
+  // a lane committing (reading logical_digest) races the pump mutating the
+  // same flow table; without the gate, a verifying transaction reading
+  // tables network-wide races it.
+  const std::function<void()> apply = [&] {
+    if (netlog_) {
+      netlog_->with_world_lock([&] { net_.send_to_switch(msg); });
+    } else {
+      net_.send_to_switch(msg);
+    }
+  };
+  if (delivery_gate_) {
+    delivery_gate_(apply);
+  } else {
+    apply();
+  }
+}
+
+int SouthboundBridge::pump() {
+  int w = server_.poll(0);
+  w += client_loop_.poll(0);
+  return w;
+}
+
+void SouthboundBridge::connect_one(DatapathId dpid) {
+  const netsim::SimSwitch* sw = net_.switch_at(dpid);
+  if (!sw || !sw->up()) return;
+  auto& client = clients_[dpid];
+  if (client && client->ready()) return;
+  if (!client) {
+    WireSwitchClient::Config cc;
+    cc.dpid = dpid;
+    cc.features = sw->features();
+    cc.limits = cfg_.server.limits;
+    client = std::make_unique<WireSwitchClient>(
+        client_loop_, std::move(cc),
+        // Controller->switch messages land on the same entry point the
+        // in-process adapter uses; decode restored the dpid from the
+        // connection, so routing is identical.
+        [this](const of::Message& msg) { deliver_to_network(msg); });
+  }
+  client->connect("127.0.0.1", server_.port());
+}
+
+void SouthboundBridge::drop_one(DatapathId dpid) {
+  // Destroying the client closes the socket; the server notices EOF on the
+  // next pump and emits SwitchDown.
+  clients_.erase(dpid);
+}
+
+void SouthboundBridge::announce() {
+  // Sequential handshakes in switch-id order: SwitchUp events reach the
+  // controller in exactly the order the in-process announcer injects them.
+  for (const DatapathId dpid : net_.switch_ids()) {
+    const netsim::SimSwitch* sw = net_.switch_at(dpid);
+    if (!sw || !sw->up()) continue;
+    auto it = clients_.find(dpid);
+    if (it != clients_.end() && it->second->ready() && server_.knows(dpid)) {
+      // Controller restart over a surviving connection: re-announce without
+      // a reconnect, as a live OF channel would.
+      controller_.inject_event(ctl::SwitchUp{dpid, sw->features()});
+      continue;
+    }
+    connect_one(dpid);
+    // Drive this one handshake to completion before announcing the next.
+    int idle = 0;
+    while (!server_.knows(dpid) && idle < 1'000) {
+      idle = pump() == 0 ? idle + 1 : 0;
+    }
+  }
+}
+
+void SouthboundBridge::settle() {
+  int calm = 0;
+  for (std::size_t guard = 0; calm < 2 && guard < 5'000'000; ++guard) {
+    int w = pump();
+    w += static_cast<int>(controller_.run());
+    calm = w == 0 ? calm + 1 : 0;
+  }
+}
+
+} // namespace legosdn::southbound

@@ -1,0 +1,97 @@
+// Runs an existing Network + Controller deployment over real loopback
+// sockets: one WireSwitchClient per simulated switch connects to an
+// OFServer, and every control-plane message crosses genuine kernel TCP as
+// spec-faithful OF 1.0 bytes.
+//
+//   Network northbound  -> client.send() ----wire---> server -> ctl::Event
+//   Controller::send()  -> server.send() ----wire---> client -> Network
+//   NetLog::forward()   -> server.send() ----wire---> client -> Network
+//
+// Determinism: everything is pumped synchronously from one thread
+// (settle()), so a scenario run over sockets produces the same NetLog
+// commit stats and per-switch logical digests as the in-process adapter
+// path — that equivalence is the differential oracle in southbound_test.
+//
+// Keepalive is disabled by default here: scenario time is virtual, and a
+// wall-clock idle timeout would disconnect switches in slow (sanitized)
+// runs of long scripts.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "controller/controller.hpp"
+#include "netlog/netlog.hpp"
+#include "southbound/of_server.hpp"
+#include "southbound/wire_switch_client.hpp"
+
+namespace legosdn::southbound {
+
+class SouthboundBridge {
+public:
+  struct Config {
+    OFServerConfig server{};
+    Config() {
+      server.echo_interval_ms = 0;
+      server.idle_timeout_ms = 0;
+    }
+  };
+
+  /// Installs network + controller hooks. The bridge must outlive neither:
+  /// destroy it before the controller and network it fronts.
+  SouthboundBridge(netsim::Network& net, ctl::Controller& controller,
+                   Config cfg = {});
+  ~SouthboundBridge();
+
+  SouthboundBridge(const SouthboundBridge&) = delete;
+  SouthboundBridge& operator=(const SouthboundBridge&) = delete;
+
+  /// Bind the server and wire up all callbacks. Call before the
+  /// controller's start()/start_system().
+  Status start();
+
+  /// LegoSDN mode: route NetLog-forwarded messages (transaction commits and
+  /// rollback inverses) over the wire too.
+  void attach_netlog(netlog::NetLog& nl);
+
+  /// Outermost wrapper around every controller->switch delivery into the
+  /// network (before the NetLog world lock). Lego mode installs the
+  /// controller's transaction write gate here so the pump cannot mutate
+  /// switch state while a verifying transaction reads tables network-wide.
+  void set_delivery_gate(std::function<void(const std::function<void()>&)> g) {
+    delivery_gate_ = std::move(g);
+  }
+
+  /// Pump server + clients + controller until fully quiescent: no socket
+  /// readable/writable, no pending frames, no undispatched events.
+  void settle();
+
+  std::uint16_t port() const noexcept { return server_.port(); }
+  OFServer& server() noexcept { return server_; }
+
+  struct Stats {
+    std::uint64_t northbound_dropped = 0; ///< no ready client for the dpid
+    std::uint64_t southbound_dropped = 0; ///< no ready connection at server
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+private:
+  int pump();
+  void connect_one(DatapathId dpid);
+  void drop_one(DatapathId dpid);
+  void announce();
+  void deliver_to_network(const of::Message& msg);
+
+  netsim::Network& net_;
+  ctl::Controller& controller_;
+  Config cfg_;
+  netlog::NetLog* netlog_ = nullptr; ///< set by attach_netlog (lego mode)
+  std::function<void(const std::function<void()>&)> delivery_gate_;
+  OFServer server_;
+  EventLoop client_loop_;
+  std::unordered_map<DatapathId, std::unique_ptr<WireSwitchClient>> clients_;
+  Stats stats_;
+};
+
+} // namespace legosdn::southbound

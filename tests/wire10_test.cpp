@@ -272,6 +272,116 @@ TEST(Wire10, BitFlipFuzzOnValidFrames) {
   }
 }
 
+TEST(Wire10, PeekFrameContract) {
+  const auto frame = encode({9, EchoRequest{0xDEAD}}).value(); // 16 bytes
+  std::size_t total = 0;
+
+  // Too short to even read the length field.
+  EXPECT_EQ(peek_frame({frame.data(), 0}, &total), FrameStatus::kNeedMore);
+  EXPECT_EQ(peek_frame({frame.data(), 3}, &total), FrameStatus::kNeedMore);
+  // Header present, body still in flight.
+  EXPECT_EQ(peek_frame({frame.data(), kHeaderLen}, &total), FrameStatus::kNeedMore);
+  EXPECT_EQ(peek_frame({frame.data(), frame.size() - 1}, &total),
+            FrameStatus::kNeedMore);
+  // Complete frame (with trailing bytes from the next one).
+  auto two = frame;
+  two.insert(two.end(), frame.begin(), frame.end());
+  EXPECT_EQ(peek_frame(two, &total), FrameStatus::kReady);
+  EXPECT_EQ(total, frame.size());
+
+  // Hostile length fields: below the header size, or above the cap.
+  auto evil = frame;
+  evil[2] = 0;
+  evil[3] = 4;
+  EXPECT_EQ(peek_frame(evil, &total), FrameStatus::kBad);
+  evil[3] = kHeaderLen - 1;
+  EXPECT_EQ(peek_frame(evil, &total), FrameStatus::kBad);
+  EXPECT_EQ(peek_frame(frame, &total, /*max_frame=*/frame.size() - 1),
+            FrameStatus::kBad);
+}
+
+TEST(Wire10, LengthFieldFuzzClassifiesEveryMutation) {
+  MessageGen gen(2024);
+  Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    auto bytes = encode(canonicalize(gen.random_message()));
+    ASSERT_TRUE(bytes.ok());
+    auto frame = bytes.value();
+    const auto evil = static_cast<std::uint16_t>(rng.below(0x10000));
+    frame[2] = static_cast<std::uint8_t>(evil >> 8);
+    frame[3] = static_cast<std::uint8_t>(evil & 0xFF);
+    std::size_t total = 0;
+    const auto st = peek_frame(frame, &total);
+    if (evil < kHeaderLen) {
+      EXPECT_EQ(st, FrameStatus::kBad);
+    } else if (evil > frame.size()) {
+      // Claims more than buffered: reassembly keeps waiting, never over-reads.
+      EXPECT_EQ(st, FrameStatus::kNeedMore);
+    } else {
+      EXPECT_EQ(st, FrameStatus::kReady);
+      EXPECT_EQ(total, evil);
+      // The framed slice decodes or errors — no crash, no out-of-slice read.
+      (void)decode(std::span<const std::uint8_t>(frame.data(), evil),
+                   DatapathId{1});
+    }
+  }
+}
+
+TEST(Wire10, TruncatedPrefixDecodeFails) {
+  MessageGen gen(5150);
+  for (int i = 0; i < 200; ++i) {
+    auto bytes = encode(canonicalize(gen.random_message()));
+    ASSERT_TRUE(bytes.ok());
+    const auto& frame = bytes.value();
+    for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+      EXPECT_FALSE(decode({frame.data(), cut}, DatapathId{1}).ok())
+          << "prefix of " << cut << "/" << frame.size() << " bytes decoded";
+    }
+  }
+}
+
+TEST(Wire10, StreamReassemblyRandomChunks) {
+  // A byte stream of whole frames, delivered in random-sized chunks, must
+  // reassemble into exactly the original frames — the invariant the
+  // southbound receive path is built on.
+  MessageGen gen(808);
+  Rng rng(606);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::vector<std::uint8_t>> frames;
+    std::vector<std::uint8_t> stream;
+    const std::size_t n = rng.below(8) + 2;
+    for (std::size_t i = 0; i < n; ++i) {
+      auto bytes = encode(canonicalize(gen.random_message()));
+      ASSERT_TRUE(bytes.ok());
+      stream.insert(stream.end(), bytes.value().begin(), bytes.value().end());
+      frames.push_back(std::move(bytes).value());
+    }
+    std::vector<std::uint8_t> acc;
+    std::size_t recovered = 0;
+    std::size_t off = 0;
+    while (off < stream.size()) {
+      const std::size_t chunk = std::min(rng.below(40) + 1, stream.size() - off);
+      acc.insert(acc.end(), stream.begin() + static_cast<long>(off),
+                 stream.begin() + static_cast<long>(off + chunk));
+      off += chunk;
+      for (;;) {
+        std::size_t len = 0;
+        const auto st = peek_frame(acc, &len);
+        ASSERT_NE(st, FrameStatus::kBad);
+        if (st != FrameStatus::kReady) break;
+        ASSERT_LT(recovered, frames.size());
+        EXPECT_EQ(std::vector<std::uint8_t>(acc.begin(),
+                                            acc.begin() + static_cast<long>(len)),
+                  frames[recovered]);
+        acc.erase(acc.begin(), acc.begin() + static_cast<long>(len));
+        recovered += 1;
+      }
+    }
+    EXPECT_EQ(recovered, frames.size());
+    EXPECT_TRUE(acc.empty());
+  }
+}
+
 TEST(Wire10, InternetChecksumKnownVectors) {
   // RFC 1071 example: 0x0001 0xf203 0xf4f5 0xf6f7 -> checksum 0x220d.
   const std::vector<std::uint8_t> data{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};

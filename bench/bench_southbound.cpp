@@ -237,6 +237,12 @@ HandshakeResult handshake_storm(southbound::OFServer& srv, std::uint16_t port,
 struct Cell {
   double events_per_sec = 0;
   Summary lat;
+  std::uint64_t batches = 0;
+  double events_per_batch_p50 = 0;
+  double events_per_batch_max = 0;
+  std::uint64_t lock_acquisitions = 0;
+  std::uint64_t srv_event_batches = 0; ///< wire batches delivered by OFServer
+  std::uint64_t srv_wakeups = 0;       ///< eventfd pokes during the cell
 };
 
 /// Steady state: blast `total_events` PACKET_INs round-robin across the
@@ -254,6 +260,7 @@ Cell steady_state(southbound::OFServer& srv,
         completed.fetch_add(1, std::memory_order_relaxed);
       });
   sink_target.store(&dispatcher, std::memory_order_release);
+  const auto srv_before = srv.stats();
 
   const std::uint64_t window = 1024;
   std::uint64_t queued = 0;
@@ -284,7 +291,15 @@ Cell steady_state(southbound::OFServer& srv,
   Cell cell;
   cell.events_per_sec =
       1e6 * static_cast<double>(completed.load()) / elapsed_us;
-  cell.lat = dispatcher.stats().latency_us;
+  const auto ds = dispatcher.stats();
+  cell.lat = ds.latency_us;
+  cell.batches = ds.batches;
+  cell.events_per_batch_p50 = ds.batch_events.percentile(50);
+  cell.events_per_batch_max = ds.batch_events.max();
+  cell.lock_acquisitions = ds.lock_acquisitions;
+  const auto srv_after = srv.stats();
+  cell.srv_event_batches = srv_after.event_batches - srv_before.event_batches;
+  cell.srv_wakeups = srv_after.wakeups - srv_before.wakeups;
   return cell;
 }
 
@@ -309,6 +324,8 @@ int main() {
 
   const std::uint64_t total_events = bench::smoke() ? 2'000 : 20'000;
   const std::vector<std::size_t> shard_counts = {1, 2, 4};
+  const bool batched = bench::batch_enabled();
+  const std::size_t host_cpus = std::thread::hardware_concurrency();
 
   bench::section("southbound socket scale (epoll server, " +
                  std::to_string(total_events) + " packet-ins/cell, " +
@@ -325,13 +342,17 @@ int main() {
   j.kv("events_per_cell", total_events);
   j.kv("app_stall_us", kAppStallUs);
   j.kv("fd_budget_connections", static_cast<std::uint64_t>(budget));
-  j.kv("host_cpus",
-       static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  j.kv("host_cpus", static_cast<std::uint64_t>(host_cpus));
+  j.kv_bool("batched", batched);
 
   bench::Table hs_table({"connections", "handshake storm (ms)", "handshakes/s"});
   std::vector<std::string> th{"connections", "shards", "events/s"};
   for (auto& h : bench::latency_headers()) th.push_back(std::move(h));
   th.push_back("speedup");
+  th.push_back("wire batches");
+  th.push_back("epb p50");
+  th.push_back("lock acq");
+  th.push_back("wakeups");
   bench::Table tp_table(std::move(th));
 
   j.begin_arr("handshake");
@@ -350,6 +371,19 @@ int main() {
     southbound::OFServerConfig cfg;
     cfg.echo_interval_ms = 0; // virtual-time bench: no wall-clock keepalive
     cfg.idle_timeout_ms = 0;
+    if (batched) {
+      // Wire batching: every complete frame decoded in one read pass forms
+      // one span, routed onto the lanes with one lock acquisition per
+      // contiguous per-lane run (DESIGN.md §4.7).
+      srv.set_event_batch([&sink_target](std::vector<ctl::Event> events) {
+        auto* d = sink_target.load(std::memory_order_acquire);
+        if (!d) return; // handshake phase: SwitchUp batches, no sink yet
+        std::erase_if(events, [](const ctl::Event& e) {
+          return !std::holds_alternative<of::PacketIn>(e);
+        });
+        if (!events.empty()) d->submit_batch(std::move(events));
+      });
+    }
     const auto st = srv.listen(cfg, [&sink_target](ctl::Event e) {
       if (!std::holds_alternative<of::PacketIn>(e)) return; // SwitchUp/Down
       if (auto* d = sink_target.load(std::memory_order_acquire))
@@ -399,13 +433,25 @@ int main() {
                                    bench::fmt(r.cell.events_per_sec, 0)};
     for (auto& c : bench::latency_cells(r.cell.lat)) cells.push_back(std::move(c));
     cells.push_back(bench::fmt(r.speedup));
+    cells.push_back(std::to_string(r.cell.srv_event_batches));
+    cells.push_back(bench::fmt(r.cell.events_per_batch_p50, 1));
+    cells.push_back(std::to_string(r.cell.lock_acquisitions));
+    cells.push_back(std::to_string(r.cell.srv_wakeups));
     tp_table.row(std::move(cells));
     j.begin_obj();
     j.kv("connections", static_cast<std::uint64_t>(r.conns));
     j.kv("shards", static_cast<std::uint64_t>(r.shards));
+    j.kv_bool("batched", batched);
+    j.kv_bool("cpu_oversubscribed", host_cpus > 0 && r.shards > host_cpus);
     j.kv("events_per_sec", r.cell.events_per_sec, 1);
     bench::latency_kv(j, r.cell.lat);
     j.kv("speedup_vs_serial", r.speedup);
+    j.kv("batches", r.cell.batches);
+    j.kv("events_per_batch_p50", r.cell.events_per_batch_p50, 1);
+    j.kv("events_per_batch_max", r.cell.events_per_batch_max, 0);
+    j.kv("lock_acquisitions", r.cell.lock_acquisitions);
+    j.kv("wire_batches", r.cell.srv_event_batches);
+    j.kv("wakeups", r.cell.srv_wakeups);
     j.end_obj();
   }
   j.end_arr();

@@ -88,6 +88,13 @@ public:
     s_ += '"';
     return *this;
   }
+  /// Distinct name (not an overload): a kv(key, bool) overload would make
+  /// integer-literal calls ambiguous against the uint64 overload.
+  Json& kv_bool(const char* key, bool v) {
+    prefix(key);
+    s_ += v ? "true" : "false";
+    return *this;
+  }
 
   const std::string& str() const noexcept { return s_; }
 
@@ -163,6 +170,24 @@ inline bool smoke() {
 
 /// Pick an iteration count: `full` normally, `tiny` under smoke.
 inline int iters(int full, int tiny) { return smoke() ? tiny : full; }
+
+/// LEGOSDN_BATCH=0 forces the benches into unbatched mode (per-event
+/// submission, commit coalescing off) for A/B runs against the default
+/// batched hot path (DESIGN.md §4.7). Anything else (or unset) = batched.
+inline bool batch_enabled() {
+  const char* v = std::getenv("LEGOSDN_BATCH");
+  return !(v && *v == '0' && v[1] == '\0');
+}
+
+/// LEGOSDN_BATCH_SIZE overrides the default injection batch size used by the
+/// batched rows (default 256, the drain cadence the benches always used).
+inline std::size_t batch_size(std::size_t def = 256) {
+  if (const char* v = std::getenv("LEGOSDN_BATCH_SIZE")) {
+    const long n = std::atol(v);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return def;
+}
 
 /// Print the machine-readable result line and, when LEGOSDN_BENCH_JSON names
 /// a path, also write it there (the CI bench-smoke job uploads the file as a

@@ -38,6 +38,75 @@ def check_structure(path: Path, doc) -> None:
                 fail(f"{path}: rows[{i}] must be a non-empty object")
 
 
+BATCH_STAT_KEYS = (
+    "batches",
+    "events_per_batch_p50",
+    "events_per_batch_max",
+    "lock_acquisitions",
+)
+
+
+def check_throughput(path: Path, doc) -> None:
+    """Schema for BENCH_throughput.json: per-(workload, shards) rows with the
+    batching flags (batched, batch_size, cpu_oversubscribed), a batch-size
+    sweep, and a batched-vs-unbatched headline. Speedup floors are skipped —
+    but structure checks are not — for rows flagged cpu_oversubscribed
+    (shards > host CPUs: lanes time-slice one core, so lock amortization
+    cannot buy wall-clock there and a floor would only measure the runner)."""
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        fail(f"{path}: 'rows' must be a non-empty list")
+    for i, row in enumerate(rows):
+        for key in ("shards", "batch_size", "events_per_sec", "p50_us", "p99_us"):
+            if not isinstance(row.get(key), (int, float)):
+                fail(f"{path}: rows[{i}].{key} must be numeric")
+        if not isinstance(row.get("workload"), str):
+            fail(f"{path}: rows[{i}].workload must be a string")
+        for key in ("batched", "cpu_oversubscribed"):
+            if not isinstance(row.get(key), bool):
+                fail(f"{path}: rows[{i}].{key} must be a boolean")
+        if row["shards"] > 1:
+            for key in BATCH_STAT_KEYS:
+                if not isinstance(row.get(key), (int, float)):
+                    fail(f"{path}: rows[{i}].{key} must be numeric (sharded row)")
+            if row.get("batches", 0) <= 0 or row.get("lock_acquisitions", 0) <= 0:
+                fail(f"{path}: rows[{i}]: sharded row reports no batch activity")
+
+    sweep = doc.get("batch_sweep")
+    if not isinstance(sweep, list) or len(sweep) < 2:
+        fail(f"{path}: 'batch_sweep' must list at least an unbatched and a "
+             "batched cell")
+    sizes = [r.get("batch_size") for r in sweep]
+    if sizes != sorted(sizes) or sizes[0] != 1:
+        fail(f"{path}: batch_sweep sizes must ascend from 1, got {sizes}")
+
+    hb = doc.get("headline_batched")
+    if not isinstance(hb, dict):
+        fail(f"{path}: 'headline_batched' must be an object")
+    speedup = hb.get("speedup")
+    if not isinstance(speedup, (int, float)) or speedup <= 0:
+        fail(f"{path}: headline_batched.speedup must be positive, got {speedup!r}")
+    oversubscribed = any(
+        r.get("cpu_oversubscribed") for r in rows if r.get("shards", 0) > 1
+    )
+    if oversubscribed:
+        # Sanity floor only: batching must never make the hot path *worse*
+        # than noise allows (a quadratic in the coalescing path once showed
+        # up here as 0.42x). The >=1.2x floor needs real cores to mean
+        # anything, so it is skipped.
+        if speedup < 0.75:
+            fail(
+                f"{path}: headline_batched.speedup {speedup:.2f}x collapsed "
+                "below 0.75x — batching is pessimizing the hot path"
+            )
+    elif speedup < 1.2:
+        fail(
+            f"{path}: headline_batched.speedup {speedup:.2f}x below the 1.2x "
+            "batched-vs-unbatched floor (host has spare CPUs; amortized "
+            "locking and coalesced commits should show)"
+        )
+
+
 def check_southbound(path: Path, doc) -> None:
     """Schema for BENCH_southbound.json (experiment C13): the socket-scale
     bench must report a handshake-storm sweep, per-(connections, shards)
@@ -56,6 +125,12 @@ def check_southbound(path: Path, doc) -> None:
         fail(f"{path}: 'rows' must be a non-empty list")
     for i, row in enumerate(rows):
         for key in ("connections", "shards", "events_per_sec", "p50_us", "p99_us"):
+            if not isinstance(row.get(key), (int, float)):
+                fail(f"{path}: rows[{i}].{key} must be numeric")
+        for key in ("batched", "cpu_oversubscribed"):
+            if not isinstance(row.get(key), bool):
+                fail(f"{path}: rows[{i}].{key} must be a boolean")
+        for key in ("wire_batches", "wakeups", *BATCH_STAT_KEYS):
             if not isinstance(row.get(key), (int, float)):
                 fail(f"{path}: rows[{i}].{key} must be numeric")
     max_conns = doc.get("max_connections")
@@ -88,6 +163,8 @@ def check_file(path: Path, baseline_dir: Path, max_regression: float) -> str:
     check_structure(path, doc)
     if doc.get("bench") == "southbound":
         check_southbound(path, doc)
+    if doc.get("bench") == "throughput":
+        check_throughput(path, doc)
 
     speedup = headline_speedup(path, doc)
     if speedup is None:

@@ -46,6 +46,19 @@ void Controller::inject_event(Event e) {
   queue_.push_back(std::move(e));
 }
 
+void Controller::inject_events(std::vector<Event> events) {
+  if (events.empty()) return;
+  if (engine_) {
+    engine_->submit_batch(std::move(events));
+    return;
+  }
+  if (crashed_) {
+    stats_.events_dropped += events.size();
+    return;
+  }
+  for (auto& e : events) queue_.push_back(std::move(e));
+}
+
 void Controller::install_dispatch_engine(ShardedDispatcher::Config cfg,
                                          ShardedDispatcher::Sink sink) {
   remove_dispatch_engine();

@@ -51,6 +51,13 @@ public:
   /// (and may start executing immediately on a lane thread).
   void inject_event(Event e);
 
+  /// Queue a span of events, preserving their order. Engine mode uses
+  /// ShardedDispatcher::submit_batch (one lane-lock acquisition per run
+  /// instead of per event); serial mode appends to the queue. The wire
+  /// southbound feeds every decoded frame of one socket read pass through
+  /// here.
+  void inject_events(std::vector<Event> events);
+
   /// Process one queued event through the dispatch chain.
   /// Returns false when the queue is empty or the controller is down.
   /// Engine mode has no serial queue; this always returns false there.

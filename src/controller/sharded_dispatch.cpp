@@ -16,7 +16,7 @@ double us_since(std::chrono::steady_clock::time_point start) {
 } // namespace
 
 ShardedDispatcher::ShardedDispatcher(Config cfg, Sink sink)
-    : cfg_(cfg), sink_(std::move(sink)), router_(cfg.shards) {
+    : cfg_(std::move(cfg)), sink_(std::move(sink)), router_(cfg_.shards) {
   lanes_.reserve(router_.shards());
   for (std::size_t i = 0; i < router_.shards(); ++i) {
     lanes_.push_back(std::make_unique<Lane>());
@@ -52,13 +52,61 @@ void ShardedDispatcher::submit(Event e) {
       std::lock_guard<std::mutex> lk(lane.mu);
       lane.queue.push_back(Item{std::move(e), nullptr, now});
       lane.peak = std::max(lane.peak, lane.queue.size());
+      ++lane.lock_acquires;
     }
     lane.cv.notify_one();
     return;
   }
+  post_barrier_locked(std::move(e), now);
+}
 
-  // Global event: one barrier token per lane, landed atomically (we hold
-  // submit_mu_, so no other submission can slip between two lanes' tokens).
+void ShardedDispatcher::submit_batch(std::vector<Event> events) {
+  if (events.empty()) return;
+  if (events.size() == 1) {
+    submit(std::move(events.front()));
+    return;
+  }
+  const auto now = cfg_.measure_latency ? std::chrono::steady_clock::now()
+                                        : std::chrono::steady_clock::time_point{};
+
+  // Per-lane runs accumulated between barrier flush points. Routing is a
+  // pure hash, so the single pass under submit_mu_ costs no lane locks until
+  // a run flushes.
+  std::vector<std::vector<Item>> runs(lanes_.size());
+  std::lock_guard<std::mutex> submit_lk(submit_mu_);
+  auto flush_runs = [&] {
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      if (runs[i].empty()) continue;
+      inflight_.fetch_add(runs[i].size(), std::memory_order_relaxed);
+      Lane& lane = *lanes_[i];
+      {
+        std::lock_guard<std::mutex> lk(lane.mu);
+        for (auto& item : runs[i]) lane.queue.push_back(std::move(item));
+        lane.peak = std::max(lane.peak, lane.queue.size());
+        ++lane.lock_acquires;
+      }
+      lane.cv.notify_one();
+      runs[i].clear();
+    }
+  };
+  for (auto& e : events) {
+    const std::size_t target = router_.route(e);
+    if (target == ShardRouter::kGlobal) {
+      // Barrier tokens must land behind every earlier event of this batch.
+      flush_runs();
+      post_barrier_locked(std::move(e), now);
+    } else {
+      runs[target].push_back(Item{std::move(e), nullptr, now});
+    }
+  }
+  flush_runs();
+}
+
+void ShardedDispatcher::post_barrier_locked(
+    Event e, std::chrono::steady_clock::time_point now) {
+  // Global event: one barrier token per lane, landed atomically (the caller
+  // holds submit_mu_, so no other submission can slip between two lanes'
+  // tokens).
   inflight_.fetch_add(lanes_.size(), std::memory_order_relaxed);
   auto barrier = std::make_shared<BarrierState>();
   barrier->remaining = lanes_.size();
@@ -69,30 +117,59 @@ void ShardedDispatcher::submit(Event e) {
       std::lock_guard<std::mutex> lk(lane->mu);
       lane->queue.push_back(Item{Event{}, barrier, now});
       lane->peak = std::max(lane->peak, lane->queue.size());
+      ++lane->lock_acquires;
     }
     lane->cv.notify_one();
   }
 }
 
 void ShardedDispatcher::run(Lane& lane, std::size_t idx) {
+  std::deque<Item> local; // double buffer: swapped with lane.queue per wakeup
   for (;;) {
-    Item item;
     {
       std::unique_lock<std::mutex> lk(lane.mu);
       lane.cv.wait(lk, [&] { return lane.stop || !lane.queue.empty(); });
       if (lane.queue.empty()) return; // stop requested and fully drained
-      item = std::move(lane.queue.front());
-      lane.queue.pop_front();
+      local.swap(lane.queue);
+      ++lane.lock_acquires;
     }
-    if (item.barrier) {
-      arrive_barrier(item.barrier, idx);
-    } else {
-      sink_(std::move(item.event), idx);
-      std::lock_guard<std::mutex> lk(lane.mu);
-      ++lane.done;
-      if (cfg_.measure_latency) lane.latency_us.add(us_since(item.submitted_at));
+
+    // Execute the drained items; `run_done` counts the current batch — the
+    // maximal run of local events between swaps/barriers.
+    std::uint64_t run_done = 0;
+    Summary run_latency;
+    auto close_batch = [&] {
+      if (run_done == 0) return;
+      // Boundary hook first, completion accounting second: drain() must not
+      // return between a batch's last event and its coalesced-txn flush.
+      if (cfg_.on_batch_end) cfg_.on_batch_end(idx);
+      {
+        std::lock_guard<std::mutex> lk(lane.mu);
+        lane.done += run_done;
+        lane.batches += 1;
+        lane.batch_events.add(static_cast<double>(run_done));
+        if (cfg_.measure_latency) lane.latency_us.merge(run_latency);
+        ++lane.lock_acquires;
+      }
+      finish(run_done);
+      run_done = 0;
+      run_latency.clear();
+    };
+
+    while (!local.empty()) {
+      Item item = std::move(local.front());
+      local.pop_front();
+      if (item.barrier) {
+        close_batch(); // flush coalesced state before parking at the barrier
+        arrive_barrier(item.barrier, idx);
+        finish(1);
+      } else {
+        sink_(std::move(item.event), idx);
+        ++run_done;
+        if (cfg_.measure_latency) run_latency.add(us_since(item.submitted_at));
+      }
     }
-    finish();
+    close_batch();
   }
 }
 
@@ -116,6 +193,7 @@ void ShardedDispatcher::arrive_barrier(const std::shared_ptr<BarrierState>& b,
     if (cfg_.measure_latency) {
       lanes_[idx]->latency_us.add(us_since(b->submitted_at));
     }
+    ++lanes_[idx]->lock_acquires;
   }
   lk.lock();
   b->done = true;
@@ -123,8 +201,8 @@ void ShardedDispatcher::arrive_barrier(const std::shared_ptr<BarrierState>& b,
   b->cv.notify_all();
 }
 
-void ShardedDispatcher::finish() {
-  if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+void ShardedDispatcher::finish(std::uint64_t n) {
+  if (inflight_.fetch_sub(n, std::memory_order_acq_rel) == n) {
     std::lock_guard<std::mutex> lk(drain_mu_);
     drain_cv_.notify_all();
   }
@@ -143,8 +221,11 @@ ShardedDispatcher::Stats ShardedDispatcher::stats() const {
     std::lock_guard<std::mutex> lk(lane->mu);
     s.per_shard.push_back(lane->done);
     s.dispatched += lane->done;
+    s.batches += lane->batches;
+    s.lock_acquisitions += lane->lock_acquires;
     s.queue_peak = std::max(s.queue_peak, lane->peak);
     s.latency_us.merge(lane->latency_us);
+    s.batch_events.merge(lane->batch_events);
   }
   return s;
 }

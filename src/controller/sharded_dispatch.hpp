@@ -25,6 +25,15 @@
 // (packet-in punts raised while a transaction forwards a packet-out) from
 // lane threads; drain() counts them, so it only returns once the whole
 // cascade has quiesced.
+//
+// Batching (DESIGN.md §4.7): submit_batch() pre-routes a span of events and
+// appends each lane's run under one lock acquisition; lane threads swap out
+// the whole pending deque per wakeup (double-buffer drain) instead of
+// popping one event per lock. A "batch" is the maximal run of local events a
+// lane executes between two queue swaps or barrier tokens; the on_batch_end
+// hook fires at each boundary so downstream state (coalesced NetLog
+// transactions) can flush before the batch's events count as complete —
+// drain() can therefore never observe a half-flushed batch.
 #pragma once
 
 #include <atomic>
@@ -53,6 +62,12 @@ public:
     /// Record per-event submit-to-completion latency (two clock reads per
     /// event; the throughput bench's p99 source).
     bool measure_latency = true;
+    /// Called on the lane thread at every batch boundary: after the last
+    /// event of a drained run returns from the sink, before those events
+    /// count as finished (drain() cannot return in between), and before any
+    /// barrier arrival. LegoController flushes coalesced NetLog transactions
+    /// here. Never called with shard == kGlobal. May be empty.
+    std::function<void(std::size_t shard)> on_batch_end;
   };
 
   ShardedDispatcher(Config cfg, Sink sink);
@@ -64,6 +79,14 @@ public:
   /// Route one event to its lane (or post a barrier for global events).
   void submit(Event e);
 
+  /// Route a span of events with one lane-lock acquisition per contiguous
+  /// per-lane run instead of one per event. Equivalent to calling submit()
+  /// on each element in order: per-switch FIFO holds because a lane's run is
+  /// appended in submission order, and a global event flushes all pending
+  /// runs before its barrier tokens land, so the total barrier order is
+  /// unchanged.
+  void submit_batch(std::vector<Event> events);
+
   /// Block until every submitted event — including events submitted by sinks
   /// while draining — has completed.
   void drain();
@@ -74,9 +97,15 @@ public:
   struct Stats {
     std::uint64_t dispatched = 0; ///< events completed (locals + globals)
     std::uint64_t barriers = 0;   ///< global events executed
+    std::uint64_t batches = 0;    ///< drained runs of >=1 local events
+    /// Lane-queue mutex acquisitions on the hot path (submit pushes, drain
+    /// swaps, per-batch stat merges) — the amortization the batching buys is
+    /// visible as dispatched/lock_acquisitions rising above ~0.5.
+    std::uint64_t lock_acquisitions = 0;
     std::size_t queue_peak = 0;   ///< deepest any lane queue got
     std::vector<std::uint64_t> per_shard;
-    Summary latency_us; ///< submit-to-completion, when measured
+    Summary latency_us;   ///< submit-to-completion, when measured
+    Summary batch_events; ///< events per drained batch (p50/max via percentile)
   };
   Stats stats() const;
 
@@ -103,13 +132,18 @@ private:
     bool stop = false;
     std::uint64_t done = 0;
     std::size_t peak = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t lock_acquires = 0; ///< incremented while holding mu
     Summary latency_us;
+    Summary batch_events;
     std::thread thread;
   };
 
   void run(Lane& lane, std::size_t idx);
   void arrive_barrier(const std::shared_ptr<BarrierState>& b, std::size_t idx);
-  void finish();
+  void finish(std::uint64_t n);
+  /// Post one barrier token per lane; requires submit_mu_ held.
+  void post_barrier_locked(Event e, std::chrono::steady_clock::time_point now);
 
   Config cfg_;
   Sink sink_;

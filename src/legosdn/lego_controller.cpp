@@ -1,6 +1,7 @@
 #include "legosdn/lego_controller.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <set>
 
@@ -14,6 +15,12 @@ namespace {
 /// Guards against recursive recovery (a transformed event crashing again).
 /// Thread-local: each shard lane's recovery call stack is independent.
 thread_local bool t_in_recovery = false;
+
+/// The shard whose dispatch_core invocation is running on this thread
+/// (kGlobal for serial dispatch and barrier events). apply_transaction reads
+/// it to find the lane's coalesced-transaction slot without threading the
+/// shard index through every deliver/recover signature.
+thread_local std::size_t t_dispatch_shard = ctl::ShardRouter::kGlobal;
 
 } // namespace
 
@@ -61,11 +68,19 @@ AppId LegoController::add_domain(appvisor::DomainPtr domain) {
 Status LegoController::start_system() {
   if (auto st = visor_.start_all(); !st) return st;
   if (cfg_.dispatch.shards > 1 && !dispatch_engine()) {
-    install_dispatch_engine(
-        {cfg_.dispatch.shards, /*measure_latency=*/true},
-        [this](ctl::Event e, std::size_t shard) {
-          dispatch_core(std::move(e), shard);
-        });
+    coalesce_lanes_.clear();
+    coalesce_lanes_.resize(cfg_.dispatch.shards);
+    ctl::ShardedDispatcher::Config dcfg;
+    dcfg.shards = cfg_.dispatch.shards;
+    dcfg.measure_latency = true;
+    // Batch boundary: commit this lane's coalesced transactions before the
+    // drained events count as complete (so drain() never observes an open
+    // coalesced span) and before any barrier parks the lane.
+    dcfg.on_batch_end = [this](std::size_t shard) { flush_coalesced(shard); };
+    install_dispatch_engine(std::move(dcfg),
+                            [this](ctl::Event e, std::size_t shard) {
+                              dispatch_core(std::move(e), shard);
+                            });
   }
   start();
   return Status::success();
@@ -162,6 +177,18 @@ bool LegoController::apply_transaction(appvisor::AppEntry& entry,
   std::set<std::string> baseline;
   std::vector<of::FlowMod> written;
   const bool verify = cfg_.byzantine_detection && has_state_change;
+  // Commit coalescing (§4.7): lane-local, non-verifying, undo-log
+  // transactions of one app can share a begin/commit across a drained batch.
+  // Verifying transactions never coalesce — they may roll back, and a
+  // rollback must cover exactly one event's span.
+  const std::size_t shard = t_dispatch_shard;
+  const bool coalesce = !verify && cfg_.dispatch.coalesce_commits &&
+                        cfg_.netlog.mode == netlog::Mode::kUndoLog &&
+                        shard != ctl::ShardRouter::kGlobal &&
+                        shard < coalesce_lanes_.size();
+  // A verifier is about to stop the world of writers: this app's pending
+  // spans must commit first (commit takes the shared side), and in order.
+  if (verify) flush_coalesced_app(shard, entry.id);
   // Verification traces reachability across the whole network, so it cannot
   // tolerate concurrent commits from other lanes: verifying transactions
   // take the transaction lock exclusively (stopping the world of writers),
@@ -183,7 +210,19 @@ bool LegoController::apply_transaction(appvisor::AppEntry& entry,
       baseline.insert(v.to_string());
   }
 
-  const TxnId txn = netlog_.begin(entry.id);
+  TxnId txn{};
+  if (coalesce) {
+    auto& open = coalesce_lanes_[shard].open;
+    if (const auto it = open.find(entry.id); it != open.end()) {
+      txn = it->second;
+      netlog_.join(txn, entry.id); // one more logical span
+    } else {
+      txn = netlog_.begin(entry.id);
+      open.emplace(entry.id, txn);
+    }
+  } else {
+    txn = netlog_.begin(entry.id);
+  }
   for (const auto& msg : emitted) netlog_.apply(txn, msg);
 
   if (verify) {
@@ -210,12 +249,43 @@ bool LegoController::apply_transaction(appvisor::AppEntry& entry,
       return false;
     }
   }
+  if (coalesce) {
+    // The physical commit is deferred to the batch boundary (on_batch_end)
+    // or an intervening crash/verify flush; it cannot roll back, so the
+    // logical commit is already decided — count it now, matching per-event
+    // mode's accounting.
+    std::lock_guard<std::mutex> lk(lego_mu_);
+    lego_stats_.txns_committed += 1;
+    return true;
+  }
   netlog_.commit(txn);
   {
     std::lock_guard<std::mutex> lk(lego_mu_);
     lego_stats_.txns_committed += 1;
   }
   return true;
+}
+
+void LegoController::flush_coalesced(std::size_t shard) {
+  if (shard >= coalesce_lanes_.size()) return;
+  auto& open = coalesce_lanes_[shard].open;
+  if (open.empty()) return;
+  // Commits mutate switch state (barrier sends): serialize against verifying
+  // transactions the same way a non-coalesced commit does.
+  std::shared_lock<std::shared_mutex> lk(txn_rw_);
+  for (const auto& [app, txn] : open) netlog_.commit(txn);
+  open.clear();
+}
+
+void LegoController::flush_coalesced_app(std::size_t shard, AppId app) {
+  if (shard >= coalesce_lanes_.size()) return;
+  auto& open = coalesce_lanes_[shard].open;
+  const auto it = open.find(app);
+  if (it == open.end()) return;
+  const TxnId txn = it->second;
+  open.erase(it);
+  std::shared_lock<std::shared_mutex> lk(txn_rw_);
+  netlog_.commit(txn);
 }
 
 ctl::Disposition LegoController::guarded_deliver(appvisor::AppEntry& entry,
@@ -230,6 +300,10 @@ ctl::Disposition LegoController::guarded_deliver(appvisor::AppEntry& entry,
     // same way, but they are counted apart: a timeout blames the channel or a
     // wedged handler, not a crashing app.
     entry.crashes += 1;
+    // A crash ends the app's coalescible span stream: earlier spans already
+    // succeeded (serial mode committed them per event), so commit them
+    // before recovery touches the app.
+    flush_coalesced_app(t_dispatch_shard, entry.id);
     {
       std::lock_guard<std::mutex> lk(lego_mu_);
       if (outcome.kind == appvisor::EventOutcome::Kind::kTimeout) {
@@ -252,6 +326,7 @@ ctl::Disposition LegoController::guarded_deliver(appvisor::AppEntry& entry,
   if (cfg_.limits.max_messages_per_event != 0 &&
       outcome.emitted.size() > cfg_.limits.max_messages_per_event) {
     entry.crashes += 1;
+    flush_coalesced_app(t_dispatch_shard, entry.id);
     {
       std::lock_guard<std::mutex> lk(lego_mu_);
       lego_stats_.quota_violations += 1;
@@ -293,10 +368,12 @@ void LegoController::dispatch(ctl::Event e) {
 }
 
 void LegoController::dispatch_core(ctl::Event e, std::size_t shard) {
-  {
-    std::lock_guard<std::mutex> lk(lego_mu_);
-    stats_.events_dispatched += 1;
-  }
+  t_dispatch_shard = shard;
+  // Contended once per event from every lane; atomic_ref keeps the plain
+  // counter in Controller::Stats (readers only look after a drain) without
+  // paying a mutex round-trip here.
+  std::atomic_ref<std::uint64_t>(stats_.events_dispatched)
+      .fetch_add(1, std::memory_order_relaxed);
   event_seq_.fetch_add(1, std::memory_order_relaxed);
 
   // Keep NetLog's shadow tables in sync and fix up stats replies from the

@@ -55,6 +55,15 @@ struct LegoConfig {
     /// (App::clone() != nullptr); non-cloneable apps get one instance
     /// serialized by a per-entry lock instead.
     bool clone_apps = true;
+    /// Commit coalescing (DESIGN.md §4.7): within one drained lane batch,
+    /// consecutive transactions of the same app share a single NetLog
+    /// begin/commit (logical spans keep begun/committed stats identical to
+    /// per-event mode). Flushed at every batch boundary, before any
+    /// verifying transaction, and when a crash/quota fault intervenes.
+    /// Only effective with shards > 1 in kUndoLog mode; false keeps the
+    /// per-event transaction mode that the differential oracles use as
+    /// their serial baseline.
+    bool coalesce_commits = true;
   };
   DispatchConfig dispatch{};
 
@@ -240,6 +249,13 @@ private:
   void maybe_checkpoint(appvisor::AppEntry& entry, const ctl::Event& e);
   bool apply_transaction(appvisor::AppEntry& entry,
                          std::vector<of::Message> emitted, std::string* violation);
+  /// Commit every open coalesced transaction on `shard` (the dispatcher's
+  /// on_batch_end hook; runs on the lane thread).
+  void flush_coalesced(std::size_t shard);
+  /// Commit one app's open coalesced transaction, if any — called before a
+  /// verifying transaction and when a crash/quota fault interrupts the
+  /// app's span stream.
+  void flush_coalesced_app(std::size_t shard, AppId app);
   void recover(appvisor::AppEntry& entry, const ctl::Event& offender,
                const std::string& crash_info, bool byzantine);
   bool restore_app(appvisor::AppEntry& entry);
@@ -265,6 +281,15 @@ private:
   std::shared_mutex txn_rw_;
   std::unordered_map<AppId, PerApp> per_app_;
   std::atomic<std::uint64_t> event_seq_{0};
+
+  /// Per-lane open coalesced transactions, keyed by app. Sized once when the
+  /// engine is installed; each slot is touched only by its owning lane
+  /// thread (applies during dispatch, flushes via on_batch_end), so the
+  /// slots need no locks.
+  struct LaneCoalesce {
+    std::unordered_map<AppId, TxnId> open;
+  };
+  std::vector<LaneCoalesce> coalesce_lanes_;
 };
 
 } // namespace legosdn::lego

@@ -92,16 +92,33 @@ TxnId NetLog::begin(AppId app) {
     std::lock_guard<std::mutex> lk(open_mu_);
     open_[id] = std::move(txn);
   }
-  {
-    std::lock_guard<std::mutex> lk(stats_mu_);
-    stats_.begun += 1;
-  }
+  stats_.begun.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
 
 bool NetLog::is_open(TxnId id) const {
   std::lock_guard<std::mutex> lk(open_mu_);
   return open_.contains(id);
+}
+
+Status NetLog::join(TxnId id, AppId app) {
+  Txn* txn = find_open(id);
+  if (!txn) return Error{Error::Code::kNotFound, "no open transaction"};
+  if (txn->app != app)
+    return Error{Error::Code::kConflict,
+                 "coalesced transaction belongs to another app"};
+  // A Txn's internals are single-threaded by construction (one app's
+  // dispatch on one lane), so spans needs no lock of its own.
+  txn->spans += 1;
+  stats_.begun.fetch_add(1, std::memory_order_relaxed);
+  stats_.coalesced_joins.fetch_add(1, std::memory_order_relaxed);
+  return Status::success();
+}
+
+std::uint64_t NetLog::spans(TxnId id) const {
+  std::lock_guard<std::mutex> lk(open_mu_);
+  const auto it = open_.find(id);
+  return it == open_.end() ? 0 : it->second->spans;
 }
 
 NetLog::Txn* NetLog::find_open(TxnId id) {
@@ -121,13 +138,20 @@ std::unique_ptr<NetLog::Txn> NetLog::take_open(TxnId id) {
 
 netsim::FlowTable& NetLog::shadow_mut(DatapathId dpid) {
   // The map mutex covers structure only; the returned table's *contents* are
-  // guarded by dpid's stripe, which every caller already holds.
-  std::lock_guard<std::mutex> lk(shadow_map_mu_);
+  // guarded by dpid's stripe, which every caller already holds. Fast path:
+  // the shadow already exists (everything after a switch's first flow-mod),
+  // so a shared lock suffices and lanes don't serialize on lookups.
+  {
+    std::shared_lock<std::shared_mutex> lk(shadow_map_mu_);
+    const auto it = shadow_.find(dpid);
+    if (it != shadow_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lk(shadow_map_mu_);
   return shadow_[dpid];
 }
 
 const netsim::FlowTable* NetLog::shadow(DatapathId dpid) const {
-  std::lock_guard<std::mutex> lk(shadow_map_mu_);
+  std::shared_lock<std::shared_mutex> lk(shadow_map_mu_);
   auto it = shadow_.find(dpid);
   return it == shadow_.end() ? nullptr : &it->second;
 }
@@ -153,20 +177,17 @@ void NetLog::forward(const of::Message& msg) {
 Status NetLog::apply(TxnId id, const of::Message& msg) {
   Txn* txn = find_open(id);
   if (!txn) return Error{Error::Code::kNotFound, "no open transaction"};
-  {
-    std::lock_guard<std::mutex> lk(stats_mu_);
-    stats_.messages += 1;
-  }
+  stats_.messages.fetch_add(1, std::memory_order_relaxed);
 
   if (const auto* mod = msg.get_if<of::FlowMod>()) {
     StripeGuard guard(*this, mod->dpid);
     touch(*txn, mod->dpid);
     if (cfg_.mode == Mode::kUndoLog) {
       record_undo(*txn, *mod);
-      const std::size_t bytes = undo_bytes(*txn);
-      {
-        std::lock_guard<std::mutex> lk(stats_mu_);
-        stats_.undo_bytes_peak = std::max(stats_.undo_bytes_peak, bytes);
+      const std::size_t bytes = txn->undo_wire_bytes;
+      std::size_t peak = stats_.undo_bytes_peak.load(std::memory_order_relaxed);
+      while (bytes > peak && !stats_.undo_bytes_peak.compare_exchange_weak(
+                                 peak, bytes, std::memory_order_relaxed)) {
       }
       forward(msg);
     } else {
@@ -296,16 +317,10 @@ void NetLog::record_undo(Txn& txn, const of::FlowMod& mod) {
     op.inverse.priority = added.priority;
     txn.undo.push_back(std::move(op));
   }
-  {
-    std::lock_guard<std::mutex> lk(stats_mu_);
-    stats_.undo_ops_recorded += txn.undo.size() - ops_before;
-  }
-}
-
-std::size_t NetLog::undo_bytes(const Txn& txn) const {
-  std::size_t total = 0;
-  for (const auto& op : txn.undo) total += of::encode({0, op.inverse}).size();
-  return total;
+  for (std::size_t i = ops_before; i < txn.undo.size(); ++i)
+    txn.undo_wire_bytes += of::encoded_size(txn.undo[i].inverse);
+  stats_.undo_ops_recorded.fetch_add(txn.undo.size() - ops_before,
+                                     std::memory_order_relaxed);
 }
 
 Status NetLog::commit(TxnId id) {
@@ -347,11 +362,14 @@ Status NetLog::commit(TxnId id) {
     if (!sh || sh->logical_digest() != sw->table().logical_digest())
       mismatches += 1;
   }
-  {
-    std::lock_guard<std::mutex> lk(stats_mu_);
-    stats_.shadow_sync_checks += checks;
-    stats_.shadow_sync_mismatches += mismatches;
-    stats_.committed += 1;
+  stats_.shadow_sync_checks.fetch_add(checks, std::memory_order_relaxed);
+  stats_.shadow_sync_mismatches.fetch_add(mismatches, std::memory_order_relaxed);
+  // One committed transaction per logical span: coalesced and per-event
+  // runs report identical commit stats (see Stats doc).
+  stats_.committed.fetch_add(txn->spans, std::memory_order_relaxed);
+  if (txn->spans > 1) {
+    stats_.coalesced_commits.fetch_add(1, std::memory_order_relaxed);
+    stats_.coalesced_spans.fetch_add(txn->spans, std::memory_order_relaxed);
   }
   return Status::success();
 }
@@ -395,16 +413,13 @@ Status NetLog::rollback(TxnId id) {
           sh->logical_digest() != pre->second)
         mismatches += 1;
     }
-    std::lock_guard<std::mutex> lk(stats_mu_);
-    stats_.undo_ops_applied += applied;
-    stats_.rollback_digest_checks += checks;
-    stats_.rollback_digest_mismatches += mismatches;
+    stats_.undo_ops_applied.fetch_add(applied, std::memory_order_relaxed);
+    stats_.rollback_digest_checks.fetch_add(checks, std::memory_order_relaxed);
+    stats_.rollback_digest_mismatches.fetch_add(mismatches,
+                                                std::memory_order_relaxed);
   }
   // Delay-buffer mode: held messages simply evaporate.
-  {
-    std::lock_guard<std::mutex> lk(stats_mu_);
-    stats_.rolled_back += 1;
-  }
+  stats_.rolled_back.fetch_add(txn->spans, std::memory_order_relaxed);
   return Status::success();
 }
 
@@ -442,7 +457,7 @@ std::size_t NetLog::counter_cache_size() const {
 
 void NetLog::expire_shadows(SimTime now) {
   StripeGuard guard = StripeGuard::all(*this);
-  std::lock_guard<std::mutex> lk(shadow_map_mu_);
+  std::shared_lock<std::shared_mutex> lk(shadow_map_mu_);
   for (auto& [_, table] : shadow_) {
     if (table.has_pending_expiry(now)) table.expire(now);
   }
@@ -452,7 +467,7 @@ void NetLog::expire_shadow(DatapathId dpid, SimTime now) {
   StripeGuard guard(*this, dpid);
   netsim::FlowTable* table = nullptr;
   {
-    std::lock_guard<std::mutex> lk(shadow_map_mu_);
+    std::shared_lock<std::shared_mutex> lk(shadow_map_mu_);
     const auto it = shadow_.find(dpid);
     if (it == shadow_.end()) return;
     table = &it->second;
@@ -479,8 +494,23 @@ void NetLog::observe_northbound(const of::Message& msg) {
 }
 
 NetLog::Stats NetLog::stats() const {
-  std::lock_guard<std::mutex> lk(stats_mu_);
-  return stats_;
+  const auto ld = [](const auto& a) { return a.load(std::memory_order_relaxed); };
+  Stats s;
+  s.begun = ld(stats_.begun);
+  s.committed = ld(stats_.committed);
+  s.rolled_back = ld(stats_.rolled_back);
+  s.coalesced_joins = ld(stats_.coalesced_joins);
+  s.coalesced_commits = ld(stats_.coalesced_commits);
+  s.coalesced_spans = ld(stats_.coalesced_spans);
+  s.messages = ld(stats_.messages);
+  s.undo_ops_recorded = ld(stats_.undo_ops_recorded);
+  s.undo_ops_applied = ld(stats_.undo_ops_applied);
+  s.undo_bytes_peak = ld(stats_.undo_bytes_peak);
+  s.rollback_digest_checks = ld(stats_.rollback_digest_checks);
+  s.rollback_digest_mismatches = ld(stats_.rollback_digest_mismatches);
+  s.shadow_sync_checks = ld(stats_.shadow_sync_checks);
+  s.shadow_sync_mismatches = ld(stats_.shadow_sync_mismatches);
+  return s;
 }
 
 } // namespace legosdn::netlog

@@ -213,24 +213,25 @@ std::int64_t FlowTable::entry_deadline(const FlowEntry& e) noexcept {
 FlowTable::Meta FlowTable::compute_meta(const FlowEntry& e) {
   Meta m;
   m.exact = is_exact(e.match);
-  // Static prefix of the digest encoding (everything up to the counters).
-  ByteWriter w;
+  // Single digest stream, ordered so the logical fields — the ones NetLog
+  // inverses restore exactly — form a prefix. One reserved encode pass feeds
+  // both hashes: logical_hash is the FNV of the prefix, and static_fnv
+  // resumes that midstate over the timeout/flag suffix. Digest values are
+  // internal-consistency-only (shadow and live tables run this same code),
+  // so the stream layout is free to favour the hot path.
+  ByteWriter w(96);
   e.match.encode(w);
   w.u16(e.priority);
   w.u64(e.cookie);
+  of::encode_actions(e.actions, w);
+  const std::size_t logical_len = w.size();
+  m.logical_hash = fnv_bytes(kFnvOffset, w.data().data(), logical_len);
   w.u16(e.idle_timeout);
   w.u16(e.hard_timeout);
   w.u8(e.send_flow_removed ? 1 : 0);
-  of::encode_actions(e.actions, w);
-  m.static_fnv = fnv_bytes(kFnvOffset, w.data().data(), w.size());
+  m.static_fnv =
+      fnv_bytes(m.logical_hash, w.data().data() + logical_len, w.size() - logical_len);
   m.full_hash = dynamic_hash(m.static_fnv, e);
-  // Structure-only term: the fields NetLog inverses restore exactly.
-  ByteWriter lw;
-  e.match.encode(lw);
-  lw.u16(e.priority);
-  lw.u64(e.cookie);
-  of::encode_actions(e.actions, lw);
-  m.logical_hash = fnv_bytes(kFnvOffset, lw.data().data(), lw.size());
   return m;
 }
 

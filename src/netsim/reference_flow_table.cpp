@@ -195,14 +195,17 @@ std::uint64_t ReferenceFlowTable::digest() const {
   // state (seq excluded; it is table-internal bookkeeping).
   std::uint64_t acc = 0x12345678ABCDEF01ULL;
   for (const auto& e : entries_) {
+    // Same stream layout as FlowTable::compute_meta: the logical fields
+    // (match, priority, cookie, actions) form a prefix so the indexed table
+    // can derive logical/static/full digests from one encode pass.
     ByteWriter w;
     e.match.encode(w);
     w.u16(e.priority);
     w.u64(e.cookie);
+    of::encode_actions(e.actions, w);
     w.u16(e.idle_timeout);
     w.u16(e.hard_timeout);
     w.u8(e.send_flow_removed ? 1 : 0);
-    of::encode_actions(e.actions, w);
     w.u64(e.packet_count);
     w.u64(e.byte_count);
     w.u64(static_cast<std::uint64_t>(raw(e.install_time)));

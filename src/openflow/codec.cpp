@@ -312,6 +312,34 @@ std::vector<std::uint8_t> encode(const Message& msg) {
   return out;
 }
 
+std::size_t encoded_size(const FlowMod& mod) {
+  // Mirrors encode() for a FlowMod body: 8-byte header (the body's type tag
+  // is spliced into the header slot) + dpid(8) + Match (fixed 35 bytes) +
+  // cookie(8) + command(1) + idle(2) + hard(2) + priority(2) + out_port(2) +
+  // flags(1) + action count(2) + per-action tag and payload. Kept honest by
+  // the codec round-trip test, which checks it against encode().size().
+  constexpr std::size_t kMatchSize = 4 + 2 + 6 + 6 + 2 + 4 + 4 + 1 + 1 + 1 + 2 + 2;
+  std::size_t n = kHeaderSize + 8 + kMatchSize + 8 + 1 + 2 + 2 + 2 + 2 + 1 + 2;
+  for (const auto& a : mod.actions) {
+    n += 1 + std::visit(
+                 [](const auto& act) -> std::size_t {
+                   using T = std::decay_t<decltype(act)>;
+                   if constexpr (std::is_same_v<T, ActionSetEthSrc> ||
+                                 std::is_same_v<T, ActionSetEthDst>) {
+                     return 6; // mac
+                   } else if constexpr (std::is_same_v<T, ActionSetIpSrc> ||
+                                        std::is_same_v<T, ActionSetIpDst>) {
+                     return 4; // u32
+                   } else {
+                     (void)act;
+                     return 2; // output / set_tp_*: u16
+                   }
+                 },
+                 a);
+  }
+  return n;
+}
+
 Result<Message> decode(std::span<const std::uint8_t> frame) {
   if (frame.size() < kHeaderSize)
     return Error{Error::Code::kTruncated, "frame shorter than header"};

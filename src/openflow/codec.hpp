@@ -24,6 +24,11 @@ constexpr std::size_t kHeaderSize = 8;
 /// Serialize one message into a self-describing frame.
 std::vector<std::uint8_t> encode(const Message& msg);
 
+/// Wire size of encode({xid, mod}) computed without materializing the frame.
+/// NetLog's undo-byte accounting needs the size of every recorded inverse;
+/// a full encode there costs ~0.4us per flow-mod apply on the hot path.
+std::size_t encoded_size(const FlowMod& mod);
+
 /// Parse one frame. The span must contain exactly one frame.
 Result<Message> decode(std::span<const std::uint8_t> frame);
 

@@ -120,9 +120,25 @@ void OFServer::on_conn_io(int fd, std::uint32_t events) {
     if (!service_out(c)) return;
   }
   if (events & (EPOLLIN | EPOLLRDHUP)) {
+    // Wire batching: every complete frame this read pass decodes lands in
+    // pending_batch_, delivered as one span per readable socket below.
+    const bool batching = static_cast<bool>(on_batch_);
+    if (batching) batch_open_ = true;
     const auto st = c->io->read_frames(
         [this, &c](std::span<const std::uint8_t> f) { handle_frame(c, f); });
     work_ += 1;
+    if (batching) {
+      batch_open_ = false;
+      if (!pending_batch_.empty()) {
+        std::vector<ctl::Event> batch;
+        batch.swap(pending_batch_);
+        {
+          std::lock_guard<std::mutex> lk(stats_mu_);
+          stats_.event_batches += 1;
+        }
+        on_batch_(std::move(batch));
+      }
+    }
     if (c->io->closed() || conns_.find(fd) == conns_.end())
       return; // a frame handler tore the connection down
     switch (st) {
@@ -205,7 +221,7 @@ void OFServer::handle_frame(const std::shared_ptr<Conn>& c,
         stats_.handshakes += 1;
         stats_.events_out += 1;
       }
-      if (on_event_) on_event_(ctl::SwitchUp{c->dpid, *fr});
+      emit_event(ctl::SwitchUp{c->dpid, *fr});
       return;
     }
     case HandshakeState::kSteady: {
@@ -218,23 +234,65 @@ void OFServer::handle_frame(const std::shared_ptr<Conn>& c,
         std::lock_guard<std::mutex> lk(stats_mu_);
         stats_.events_out += 1;
       }
-      if (on_event_) {
-        std::visit(
-            [&](auto&& m) {
-              using T = std::decay_t<decltype(m)>;
-              if constexpr (std::is_same_v<T, of::PacketIn> ||
-                            std::is_same_v<T, of::PortStatus> ||
-                            std::is_same_v<T, of::FlowRemoved> ||
-                            std::is_same_v<T, of::StatsReply> ||
-                            std::is_same_v<T, of::BarrierReply> ||
-                            std::is_same_v<T, of::OfError>) {
-                on_event_(ctl::Event{std::move(m)});
-              }
-            },
-            std::move(msg.body));
-      }
+      std::visit(
+          [&](auto&& m) {
+            using T = std::decay_t<decltype(m)>;
+            if constexpr (std::is_same_v<T, of::PacketIn> ||
+                          std::is_same_v<T, of::PortStatus> ||
+                          std::is_same_v<T, of::FlowRemoved> ||
+                          std::is_same_v<T, of::StatsReply> ||
+                          std::is_same_v<T, of::BarrierReply> ||
+                          std::is_same_v<T, of::OfError>) {
+              emit_event(ctl::Event{std::move(m)});
+            }
+          },
+          std::move(msg.body));
       return;
     }
+  }
+}
+
+void OFServer::emit_event(ctl::Event e) {
+  if (on_batch_) {
+    if (batch_open_) {
+      pending_batch_.push_back(std::move(e));
+      return;
+    }
+    // Outside a read pass (e.g. idle-timeout SwitchDown from the timer
+    // sweep): a batch of one keeps delivery uniform for the consumer.
+    std::vector<ctl::Event> one;
+    one.push_back(std::move(e));
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      stats_.event_batches += 1;
+    }
+    on_batch_(std::move(one));
+    return;
+  }
+  if (on_event_) on_event_(std::move(e));
+}
+
+void OFServer::mark_dirty(const std::shared_ptr<Conn>& c, bool from_loop_thread) {
+  bool first_dirty = false;
+  {
+    std::lock_guard<std::mutex> lk(route_mu_);
+    if (!c->in_dirty) {
+      c->in_dirty = true;
+      first_dirty = dirty_.empty();
+      dirty_.push_back(c);
+    }
+  }
+  if (from_loop_thread || !first_dirty) return;
+  // Cross-thread empty->non-empty transition: the loop may be parked in
+  // epoll_wait. One eventfd poke covers every further send until the loop
+  // wakes and clears wake_pending_ — repeated transitions within one poll
+  // cycle (the sweep empties the list mid-cycle) no longer re-signal.
+  if (!wake_pending_.exchange(true, std::memory_order_acq_rel)) {
+    {
+      std::lock_guard<std::mutex> lk(stats_mu_);
+      stats_.wakeups += 1;
+    }
+    loop_.wakeup();
   }
 }
 
@@ -242,8 +300,7 @@ void OFServer::enqueue_msg(const std::shared_ptr<Conn>& c, const of::Message& ms
   auto bytes = of::wire10::encode(msg);
   if (!bytes) return; // nothing in the handshake path is unencodable
   c->io->enqueue(std::span<const std::uint8_t>(bytes.value()));
-  std::lock_guard<std::mutex> lk(route_mu_);
-  dirty_.push_back(c);
+  mark_dirty(c, /*from_loop_thread=*/true);
 }
 
 bool OFServer::service_out(const std::shared_ptr<Conn>& c) {
@@ -302,18 +359,13 @@ bool OFServer::send(DatapathId dpid, const of::Message& msg) {
   auto bytes = of::wire10::encode(msg);
   if (!bytes) return drop();
   if (!c->io->enqueue(std::span<const std::uint8_t>(bytes.value()))) return drop();
-  bool first_dirty;
-  {
-    std::lock_guard<std::mutex> lk(route_mu_);
-    first_dirty = dirty_.empty();
-    dirty_.push_back(std::move(c));
-  }
   {
     std::lock_guard<std::mutex> lk(stats_mu_);
     stats_.sends += 1;
   }
-  // One eventfd poke per flush batch, not per message.
-  if (first_dirty) loop_.wakeup();
+  // Per-conn buffering until the next flush sweep; at most one eventfd poke
+  // per poll cycle (wake_pending_).
+  mark_dirty(c, /*from_loop_thread=*/false);
   return true;
 }
 
@@ -322,17 +374,20 @@ void OFServer::wakeup() { loop_.wakeup(); }
 int OFServer::poll(int timeout_ms) {
   work_ = 0;
   work_ += loop_.poll(timeout_ms);
+  // The loop is awake: the next cross-thread dirty transition needs a fresh
+  // poke. Cleared before the sweep so a send landing mid-sweep re-signals.
+  wake_pending_.store(false, std::memory_order_release);
 
   // Coalesced flush sweep: every connection that accumulated outbound
-  // frames since the last pass gets one writev.
+  // frames since the last pass gets one writev. The list is duplicate-free
+  // (Conn::in_dirty), so no sort/dedup pass is needed; flags reset under the
+  // same lock so a concurrent send() re-dirties for the *next* sweep.
   std::vector<std::shared_ptr<Conn>> dirty;
   {
     std::lock_guard<std::mutex> lk(route_mu_);
     dirty.swap(dirty_);
+    for (auto& c : dirty) c->in_dirty = false;
   }
-  // Dedup: a batch of send()s to one switch dirties it many times.
-  std::sort(dirty.begin(), dirty.end());
-  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
   for (auto& c : dirty) service_out(c);
 
   const std::uint64_t now = now_ms();
@@ -402,12 +457,12 @@ void OFServer::disconnect(const std::shared_ptr<Conn>& c, bool emit_switch_down)
   c->io->close();
   work_ += 1;
   if (emit_switch_down && was_owner &&
-      c->state == HandshakeState::kSteady && on_event_) {
+      c->state == HandshakeState::kSteady && (on_event_ || on_batch_)) {
     {
       std::lock_guard<std::mutex> lk(stats_mu_);
       stats_.events_out += 1;
     }
-    on_event_(ctl::SwitchDown{c->dpid});
+    emit_event(ctl::SwitchDown{c->dpid});
   }
 }
 

@@ -16,6 +16,7 @@
 // lanes preserves per-switch ordering end-to-end from the wire.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -52,6 +53,7 @@ struct OFServerConfig {
 class OFServer {
 public:
   using EventFn = std::function<void(ctl::Event)>;
+  using BatchFn = std::function<void(std::vector<ctl::Event>)>;
 
   OFServer();
   ~OFServer();
@@ -64,6 +66,15 @@ public:
   /// protocol violation, idle timeout), and every steady-state event-type
   /// message (packet-in, flow-removed, ...).
   Status listen(OFServerConfig cfg, EventFn on_event);
+
+  /// Wire batching (DESIGN.md §4.7): when set, events are delivered as
+  /// ordered spans instead of one callback per event — every complete frame
+  /// decoded during one socket read pass forms one batch, submitted once per
+  /// readable socket (SwitchUp/SwitchDown raised mid-pass ride along in
+  /// order). Events raised outside a read pass (idle-timeout SwitchDown)
+  /// arrive as single-element batches. Replaces the per-event callback for
+  /// event delivery; call before listen().
+  void set_event_batch(BatchFn fn) { on_batch_ = std::move(fn); }
 
   /// The bound port (after listen; ephemeral binds resolve here).
   std::uint16_t port() const noexcept { return port_; }
@@ -102,8 +113,10 @@ public:
     std::uint64_t echo_probes = 0;
     std::uint64_t echo_timeouts = 0;
     std::uint64_t events_out = 0;
+    std::uint64_t event_batches = 0; ///< batch deliveries (set_event_batch)
     std::uint64_t sends = 0;
     std::uint64_t sends_dropped = 0;
+    std::uint64_t wakeups = 0; ///< eventfd pokes issued by cross-thread send()
     std::uint64_t reads_paused = 0;
     std::uint64_t reads_resumed = 0;
     std::uint64_t bytes_in = 0;
@@ -124,6 +137,7 @@ private:
     std::uint64_t echo_sent_ms = 0;
     bool reads_paused = false;
     bool want_writable = false; ///< EPOLLOUT armed (partial flush pending)
+    bool in_dirty = false; ///< on the dirty list already (guarded by route_mu_)
     std::uint32_t next_xid = 1;
   };
 
@@ -132,6 +146,12 @@ private:
   void on_conn_io(int fd, std::uint32_t events);
   void handle_frame(const std::shared_ptr<Conn>& c,
                     std::span<const std::uint8_t> frame);
+  /// Deliver one event: appended to the open read-pass batch, sent as a
+  /// single-element batch, or handed to the per-event callback.
+  void emit_event(ctl::Event e);
+  /// Mark a conn for the next flush sweep; one eventfd wake per
+  /// empty->non-empty dirty transition per poll cycle (wake_pending_).
+  void mark_dirty(const std::shared_ptr<Conn>& c, bool from_loop_thread);
   void enqueue_msg(const std::shared_ptr<Conn>& c, const of::Message& msg);
   /// Flush + rebalance epoll interest (EPOLLOUT arming, watermark
   /// pause/resume). Returns false when the conn died.
@@ -143,6 +163,7 @@ private:
 
   OFServerConfig cfg_;
   EventFn on_event_;
+  BatchFn on_batch_;
   EventLoop loop_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
@@ -151,12 +172,18 @@ private:
   std::unordered_map<int, std::shared_ptr<Conn>> conns_;
   std::uint64_t last_sweep_ms_ = 0;
   int work_ = 0; ///< accumulated work count for the current poll() pass
+  bool batch_open_ = false; ///< a read pass is accumulating pending_batch_
+  std::vector<ctl::Event> pending_batch_;
 
   // Cross-thread: dpid -> ready conn (send()), dirty list (pending flushes).
   mutable std::mutex route_mu_;
   std::unordered_map<DatapathId, std::shared_ptr<Conn>> by_dpid_;
   std::size_t by_dpid_size_ = 0; ///< mirrors by_dpid_ for lock-free reads
-  std::vector<std::shared_ptr<Conn>> dirty_;
+  std::vector<std::shared_ptr<Conn>> dirty_; ///< unique (Conn::in_dirty)
+  /// True once a send() has poked the eventfd this poll cycle; cleared when
+  /// the loop wakes. Coalesces N cross-thread sends into one wake even when
+  /// the dirty list empties and refills repeatedly within a cycle.
+  std::atomic<bool> wake_pending_{false};
 
   mutable std::mutex stats_mu_;
   Stats stats_;

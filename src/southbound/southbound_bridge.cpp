@@ -12,6 +12,11 @@ SouthboundBridge::~SouthboundBridge() {
 }
 
 Status SouthboundBridge::start() {
+  // Wire batching: every complete frame of one socket read pass is injected
+  // as a single ordered span (engine mode turns it into one submit_batch).
+  server_.set_event_batch([this](std::vector<ctl::Event> events) {
+    controller_.inject_events(std::move(events));
+  });
   auto st = server_.listen(cfg_.server, [this](ctl::Event e) {
     controller_.inject_event(std::move(e));
   });

@@ -309,6 +309,82 @@ TEST(NetLog, MultiSwitchTransactionRollsBackEverywhere) {
   }
 }
 
+// Commit coalescing (DESIGN.md §4.7): joined spans commit once physically
+// but count one committed transaction per logical span, so coalesced and
+// per-event runs are stat-identical — the property the serial-vs-sharded
+// differential oracle depends on.
+TEST(NetLog, CoalescedCommitCountsOneSpanPerJoin) {
+  auto net = netsim::Network::linear(2, 1);
+  NetLog log(*net);
+  const TxnId txn = log.begin(AppId{1});
+  ASSERT_TRUE(log.join(txn, AppId{1}));
+  ASSERT_TRUE(log.join(txn, AppId{1}));
+  EXPECT_EQ(log.spans(txn), 3u);
+  // Coalescing is same-app only: a foreign app cannot extend the batch.
+  EXPECT_FALSE(log.join(txn, AppId{9}));
+  for (std::uint16_t p = 0; p < 3; ++p) {
+    ASSERT_TRUE(log.apply(
+        txn, {1, add_rule(DatapathId{1}, of::Match{}.with_tp_dst(80 + p), 100,
+                          PortNo{3})}));
+  }
+  ASSERT_TRUE(log.commit(txn));
+  const auto st = log.stats();
+  EXPECT_EQ(st.begun, 3u);
+  EXPECT_EQ(st.committed, 3u);
+  EXPECT_EQ(st.coalesced_joins, 2u);
+  EXPECT_EQ(st.coalesced_commits, 1u);
+  EXPECT_EQ(st.coalesced_spans, 3u);
+}
+
+// Crash mid-coalesced-batch: rollback must undo every logical span the
+// physical transaction carries — across every switch it touched — and
+// nothing committed before it, with the digest audit confirming each shadow
+// returned to its pre-transaction state.
+TEST(NetLog, CoalescedSpanCrashRollsBackWholeBatch) {
+  auto net = netsim::Network::linear(2, 1);
+  NetLog log(*net);
+
+  // Committed pre-state the rollback must leave untouched.
+  const TxnId t0 = log.begin(AppId{1});
+  ASSERT_TRUE(log.apply(t0, {1, add_rule(DatapathId{1},
+                                         of::Match{}.with_tp_dst(22), 10,
+                                         PortNo{3})}));
+  ASSERT_TRUE(log.commit(t0));
+  const auto pre1 = logical_digest(net->switch_at(DatapathId{1})->table());
+
+  // One physical transaction carrying four logical spans, two flow-mods
+  // each, spread across both switches.
+  const TxnId t1 = log.begin(AppId{2});
+  for (int s = 0; s < 3; ++s) ASSERT_TRUE(log.join(t1, AppId{2}));
+  EXPECT_EQ(log.spans(t1), 4u);
+  std::uint16_t port = 1000;
+  for (int s = 0; s < 4; ++s) {
+    for (int m = 0; m < 2; ++m) {
+      const std::uint64_t dpid = 1 + (s + m) % 2;
+      ASSERT_TRUE(log.apply(
+          t1, {2, add_rule(DatapathId{dpid}, of::Match{}.with_tp_dst(port++),
+                           100, PortNo{3})}));
+    }
+  }
+  EXPECT_EQ(net->switch_at(DatapathId{1})->table().size(), 5u);
+  EXPECT_EQ(net->switch_at(DatapathId{2})->table().size(), 4u);
+
+  // The app crashes before commit; the whole batch is undone.
+  ASSERT_TRUE(log.rollback(t1));
+  EXPECT_EQ(logical_digest(net->switch_at(DatapathId{1})->table()), pre1);
+  EXPECT_EQ(net->switch_at(DatapathId{1})->table().size(), 1u);
+  EXPECT_TRUE(net->switch_at(DatapathId{2})->table().empty());
+
+  const auto st = log.stats();
+  EXPECT_EQ(st.begun, 5u);       // t0 + four logical spans
+  EXPECT_EQ(st.committed, 1u);   // t0 only
+  EXPECT_EQ(st.rolled_back, 4u); // every span of the coalesced txn
+  EXPECT_EQ(st.coalesced_joins, 3u);
+  EXPECT_EQ(st.undo_ops_applied, 8u);
+  EXPECT_GE(st.rollback_digest_checks, 2u); // both touched shadows audited
+  EXPECT_EQ(st.rollback_digest_mismatches, 0u);
+}
+
 TEST(NetLog, DelayBufferHoldsUntilCommit) {
   auto net = netsim::Network::linear(2, 1);
   NetLog log(*net, {Mode::kDelayBuffer, false});

@@ -177,6 +177,33 @@ TEST(Codec, HeaderFields) {
   EXPECT_TRUE(decoded.value().is<Hello>());
 }
 
+TEST(Codec, EncodedSizeMatchesEncodeForFlowMods) {
+  // encoded_size() is the arithmetic twin of encode() that NetLog's
+  // undo-byte accounting uses on the hot path; any drift between the two
+  // silently corrupts undo_bytes_peak. Sweep random mods plus one mod
+  // carrying every action kind.
+  MessageGen gen(77);
+  for (int i = 0; i < 200; ++i) {
+    const FlowMod mod = gen.random_flow_mod(64);
+    EXPECT_EQ(encoded_size(mod), encode({std::uint32_t(i), mod}).size());
+  }
+  FlowMod all;
+  all.dpid = DatapathId{3};
+  all.match = gen.random_match();
+  all.actions = {
+      ActionOutput{PortNo{7}},
+      ActionSetEthSrc{MacAddress::from_uint64(0xAAA)},
+      ActionSetEthDst{MacAddress::from_uint64(0xBBB)},
+      ActionSetIpSrc{IpV4::from_octets(1, 2, 3, 4)},
+      ActionSetIpDst{IpV4::from_octets(5, 6, 7, 8)},
+      ActionSetTpSrc{1234},
+      ActionSetTpDst{80},
+  };
+  EXPECT_EQ(encoded_size(all), encode({9, all}).size());
+  all.actions.clear();
+  EXPECT_EQ(encoded_size(all), encode({9, all}).size());
+}
+
 TEST(Codec, RejectsBadVersion) {
   auto bytes = encode({1, Hello{}});
   bytes[0] = 9;

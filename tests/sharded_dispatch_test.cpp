@@ -212,6 +212,96 @@ TEST(ShardedDispatcher, StatsAggregateAcrossLanes) {
   EXPECT_GT(st.latency_us.count(), 0u);
 }
 
+// Batched submission (DESIGN.md §4.7): seeded interleavings of submit(),
+// submit_batch() and global barriers must behave exactly like per-event
+// submission — per-switch FIFO holds across both paths, and every barrier
+// observes precisely the locals submitted before it (none after). The
+// batching stats must show activity on this path.
+TEST(ShardedDispatcher, SeededBatchSubmitInterleavePreservesOrder) {
+  for (const std::uint64_t seed : {11ull, 29ull, 4242ull}) {
+    Rng rng(seed);
+    std::mutex mu;
+    std::map<std::uint64_t, std::vector<std::uint64_t>> got; // dpid -> tags
+    std::atomic<std::uint64_t> locals_done{0};
+    std::vector<std::uint64_t> barrier_saw; // locals complete at each barrier
+    ctl::ShardedDispatcher d(
+        {.shards = 4}, [&](ctl::Event e, std::size_t shard) {
+          const auto& pin = std::get<of::PacketIn>(e);
+          if (shard == ctl::ShardRouter::kGlobal) {
+            // World stopped: no lane is running, so this is race-free.
+            barrier_saw.push_back(locals_done.load());
+            return;
+          }
+          std::lock_guard lk(mu);
+          got[raw(pin.dpid)].push_back(pin.packet.trace_tag);
+          locals_done.fetch_add(1);
+        });
+
+    std::map<std::uint64_t, std::vector<std::uint64_t>> want;
+    std::vector<std::uint64_t> barrier_want;
+    std::uint64_t tag = 0, submitted_locals = 0, barriers = 0;
+    for (int step = 0; step < 150; ++step) {
+      switch (rng.below(3)) {
+      case 0: { // single submit
+        const std::uint64_t dpid = 1 + rng.below(6);
+        want[dpid].push_back(tag);
+        d.submit(ctl::Event{packet_in(dpid, 1, tag++)});
+        ++submitted_locals;
+        break;
+      }
+      case 1: { // batch of mixed-lane events
+        std::vector<ctl::Event> batch;
+        const std::uint64_t n = 1 + rng.below(16);
+        for (std::uint64_t i = 0; i < n; ++i) {
+          const std::uint64_t dpid = 1 + rng.below(6);
+          want[dpid].push_back(tag);
+          batch.push_back(ctl::Event{packet_in(dpid, 1, tag++)});
+          ++submitted_locals;
+        }
+        d.submit_batch(std::move(batch));
+        break;
+      }
+      default: // barrier (dpid 0 routes kGlobal)
+        barrier_want.push_back(submitted_locals);
+        d.submit(ctl::Event{packet_in(0, 1, tag++)});
+        ++barriers;
+      }
+    }
+    d.drain();
+
+    for (const auto& [dpid, tags] : want)
+      EXPECT_EQ(got[dpid], tags) << "seed " << seed << " dpid " << dpid;
+    EXPECT_EQ(barrier_saw, barrier_want) << "seed " << seed;
+    const auto st = d.stats();
+    EXPECT_EQ(st.dispatched, tag);
+    EXPECT_EQ(st.barriers, barriers);
+    EXPECT_GT(st.batches, 0u);
+    EXPECT_GT(st.batch_events.count(), 0u);
+    EXPECT_GT(st.lock_acquisitions, 0u);
+  }
+}
+
+// The amortization itself: one large same-switch batch must cost far fewer
+// lane-lock acquisitions than events dispatched (per-event submission costs
+// at least one acquisition per event before the lane even drains).
+TEST(ShardedDispatcher, BatchSubmitAmortizesLockAcquisitions) {
+  constexpr std::uint64_t kEvents = 1000;
+  ctl::ShardedDispatcher d({.shards = 4}, [](ctl::Event, std::size_t) {});
+  std::vector<ctl::Event> batch;
+  batch.reserve(kEvents);
+  for (std::uint64_t i = 0; i < kEvents; ++i)
+    batch.push_back(ctl::Event{packet_in(1, 1, i)});
+  d.submit_batch(std::move(batch));
+  d.drain();
+  const auto st = d.stats();
+  EXPECT_EQ(st.dispatched, kEvents);
+  EXPECT_GT(st.batches, 0u);
+  EXPECT_LT(st.lock_acquisitions, kEvents / 2)
+      << "a single-lane batch should append and drain in a handful of "
+         "lock acquisitions, not one per event";
+  EXPECT_GE(st.batch_events.max(), 1.0);
+}
+
 // ---------------------------------------------------------------------------
 // Differential: serial vs sharded LegoController
 // ---------------------------------------------------------------------------

@@ -331,6 +331,83 @@ TEST(OFServer, TwoFramesInOneWriteBothDelivered) {
   EXPECT_EQ(p2->packet.hdr.tp_dst, 443);
 }
 
+TEST(OFServer, ReadPassDeliversMultiFrameBatch) {
+  // Wire batching (DESIGN.md §4.7): with set_event_batch installed, every
+  // complete frame decoded during one socket read pass arrives as one
+  // ordered span, and the per-event callback is bypassed entirely.
+  OFServer server;
+  std::vector<std::vector<ctl::Event>> batches;
+  server.set_event_batch(
+      [&](std::vector<ctl::Event> evs) { batches.push_back(std::move(evs)); });
+  OFServerConfig cfg;
+  cfg.echo_interval_ms = 0;
+  cfg.idle_timeout_ms = 0;
+  std::size_t per_event_calls = 0;
+  ASSERT_TRUE(
+      server.listen(std::move(cfg), [&](ctl::Event) { ++per_event_calls; }).ok());
+
+  RawPeer peer(server.port());
+  ASSERT_TRUE(peer.handshake(server, test_features(11)));
+
+  // Three frames in one write: one read pass, one batch.
+  std::vector<std::uint8_t> wire;
+  for (std::uint16_t tp : {80, 443, 22}) {
+    const auto f = enc({tp, sample_packet_in(11, tp)});
+    wire.insert(wire.end(), f.begin(), f.end());
+  }
+  ASSERT_TRUE(peer.send_all(wire, server));
+
+  std::size_t pins = 0;
+  const auto deadline = steady_clock::now() + seconds(2);
+  while (pins < 3 && steady_clock::now() < deadline) {
+    server.poll(1);
+    pins = 0;
+    for (const auto& b : batches)
+      for (const auto& e : b)
+        if (std::holds_alternative<of::PacketIn>(e)) ++pins;
+  }
+  ASSERT_EQ(pins, 3u);
+  EXPECT_EQ(per_event_calls, 0u)
+      << "batch mode must not also invoke the per-event callback";
+
+  // The SwitchUp rode its own read pass; all three packet-ins share one
+  // batch, in wire order.
+  const auto& last = batches.back();
+  ASSERT_EQ(last.size(), 3u) << "frames from one read pass must form one batch";
+  EXPECT_EQ(std::get<of::PacketIn>(last[0]).packet.hdr.tp_dst, 80);
+  EXPECT_EQ(std::get<of::PacketIn>(last[1]).packet.hdr.tp_dst, 443);
+  EXPECT_EQ(std::get<of::PacketIn>(last[2]).packet.hdr.tp_dst, 22);
+  const auto st = server.stats();
+  EXPECT_GE(st.event_batches, 2u); // SwitchUp batch + the packet-in batch
+  EXPECT_EQ(st.events_out, 4u);
+}
+
+// Regression (wakeup churn): a burst of cross-thread send()s must collapse
+// into one eventfd poke per poll cycle, not one per message — the loop is
+// woken once and flushes the whole dirty list with coalesced writev calls.
+TEST(OFServer, CrossThreadSendBurstsCoalesceWakeups) {
+  ServerFixture fx;
+  RawPeer peer(fx.server.port());
+  ASSERT_TRUE(peer.handshake(fx.server, test_features(12)));
+  const auto base = fx.server.stats();
+
+  constexpr int kBursts = 10, kPerBurst = 20;
+  for (int burst = 0; burst < kBursts; ++burst) {
+    for (int i = 0; i < kPerBurst; ++i)
+      ASSERT_TRUE(fx.server.send(DatapathId{12}, {std::uint32_t(i), of::EchoRequest{7}}));
+    // Drain this burst before the next: every frame out of the server.
+    for (int i = 0; i < kPerBurst; ++i)
+      ASSERT_FALSE(peer.recv_frame(fx.server).empty()) << "burst " << burst;
+  }
+
+  const auto st = fx.server.stats();
+  EXPECT_EQ(st.sends - base.sends, std::uint64_t{kBursts * kPerBurst});
+  const auto wakeups = st.wakeups - base.wakeups;
+  EXPECT_GE(wakeups, 1u);
+  EXPECT_LE(wakeups, std::uint64_t{kBursts})
+      << "wakeups must scale with poll cycles, not with messages";
+}
+
 TEST(OFServer, MalformedLengthDisconnectsAndSlotIsReclaimed) {
   ServerFixture fx;
   {

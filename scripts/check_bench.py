@@ -143,6 +143,54 @@ def check_southbound(path: Path, doc) -> None:
         )
 
 
+FAILOVER_STORIES = (
+    "monolithic_cold_reboot",
+    "legosdn_restart",
+    "replicated_failover",
+)
+
+
+def check_failover(path: Path, doc) -> None:
+    """Schema for BENCH_failover.json (experiment C14): one row per recovery
+    story, a replication-stream summary proving the follower was actually fed,
+    and the monolithic-vs-replicated outage headline. The replicated row must
+    beat the monolithic one outright — virtual time is deterministic, so this
+    is a semantics check (warm failover must not relearn), not a perf floor."""
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        fail(f"{path}: 'rows' must be a non-empty list")
+    by_story = {}
+    for i, row in enumerate(rows):
+        if not isinstance(row.get("story"), str):
+            fail(f"{path}: rows[{i}].story must be a string")
+        for key in ("punts_after", "warm_ms", "state_entries"):
+            if not isinstance(row.get(key), (int, float)):
+                fail(f"{path}: rows[{i}].{key} must be numeric")
+        if not isinstance(row.get("cpu_oversubscribed"), bool):
+            fail(f"{path}: rows[{i}].cpu_oversubscribed must be a boolean")
+        by_story[row["story"]] = row
+    for story in FAILOVER_STORIES:
+        if story not in by_story:
+            fail(f"{path}: missing row for recovery story {story!r}")
+    repl = doc.get("replication")
+    if not isinstance(repl, dict):
+        fail(f"{path}: 'replication' must be an object")
+    for key in ("records_shipped", "txns_adopted", "txns_discarded"):
+        if not isinstance(repl.get(key), (int, float)):
+            fail(f"{path}: replication.{key} must be numeric")
+    if repl["records_shipped"] <= 0:
+        fail(f"{path}: replication.records_shipped is 0 — the follower was "
+             "never fed, so the failover row measured a cold controller")
+    mono = by_story["monolithic_cold_reboot"]
+    warm = by_story["replicated_failover"]
+    if warm["warm_ms"] >= mono["warm_ms"]:
+        fail(f"{path}: replicated failover outage ({warm['warm_ms']}ms) is no "
+             f"better than a monolithic cold reboot ({mono['warm_ms']}ms)")
+    if warm["punts_after"] > 0:
+        fail(f"{path}: replicated failover punted {warm['punts_after']} flows "
+             "— promotion relearned state it should have inherited warm")
+
+
 def headline_speedup(path: Path, doc) -> float | None:
     headline = doc.get("headline")
     if headline is None:
@@ -165,6 +213,8 @@ def check_file(path: Path, baseline_dir: Path, max_regression: float) -> str:
         check_southbound(path, doc)
     if doc.get("bench") == "throughput":
         check_throughput(path, doc)
+    if doc.get("bench") == "failover":
+        check_failover(path, doc)
 
     speedup = headline_speedup(path, doc)
     if speedup is None:

@@ -22,8 +22,9 @@
 #                firewalled runner from reading as a logic regression in the
 #                main matrix.
 #   bench-smoke  run the JSON-emitting benches (checkpoint, isolation
-#                latency, flow table, netlog, micro, throughput, southbound)
-#                with tiny iteration counts (LEGOSDN_BENCH_SMOKE=1), assert exit 0 and
+#                latency, flow table, netlog, micro, throughput, southbound,
+#                failover) with tiny iteration counts
+#                (LEGOSDN_BENCH_SMOKE=1), assert exit 0 and
 #                that each emits parseable JSON into bench-out/, then gate
 #                them with scripts/check_bench.py against the committed
 #                BENCH_*.json baselines (order-of-magnitude floor on
@@ -93,7 +94,7 @@ cmd_socket_tests() {
 cmd_bench_smoke() {
   local dir="build"
   [ -d build-ci ] && dir="build-ci"
-  local benches="bench_checkpoint bench_isolation_latency bench_flow_table bench_netlog bench_micro bench_throughput bench_southbound"
+  local benches="bench_checkpoint bench_isolation_latency bench_flow_table bench_netlog bench_micro bench_throughput bench_southbound bench_failover"
   # shellcheck disable=SC2086
   cmake --build "$dir" -j "$(nproc)" --target $benches
   mkdir -p bench-out

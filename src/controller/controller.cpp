@@ -5,6 +5,10 @@
 namespace legosdn::ctl {
 
 Controller::Controller(netsim::Network& net) : net_(net) {
+  attach_network_callbacks();
+}
+
+void Controller::attach_network_callbacks() {
   net_.set_northbound([this](const of::Message& m) { on_northbound(m); });
   net_.set_switch_state_callback(
       [this](DatapathId d, bool up) { on_switch_state(d, up); });
@@ -163,6 +167,14 @@ void Controller::reboot() {
 }
 
 void Controller::send(const of::Message& msg) {
+  if (send_suppressed_) {
+    // Follower role: app outputs are side-effect-free by contract. (Most
+    // never get here — the isolation domains buffer emissions and the
+    // follower discards the bundle — but a direct ServiceApi send must be
+    // swallowed too.)
+    stats_.messages_suppressed += 1;
+    return;
+  }
   stats_.messages_sent += 1;
   if (southbound_) {
     southbound_(msg);

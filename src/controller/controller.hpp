@@ -104,6 +104,22 @@ public:
     announcer_ = std::move(fn);
   }
 
+  // --- replication support ---
+  /// Follower role: send() drops messages (counted in
+  /// stats().messages_suppressed) instead of reaching the network or
+  /// southbound. A follower controller's apps run warm on the leader's event
+  /// stream; the leader already performed every wire side effect, so a
+  /// follower emitting one would duplicate it. Promotion flips this off.
+  void set_send_suppressed(bool on) noexcept { send_suppressed_ = on; }
+  bool send_suppressed() const noexcept { return send_suppressed_; }
+
+  /// Re-register this controller's northbound + switch-state callbacks with
+  /// the network. The network holds exactly one callback pair (grabbed in
+  /// the constructor), so building a second controller against the same
+  /// network steals them — a replica set re-attaches the leader's after
+  /// constructing followers, and a promoted follower attaches its own.
+  void attach_network_callbacks();
+
   // --- ServiceApi ---
   void send(const of::Message& msg) override;
   std::uint32_t next_xid() override { return next_xid_++; }
@@ -119,6 +135,7 @@ public:
     std::uint64_t events_dispatched = 0;
     std::uint64_t events_dropped = 0;   ///< queued while down, then discarded
     std::uint64_t messages_sent = 0;
+    std::uint64_t messages_suppressed = 0; ///< dropped while following
     std::uint64_t controller_crashes = 0;
     std::uint64_t reboots = 0;
   };
@@ -135,6 +152,7 @@ protected:
   std::unique_ptr<ShardedDispatcher> engine_;
   std::uint64_t engine_run_mark_ = 0; ///< dispatched count at last run()
   bool crashed_ = false;
+  bool send_suppressed_ = false;
   std::string crash_reason_;
   std::uint32_t next_xid_ = 1;
   Stats stats_;

@@ -15,6 +15,11 @@ std::string ProblemTicket::to_string() const {
     os << "\n  rollback:        checkpoint @" << restore_seq << " + "
        << replay_span << " replayed event" << (replay_span == 1 ? "" : "s");
   }
+  if (!shadow_digests.empty()) {
+    os << "\n  shadow digests: ";
+    for (const auto& [dpid, digest] : shadow_digests)
+      os << " s" << dpid << "=" << std::hex << digest << std::dec;
+  }
   if (!recent_events.empty()) {
     os << "\n  recent events:";
     for (const auto& e : recent_events) os << "\n    " << e;

@@ -7,6 +7,7 @@
 
 #include "common/log.hpp"
 #include "legosdn/delta_debug.hpp"
+#include "legosdn/replication.hpp"
 
 namespace legosdn::lego {
 
@@ -33,7 +34,16 @@ LegoController::LegoController(netsim::Network& net, LegoConfig cfg)
                    {cfg_.checkpoint.async, cfg_.checkpoint.max_queue,
                     cfg_.checkpoint.encode_delay, cfg_.checkpoint.shards}),
       transformer_(net),
-      checker_(net) {}
+      checker_(net),
+      role_(cfg_.role) {
+  if (role_ == LegoConfig::Role::kFollower) {
+    // A follower's state machines run warm but nothing reaches the wire:
+    // NetLog maintains shadows/undo logs without forwarding, and any direct
+    // ServiceApi send from an app is swallowed (and counted).
+    netlog_.set_shadow_only(true);
+    set_send_suppressed(true);
+  }
+}
 
 LegoController::~LegoController() { visor_.shutdown_all(); }
 
@@ -376,6 +386,12 @@ void LegoController::dispatch_core(ctl::Event e, std::size_t shard) {
       .fetch_add(1, std::memory_order_relaxed);
   event_seq_.fetch_add(1, std::memory_order_relaxed);
 
+  // Replication: followers must observe the event before any transaction
+  // records it spawns (they interleave begin/apply/commit per app exactly as
+  // the leader's dispatch produces them, so shipping here keeps the stream
+  // totally ordered — ReplicaSet forces serial dispatch).
+  ship_event(e);
+
   // Keep NetLog's shadow tables in sync and fix up stats replies from the
   // counter-cache before any app sees them (§3.2).
   if (const auto* fr = std::get_if<of::FlowRemoved>(&e)) {
@@ -534,6 +550,17 @@ LegoController::LocalizeResult LegoController::localize_fault(
 
 void LegoController::recover(appvisor::AppEntry& entry, const ctl::Event& offender,
                              const std::string& crash_info, bool byzantine) {
+  recover_impl(entry, offender, crash_info, byzantine);
+  // Replication: ship the recovery *outcome* — the app's post-recovery
+  // snapshot (or the fact it was left down) — so followers mirror what
+  // actually happened instead of re-running a recovery whose ingredients
+  // (worker timing, adaptive cadence) need not be deterministic.
+  ship_app_state(entry);
+}
+
+void LegoController::recover_impl(appvisor::AppEntry& entry,
+                                  const ctl::Event& offender,
+                                  const std::string& crash_info, bool byzantine) {
   crashpad::RecoveryPolicy policy = cfg_.policies.lookup(
       entry.domain->app_name(), ctl::event_type(offender));
 
@@ -565,7 +592,12 @@ void LegoController::recover(appvisor::AppEntry& entry, const ctl::Event& offend
 
   crashpad::ProblemTicket ticket;
   ticket.app = entry.domain->app_name();
-  ticket.event_seq = event_seq_.load(std::memory_order_relaxed);
+  // The offender is the event most recently appended to this app's log,
+  // numbered pa.seen (dispatch_core increments before logging). The global
+  // event_seq_ counter ticks for *every* dispatched event across all apps
+  // and lanes, so it races ahead of any one app's log and would point the
+  // ticket at the wrong position in the recent_events excerpt below.
+  ticket.event_seq = per_app_[entry.id].seen;
   ticket.offending_event = ctl::describe(offender);
   ticket.crash_info = (byzantine ? "[byzantine] " : "[fail-stop] ") + crash_info;
   ticket.policy_applied = crashpad::to_string(policy);
@@ -590,6 +622,10 @@ void LegoController::recover(appvisor::AppEntry& entry, const ctl::Event& offend
                                      ctl::describe(le.event));
     }
   }
+  // NetLog's view of every switch at crash time: a byzantine ticket's
+  // digests can be diffed against the live tables (or another replica's
+  // ticket) when triaging what the rolled-back transaction tried to do.
+  ticket.shadow_digests = netlog_.shadow_digests();
   tickets_.file(std::move(ticket));
 
   if (policy == crashpad::RecoveryPolicy::kNoCompromise) {
@@ -634,6 +670,203 @@ void LegoController::recover(appvisor::AppEntry& entry, const ctl::Event& offend
 
   std::lock_guard<std::mutex> lk(lego_mu_);
   lego_stats_.events_ignored += 1;
+}
+
+// --- replication (DESIGN.md §4.8) ---
+
+void LegoController::set_replication_sink(ReplicationSink sink) {
+  repl_sink_ = std::move(sink);
+  if (repl_sink_) {
+    netlog_.set_txn_observer([this](const netlog::TxnRecord& tr) {
+      ReplicaRecord rec;
+      rec.kind = ReplicaRecord::Kind::kTxn;
+      rec.txn = tr;
+      repl_sink_(rec);
+    });
+  } else {
+    netlog_.set_txn_observer(nullptr);
+  }
+}
+
+void LegoController::ship_event(const ctl::Event& e) {
+  if (!repl_sink_) return;
+  ReplicaRecord rec;
+  rec.kind = ReplicaRecord::Kind::kEvent;
+  rec.event = e;
+  repl_sink_(rec);
+}
+
+void LegoController::ship_app_state(appvisor::AppEntry& entry) {
+  if (!repl_sink_) return;
+  ReplicaRecord rec;
+  // Entries are registration-frozen before start, so the index is a stable
+  // cross-replica name for the app (every replica registered the same apps
+  // in the same order).
+  rec.app_index = static_cast<std::size_t>(&entry - visor_.entries().data());
+  if (!entry.domain->alive()) {
+    rec.kind = ReplicaRecord::Kind::kAppDown;
+    repl_sink_(rec);
+    return;
+  }
+  auto snap = entry.domain->snapshot();
+  if (!snap) return; // nothing to ship; the follower keeps its own state
+  rec.kind = ReplicaRecord::Kind::kAppState;
+  rec.state = std::move(snap).value();
+  repl_sink_(rec);
+}
+
+Status LegoController::start_follower() {
+  if (role_ != LegoConfig::Role::kFollower)
+    return Error{Error::Code::kConflict, "start_follower on a non-follower"};
+  // The apps come up warm from the record stream; announcing switches here
+  // would both duplicate the leader's announcements and (post-promotion)
+  // make start() re-deliver SwitchUp to apps that already hold the resulting
+  // state. A wire deployment overrides this with the bridge's announcer
+  // before promotion.
+  if (!announcer_) set_switch_announcer([] {});
+  return visor_.start_all();
+}
+
+void LegoController::follower_ingest(const ReplicaRecord& r) {
+  switch (r.kind) {
+    case ReplicaRecord::Kind::kEvent:
+      follower_ingest_event(r.event);
+      return;
+    case ReplicaRecord::Kind::kTxn:
+      follower_ingest_txn(r.txn);
+      return;
+    case ReplicaRecord::Kind::kAppState: {
+      auto& entries = visor_.entries();
+      if (r.app_index >= entries.size()) return;
+      appvisor::AppEntry& entry = entries[r.app_index];
+      if (!entry.domain->restore(r.state)) return;
+      entry.recoveries += 1;
+      {
+        std::lock_guard<std::mutex> lk(lego_mu_);
+        lego_stats_.recoveries += 1;
+      }
+      // Re-base the checkpoint chain at the synced state: a later restore on
+      // this replica must rewind here, not to a pre-sync snapshot plus a
+      // replay suffix that would re-run events the leader's recovery chose
+      // to skip or transform.
+      PerApp& pa = per_app_[entry.id];
+      ckpt_worker_.submit(entry.id, pa.seen, net_.now(),
+                          std::vector<std::uint8_t>(r.state));
+      pa.last_checkpoint = pa.seen;
+      return;
+    }
+    case ReplicaRecord::Kind::kAppDown: {
+      auto& entries = visor_.entries();
+      if (r.app_index >= entries.size()) return;
+      entries[r.app_index].domain->shutdown();
+      std::lock_guard<std::mutex> lk(lego_mu_);
+      lego_stats_.apps_left_down += 1;
+      return;
+    }
+  }
+}
+
+void LegoController::follower_ingest_event(const ctl::Event& e) {
+  // Mirror dispatch_core's bookkeeping so a promoted follower's counters
+  // line up with a controller that dispatched the stream itself.
+  std::atomic_ref<std::uint64_t>(stats_.events_dispatched)
+      .fetch_add(1, std::memory_order_relaxed);
+  event_seq_.fetch_add(1, std::memory_order_relaxed);
+
+  ctl::Event ev = e; // local copy: stats correction patches in place
+  if (const auto* fr = std::get_if<of::FlowRemoved>(&ev)) {
+    netlog_.observe_northbound({0, *fr});
+  }
+  if (auto* sr = std::get_if<of::StatsReply>(&ev)) {
+    netlog_.correct_stats(*sr);
+  }
+  netlog_.expire_shadows(now());
+
+  const auto type_idx = static_cast<std::size_t>(ctl::event_type(ev));
+  for (auto& entry : visor_.entries()) {
+    if (!entry.subscribed[type_idx]) continue;
+    PerApp& pa = per_app_[entry.id];
+    pa.seen += 1;
+    if (!entry.domain->alive()) {
+      pa.missed += 1;
+      continue;
+    }
+    maybe_checkpoint(entry, ev);
+    entry.events_delivered += 1;
+    auto outcome = entry.domain->deliver(ev, net_.now());
+    if (!outcome.ok()) {
+      // The replica's own instance crashed on the same event (deterministic
+      // apps usually do). No local recovery: the leader's authoritative
+      // outcome arrives as a kAppState / kAppDown record.
+      entry.crashes += 1;
+      continue;
+    }
+    // Emitted messages are discarded — the leader's kTxn records are the
+    // authoritative mutation stream. The dispatch-chain disposition is the
+    // app's own deterministic decision, so honoring kStop here reproduces
+    // exactly which downstream apps the leader delivered to.
+    if (outcome.disposition == ctl::Disposition::kStop) break;
+  }
+}
+
+void LegoController::follower_ingest_txn(const netlog::TxnRecord& r) {
+  using Kind = netlog::TxnRecord::Kind;
+  switch (r.kind) {
+    case Kind::kBegin:
+      txn_map_[r.txn] = netlog_.begin(r.app);
+      return;
+    case Kind::kJoin:
+      if (const auto it = txn_map_.find(r.txn); it != txn_map_.end())
+        netlog_.join(it->second, r.app);
+      return;
+    case Kind::kApply:
+      if (const auto it = txn_map_.find(r.txn); it != txn_map_.end())
+        netlog_.apply(it->second, r.msg);
+      return;
+    case Kind::kCommit:
+      if (const auto it = txn_map_.find(r.txn); it != txn_map_.end()) {
+        const std::uint64_t spans = netlog_.spans(it->second);
+        netlog_.commit(it->second);
+        txn_map_.erase(it);
+        std::lock_guard<std::mutex> lk(lego_mu_);
+        lego_stats_.txns_committed += spans;
+      }
+      return;
+    case Kind::kRollback:
+      if (const auto it = txn_map_.find(r.txn); it != txn_map_.end()) {
+        const std::uint64_t spans = netlog_.spans(it->second);
+        netlog_.rollback(it->second);
+        txn_map_.erase(it);
+        std::lock_guard<std::mutex> lk(lego_mu_);
+        lego_stats_.txns_rolled_back += spans;
+      }
+      return;
+  }
+}
+
+LegoController::PromotionReport LegoController::promote_to_leader() {
+  PromotionReport rep;
+  if (role_ != LegoConfig::Role::kFollower) return rep; // double-promotion guard
+  // Reconcile while still shadow-only: adopt/discard decisions must not put
+  // a single message on the wire, whichever way each transaction goes.
+  rep.reconcile = netlog_.reconcile_in_flight();
+  {
+    std::lock_guard<std::mutex> lk(lego_mu_);
+    lego_stats_.txns_committed += rep.reconcile.spans_adopted;
+    lego_stats_.txns_rolled_back += rep.reconcile.spans_discarded;
+  }
+  txn_map_.clear();
+  netlog_.set_shadow_only(false);
+  set_send_suppressed(false);
+  role_ = LegoConfig::Role::kLeader;
+  attach_network_callbacks();
+  // Deferred-announcement start() (the upgrade_restart path): with a real
+  // announcer (a wire bridge retargeted before promotion) surviving
+  // connections re-announce; the in-process harness's no-op announcer keeps
+  // warm apps from seeing a second SwitchUp storm.
+  start();
+  rep.promoted = true;
+  return rep;
 }
 
 LegoController::LegoStats LegoController::lego_stats() const {

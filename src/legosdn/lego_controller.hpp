@@ -21,6 +21,7 @@
 
 #include <atomic>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <shared_mutex>
 
@@ -38,7 +39,17 @@
 
 namespace legosdn::lego {
 
+struct ReplicaRecord; // replication.hpp
+
 struct LegoConfig {
+  /// Replication role (DESIGN.md §4.8). kSingle is a standalone controller
+  /// (everything before this section). A kFollower starts with its NetLog in
+  /// shadow-only mode and all sends suppressed, stays warm by ingesting the
+  /// leader's record stream, and only touches the wire after
+  /// promote_to_leader(). Roles are normally assigned by ReplicaSet.
+  enum class Role { kSingle, kLeader, kFollower };
+  Role role = Role::kSingle;
+
   appvisor::Backend backend = appvisor::Backend::kInProcess;
   appvisor::ProcessDomain::Config process{};
 
@@ -158,6 +169,45 @@ public:
   };
   LocalizeResult localize_fault(AppId app, const ctl::Event& offender);
 
+  // --- replication (DESIGN.md §4.8) ---
+  /// Leader side: when set, every dispatched event, NetLog transaction
+  /// record, and post-recovery app snapshot is handed to the sink (which
+  /// fans them out to followers). Installing a sink also installs the
+  /// NetLog's transaction observer.
+  using ReplicationSink = std::function<void(const ReplicaRecord&)>;
+  void set_replication_sink(ReplicationSink sink);
+
+  /// Follower side: start the isolation domains warm without announcing
+  /// switches or touching the network. Requires cfg.role == kFollower (the
+  /// constructor already put the NetLog in shadow-only mode and suppressed
+  /// sends). No dispatch engine is installed — a follower replays a totally
+  /// ordered record stream.
+  Status start_follower();
+
+  /// Follower side: ingest one leader record. kEvent re-delivers the event
+  /// to this replica's own app instances (outputs discarded; crash/quota
+  /// faults are noted but never recovered locally — the leader's
+  /// authoritative recovery outcome arrives as kAppState/kAppDown). kTxn
+  /// drives this replica's shadow-only NetLog through the same lifecycle
+  /// step. kAppState restores the app and re-bases its checkpoint chain;
+  /// kAppDown shuts the app down.
+  void follower_ingest(const ReplicaRecord& r);
+
+  struct PromotionReport {
+    bool promoted = false; ///< false: not a follower (double-promotion guard)
+    netlog::NetLog::ReconcileOutcome reconcile{};
+  };
+  /// Unplanned-failover promotion: reconcile in-flight transactions against
+  /// actual switch state (exactly-once: adopt what the switches already
+  /// executed, discard what they never saw — zero duplicate sends either
+  /// way), then leave shadow-only mode, unsuppress sends, take over the
+  /// network callbacks, and run the deferred-announcement start() path.
+  /// Idempotent: a second call (or a call on a non-follower) is a no-op
+  /// with promoted == false.
+  PromotionReport promote_to_leader();
+
+  LegoConfig::Role role() const noexcept { return role_; }
+
   // --- introspection ---
   /// Serialize an out-of-band network write against verifying transactions.
   /// A verifier reads switch tables network-wide under the exclusive side of
@@ -258,7 +308,16 @@ private:
   void flush_coalesced_app(std::size_t shard, AppId app);
   void recover(appvisor::AppEntry& entry, const ctl::Event& offender,
                const std::string& crash_info, bool byzantine);
+  void recover_impl(appvisor::AppEntry& entry, const ctl::Event& offender,
+                    const std::string& crash_info, bool byzantine);
   bool restore_app(appvisor::AppEntry& entry);
+
+  // replication internals (replication.cpp side is ReplicaSet; these run on
+  // the controllers themselves)
+  void ship_event(const ctl::Event& e);
+  void ship_app_state(appvisor::AppEntry& entry);
+  void follower_ingest_event(const ctl::Event& e);
+  void follower_ingest_txn(const netlog::TxnRecord& r);
 
   LegoConfig cfg_;
   appvisor::AppVisor visor_;
@@ -281,6 +340,13 @@ private:
   std::shared_mutex txn_rw_;
   std::unordered_map<AppId, PerApp> per_app_;
   std::atomic<std::uint64_t> event_seq_{0};
+
+  LegoConfig::Role role_ = LegoConfig::Role::kSingle;
+  ReplicationSink repl_sink_;
+  /// Follower: leader TxnId -> this replica's own TxnId for open txns (the
+  /// follower's NetLog allocates its own ids). std::map — TxnId has ordering
+  /// but no std::hash, and the map holds only in-flight transactions.
+  std::map<TxnId, TxnId> txn_map_;
 
   /// Per-lane open coalesced transactions, keyed by app. Sized once when the
   /// engine is installed; each slot is touched only by its owning lane

@@ -93,6 +93,7 @@ TxnId NetLog::begin(AppId app) {
     open_[id] = std::move(txn);
   }
   stats_.begun.fetch_add(1, std::memory_order_relaxed);
+  if (txn_observer_) txn_observer_({TxnRecord::Kind::kBegin, id, app, {}});
   return id;
 }
 
@@ -112,6 +113,7 @@ Status NetLog::join(TxnId id, AppId app) {
   txn->spans += 1;
   stats_.begun.fetch_add(1, std::memory_order_relaxed);
   stats_.coalesced_joins.fetch_add(1, std::memory_order_relaxed);
+  if (txn_observer_) txn_observer_({TxnRecord::Kind::kJoin, id, app, {}});
   return Status::success();
 }
 
@@ -167,6 +169,12 @@ void NetLog::touch(Txn& txn, DatapathId dpid) {
 }
 
 void NetLog::forward(const of::Message& msg) {
+  // Follower mode: the leader already performed (or will perform) the wire
+  // side effect; this NetLog only maintains shadow state. Dropping here —
+  // below both the southbound override and the in-process adapter — is what
+  // guarantees a follower can replay the full transaction stream without a
+  // single duplicate message reaching a switch.
+  if (shadow_only_.load(std::memory_order_relaxed)) return;
   if (southbound_) {
     southbound_(msg);
     return;
@@ -178,22 +186,31 @@ Status NetLog::apply(TxnId id, const of::Message& msg) {
   Txn* txn = find_open(id);
   if (!txn) return Error{Error::Code::kNotFound, "no open transaction"};
   stats_.messages.fetch_add(1, std::memory_order_relaxed);
+  // Every successful apply is exported (outside the stripes) so followers
+  // replay the identical stream through their own shadow-only NetLog.
+  const auto applied = [&] {
+    if (txn_observer_)
+      txn_observer_({TxnRecord::Kind::kApply, id, txn->app, msg});
+    return Status::success();
+  };
 
   if (const auto* mod = msg.get_if<of::FlowMod>()) {
-    StripeGuard guard(*this, mod->dpid);
-    touch(*txn, mod->dpid);
-    if (cfg_.mode == Mode::kUndoLog) {
-      record_undo(*txn, *mod);
-      const std::size_t bytes = txn->undo_wire_bytes;
-      std::size_t peak = stats_.undo_bytes_peak.load(std::memory_order_relaxed);
-      while (bytes > peak && !stats_.undo_bytes_peak.compare_exchange_weak(
-                                 peak, bytes, std::memory_order_relaxed)) {
+    {
+      StripeGuard guard(*this, mod->dpid);
+      touch(*txn, mod->dpid);
+      if (cfg_.mode == Mode::kUndoLog) {
+        record_undo(*txn, *mod);
+        const std::size_t bytes = txn->undo_wire_bytes;
+        std::size_t peak = stats_.undo_bytes_peak.load(std::memory_order_relaxed);
+        while (bytes > peak && !stats_.undo_bytes_peak.compare_exchange_weak(
+                                   peak, bytes, std::memory_order_relaxed)) {
+        }
+        forward(msg);
+      } else {
+        txn->buffered.push_back(msg);
       }
-      forward(msg);
-    } else {
-      txn->buffered.push_back(msg);
     }
-    return Status::success();
+    return applied();
   }
 
   // Non-state-changing messages (packet-out, stats/barrier requests): nothing
@@ -201,14 +218,16 @@ Status NetLog::apply(TxnId id, const of::Message& msg) {
   // holds them with the rest of the bundle, as the paper's prototype did.
   if (cfg_.mode == Mode::kDelayBuffer) {
     txn->buffered.push_back(msg);
-    return Status::success();
+    return applied();
   }
   if (msg.get_if<of::PacketOut>()) {
     // The forwarding engine walks the packet across arbitrary switches
     // (and mutates network-wide totals): stop the world on all stripes.
-    StripeGuard guard = StripeGuard::all(*this);
-    forward(msg);
-    return Status::success();
+    {
+      StripeGuard guard = StripeGuard::all(*this);
+      forward(msg);
+    }
+    return applied();
   }
   DatapathId target{};
   bool have_target = false;
@@ -227,7 +246,7 @@ Status NetLog::apply(TxnId id, const of::Message& msg) {
     StripeGuard guard = StripeGuard::all(*this);
     forward(msg);
   }
-  return Status::success();
+  return applied();
 }
 
 void NetLog::record_undo(Txn& txn, const of::FlowMod& mod) {
@@ -327,43 +346,47 @@ Status NetLog::commit(TxnId id) {
   std::unique_ptr<Txn> txn = take_open(id);
   if (!txn) return Error{Error::Code::kNotFound, "no open transaction"};
 
-  // Cross-shard commit barrier: hold every touched switch's stripe (sorted —
-  // deadlock-free against any other multi-stripe holder) so the barrier sends
-  // and the shadow-vs-switch audit see one atomic cut of the network.
-  // Delay-buffer release may contain packet-outs: stop the whole world.
-  StripeGuard guard =
-      cfg_.mode == Mode::kDelayBuffer
-          ? StripeGuard::all(*this)
-          : StripeGuard(*this, txn->dpids);
+  {
+    // Cross-shard commit barrier: hold every touched switch's stripe (sorted
+    // — deadlock-free against any other multi-stripe holder) so the barrier
+    // sends and the shadow-vs-switch audit see one atomic cut of the network.
+    // Delay-buffer release may contain packet-outs: stop the whole world.
+    StripeGuard guard =
+        cfg_.mode == Mode::kDelayBuffer
+            ? StripeGuard::all(*this)
+            : StripeGuard(*this, txn->dpids);
 
-  if (cfg_.mode == Mode::kDelayBuffer) {
-    // Release the bundle; shadows learn about the flow-mods now.
-    for (const auto& msg : txn->buffered) {
-      if (const auto* mod = msg.get_if<of::FlowMod>())
-        shadow_mut(mod->dpid).apply(*mod, net_.now());
-      forward(msg);
+    if (cfg_.mode == Mode::kDelayBuffer) {
+      // Release the bundle; shadows learn about the flow-mods now.
+      for (const auto& msg : txn->buffered) {
+        if (const auto* mod = msg.get_if<of::FlowMod>())
+          shadow_mut(mod->dpid).apply(*mod, net_.now());
+        forward(msg);
+      }
     }
+    if (cfg_.barrier_on_commit) {
+      for (const DatapathId d : txn->dpids)
+        forward({next_xid_.fetch_add(1, std::memory_order_relaxed),
+                 of::BarrierRequest{d}});
+    }
+    // Cheap commit-time audit: every touched shadow should agree with the
+    // live switch table structure-for-structure (both digests are O(1) to
+    // read). Divergence means the shadow drifted — e.g. the switch
+    // idle-expired an entry the shadow kept alive, or dropped messages while
+    // down.
+    std::uint64_t checks = 0, mismatches = 0;
+    for (const DatapathId d : txn->dpids) {
+      const netsim::SimSwitch* sw = net_.switch_at(d);
+      if (!sw || !sw->up()) continue;
+      const netsim::FlowTable* sh = shadow(d);
+      checks += 1;
+      if (!sh || sh->logical_digest() != sw->table().logical_digest())
+        mismatches += 1;
+    }
+    stats_.shadow_sync_checks.fetch_add(checks, std::memory_order_relaxed);
+    stats_.shadow_sync_mismatches.fetch_add(mismatches,
+                                            std::memory_order_relaxed);
   }
-  if (cfg_.barrier_on_commit) {
-    for (const DatapathId d : txn->dpids)
-      forward({next_xid_.fetch_add(1, std::memory_order_relaxed),
-               of::BarrierRequest{d}});
-  }
-  // Cheap commit-time audit: every touched shadow should agree with the live
-  // switch table structure-for-structure (both digests are O(1) to read).
-  // Divergence means the shadow drifted — e.g. the switch idle-expired an
-  // entry the shadow kept alive, or dropped messages while down.
-  std::uint64_t checks = 0, mismatches = 0;
-  for (const DatapathId d : txn->dpids) {
-    const netsim::SimSwitch* sw = net_.switch_at(d);
-    if (!sw || !sw->up()) continue;
-    const netsim::FlowTable* sh = shadow(d);
-    checks += 1;
-    if (!sh || sh->logical_digest() != sw->table().logical_digest())
-      mismatches += 1;
-  }
-  stats_.shadow_sync_checks.fetch_add(checks, std::memory_order_relaxed);
-  stats_.shadow_sync_mismatches.fetch_add(mismatches, std::memory_order_relaxed);
   // One committed transaction per logical span: coalesced and per-event
   // runs report identical commit stats (see Stats doc).
   stats_.committed.fetch_add(txn->spans, std::memory_order_relaxed);
@@ -371,6 +394,8 @@ Status NetLog::commit(TxnId id) {
     stats_.coalesced_commits.fetch_add(1, std::memory_order_relaxed);
     stats_.coalesced_spans.fetch_add(txn->spans, std::memory_order_relaxed);
   }
+  if (txn_observer_)
+    txn_observer_({TxnRecord::Kind::kCommit, id, txn->app, {}});
   return Status::success();
 }
 
@@ -420,7 +445,104 @@ Status NetLog::rollback(TxnId id) {
   }
   // Delay-buffer mode: held messages simply evaporate.
   stats_.rolled_back.fetch_add(txn->spans, std::memory_order_relaxed);
+  if (txn_observer_)
+    txn_observer_({TxnRecord::Kind::kRollback, id, txn->app, {}});
   return Status::success();
+}
+
+NetLog::ReconcileOutcome NetLog::reconcile_in_flight() {
+  ReconcileOutcome out;
+  // In-flight = begun but neither committed nor rolled back when the leader
+  // died. TxnIds are allocated monotonically, so ascending id order is begin
+  // order — the order the leader would have resolved them in.
+  std::vector<TxnId> ids;
+  {
+    std::lock_guard<std::mutex> lk(open_mu_);
+    ids.reserve(open_.size());
+    for (const auto& [id, _] : open_) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end(),
+            [](TxnId a, TxnId b) { return raw(a) < raw(b); });
+
+  for (const TxnId id : ids) {
+    std::unique_ptr<Txn> txn = take_open(id);
+    if (!txn) continue;
+    StripeGuard guard(*this, txn->dpids);
+
+    // Did the leader's applies reach the switches? In undo-log mode applies
+    // were forwarded as they happened, and this follower's shadow replayed
+    // the same records — so live table == shadow (in-flight applies
+    // included) proves the switch executed every one of them. Delay-buffer
+    // transactions never sent anything before commit, so they always
+    // discard. A down switch is unknowable; the verdict rests on the
+    // others (it will be re-audited against the shadow when it comes up).
+    bool landed = cfg_.mode == Mode::kUndoLog;
+    for (const DatapathId d : txn->dpids) {
+      const netsim::SimSwitch* sw = net_.switch_at(d);
+      if (!sw || !sw->up()) continue;
+      const netsim::FlowTable* sh = shadow(d);
+      if (!sh || sh->logical_digest() != sw->table().logical_digest()) {
+        landed = false;
+        break;
+      }
+    }
+
+    if (landed) {
+      // Adopt: commit is pure bookkeeping. The switches already executed
+      // every apply, so nothing is (re)sent — that is the exactly-once
+      // guarantee, asserted by tests as zero messages during reconcile.
+      stats_.committed.fetch_add(txn->spans, std::memory_order_relaxed);
+      if (txn->spans > 1) {
+        stats_.coalesced_commits.fetch_add(1, std::memory_order_relaxed);
+        stats_.coalesced_spans.fetch_add(txn->spans, std::memory_order_relaxed);
+      }
+      out.txns_adopted += 1;
+      out.spans_adopted += txn->spans;
+    } else {
+      // Discard: the switches never saw the applies, so the inverses are
+      // replayed against the *shadows only* — sending them would mutate live
+      // tables that never changed. For the same reason the counter cache is
+      // left untouched: no live entry was deleted, so there are no lost
+      // ticks to preserve.
+      if (cfg_.mode == Mode::kUndoLog) {
+        std::uint64_t applied = 0;
+        for (auto op = txn->undo.rbegin(); op != txn->undo.rend(); ++op) {
+          shadow_mut(op->inverse.dpid).apply(op->inverse, net_.now());
+          applied += 1;
+        }
+        stats_.undo_ops_applied.fetch_add(applied, std::memory_order_relaxed);
+        // After the inverse replay every touched shadow should equal the live
+        // table again; residue means a partially-landed transaction (possible
+        // over a lossy wire, impossible with synchronous shipping).
+        for (const DatapathId d : txn->dpids) {
+          const netsim::SimSwitch* sw = net_.switch_at(d);
+          if (!sw || !sw->up()) continue;
+          const netsim::FlowTable* sh = shadow(d);
+          if (!sh || sh->logical_digest() != sw->table().logical_digest())
+            out.digest_mismatches += 1;
+        }
+      }
+      stats_.rolled_back.fetch_add(txn->spans, std::memory_order_relaxed);
+      out.txns_discarded += 1;
+      out.spans_discarded += txn->spans;
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> NetLog::shadow_digests()
+    const {
+  // Stop the world so the digests form one consistent cut (forensics reads
+  // these mid-recovery, possibly while other lanes commit).
+  auto& self = const_cast<NetLog&>(*this);
+  StripeGuard guard = StripeGuard::all(self);
+  std::shared_lock<std::shared_mutex> lk(shadow_map_mu_);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  out.reserve(shadow_.size());
+  for (const auto& [dpid, table] : shadow_)
+    out.emplace_back(raw(dpid), table.logical_digest());
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 std::vector<DatapathId> NetLog::touched(TxnId id) const {

@@ -9,6 +9,7 @@
 
 #include "invariant/invariant.hpp"
 #include "netsim/traffic.hpp"
+#include "legosdn/replication.hpp"
 #include "southbound/southbound_bridge.hpp"
 
 #include "apps/fault_injection.hpp"
@@ -91,17 +92,17 @@ Result<Scenario> Scenario::parse(std::string_view text) {
   // checks shape: known command words and minimal arity, with line numbers.
   static const std::map<std::string, std::size_t> kMinArity = {
       {"topology", 3},  {"architecture", 2}, {"backend", 2}, {"netlog", 2},
-      {"southbound", 2},
+      {"southbound", 2}, {"replicas", 2},
       {"checkpoint", 3}, {"limits", 2},       {"policy", 2},  {"app", 2},
       {"wrap", 2},       {"start", 1},        {"send", 3},    {"switch", 3},
       {"link", 4},       {"advance", 2},      {"upgrade", 1}, {"expect", 2},
-      {"traffic", 3},    {"at", 3},
+      {"traffic", 3},    {"at", 3},           {"leader", 2},
   };
   // Commands that may be scheduled behind an 'at <t>' prefix. Notably not
   // 'at' itself (no nesting) and not 'expect' (assertions belong to the
   // script's own sequencing, not the event queue).
   static const std::set<std::string> kSchedulable = {"switch", "link", "send",
-                                                     "traffic"};
+                                                     "traffic", "leader"};
   Scenario sc;
   std::size_t line_no = 0;
   std::size_t pos = 0;
@@ -160,7 +161,7 @@ public:
       log_ << "note: " << schedule_.size()
            << " scheduled event(s) never fired (script ended before their time)\n";
     }
-    if (result_.error.empty() && controller_) capture_final_state();
+    if (result_.error.empty() && active()) capture_final_state();
     result_.ok = result_.error.empty() && result_.failed_checks() == 0;
     result_.transcript = log_.str();
     return std::move(result_);
@@ -172,6 +173,13 @@ private:
     return false;
   }
 
+  /// The controller currently fronting the network: the single controller,
+  /// or the replica set's (possibly promoted) leader. Null before 'start'.
+  ctl::Controller* active() {
+    if (replica_set_) return &replica_set_->leader();
+    return controller_.get();
+  }
+
   void drain() {
     if (bridge_) {
       // Wire mode: quiescence spans the sockets too — frames in flight on a
@@ -179,12 +187,12 @@ private:
       bridge_->settle();
       return;
     }
-    while (controller_->run() > 0) {
+    while (active()->run() > 0) {
     }
   }
 
   bool require_started(const Scenario::Command& cmd) {
-    if (!controller_) {
+    if (!active()) {
       fail(cmd, "'" + cmd.tokens[0] + "' before start");
       return false;
     }
@@ -214,7 +222,7 @@ private:
   /// rules the probes themselves provoked.
   void capture_final_state() {
     result_.started = true;
-    result_.controller_down = controller_->crashed();
+    result_.controller_down = active()->crashed();
     for (const auto& v : invariant::InvariantChecker(*net_).check_basic()) {
       result_.violations.push_back(v.to_string());
     }
@@ -260,12 +268,22 @@ private:
     }
   }
 
+  /// Apps are kept as factories, not instances: replicated mode builds one
+  /// fresh instance per replica (isolation domains own their apps), and the
+  /// single-controller path just invokes each factory once.
+  void push_app(std::function<ctl::AppPtr()> make) {
+    PendingApp p;
+    p.name = make()->name(); // factories are pure; one throwaway for the log
+    p.make = std::move(make);
+    pending_.push_back(std::move(p));
+  }
+
   bool build_app(const Scenario::Command& cmd) {
     const std::string& kind = cmd.tokens[1];
     if (kind == "hub") {
-      pending_.push_back(std::make_shared<apps::Hub>());
+      push_app([] { return std::make_shared<apps::Hub>(); });
     } else if (kind == "flooder") {
-      pending_.push_back(std::make_shared<apps::Flooder>());
+      push_app([] { return std::make_shared<apps::Flooder>(); });
     } else if (kind == "learning-switch") {
       std::uint16_t idle = 0;
       if (auto p = find_arg(cmd.tokens, 2, "idle")) {
@@ -273,9 +291,9 @@ private:
         if (!v || *v > 0xFFFF) return fail(cmd, "bad idle");
         idle = static_cast<std::uint16_t>(*v);
       }
-      pending_.push_back(std::make_shared<apps::LearningSwitch>(idle));
+      push_app([idle] { return std::make_shared<apps::LearningSwitch>(idle); });
     } else if (kind == "discovery") {
-      pending_.push_back(std::make_shared<apps::LinkDiscovery>());
+      push_app([] { return std::make_shared<apps::LinkDiscovery>(); });
     } else if (kind == "router") {
       std::vector<apps::ShortestPathRouter::LinkInfo> links;
       for (const auto& l : net_->links()) links.push_back({l.a, l.b});
@@ -285,7 +303,9 @@ private:
         if (!v || *v > 0xFFFF) return fail(cmd, "bad idle");
         idle = static_cast<std::uint16_t>(*v);
       }
-      pending_.push_back(std::make_shared<apps::ShortestPathRouter>(links, idle));
+      push_app([links, idle] {
+        return std::make_shared<apps::ShortestPathRouter>(links, idle);
+      });
     } else if (kind == "firewall") {
       std::vector<of::Match> deny;
       if (auto p = find_arg(cmd.tokens, 2, "deny_tp")) {
@@ -293,19 +313,21 @@ private:
         if (!v) return fail(cmd, "bad deny_tp");
         deny.push_back(of::Match{}.with_tp_dst(static_cast<std::uint16_t>(*v)));
       }
-      pending_.push_back(std::make_shared<apps::Firewall>(std::move(deny)));
+      push_app([deny] { return std::make_shared<apps::Firewall>(deny); });
     } else if (kind == "load-balancer") {
       if (net_->hosts().size() < 3) return fail(cmd, "load-balancer needs >=3 hosts");
       std::vector<apps::LoadBalancer::Backend> backends{
           {net_->hosts()[1].mac, net_->hosts()[1].ip},
           {net_->hosts()[2].mac, net_->hosts()[2].ip}};
-      pending_.push_back(std::make_shared<apps::LoadBalancer>(
-          IpV4::from_octets(10, 99, 0, 1), MacAddress::from_uint64(0xFEED),
-          std::move(backends)));
+      push_app([backends] {
+        return std::make_shared<apps::LoadBalancer>(
+            IpV4::from_octets(10, 99, 0, 1), MacAddress::from_uint64(0xFEED),
+            backends);
+      });
     } else {
       return fail(cmd, "unknown app '" + kind + "'");
     }
-    log_ << "app " << pending_.back()->name() << "\n";
+    log_ << "app " << pending_.back().name << "\n";
     return true;
   }
 
@@ -334,9 +356,12 @@ private:
     if (pending_.empty()) return fail(cmd, "'wrap' before any 'app'");
     const std::string& kind = cmd.tokens[1];
     apps::CrashTrigger trigger;
+    const auto inner = pending_.back().make;
     if (kind == "crashy") {
       if (!parse_trigger(cmd, 2, &trigger)) return false;
-      pending_.back() = std::make_shared<apps::CrashyApp>(pending_.back(), trigger);
+      pending_.back().make = [inner, trigger] {
+        return std::make_shared<apps::CrashyApp>(inner(), trigger);
+      };
     } else if (kind == "byzantine") {
       if (cmd.tokens.size() < 3) return fail(cmd, "byzantine needs a mode");
       apps::ByzantineApp::Mode mode;
@@ -349,18 +374,22 @@ private:
       if (mode == apps::ByzantineApp::Mode::kLoop && !net_->links().empty()) {
         loop_link = {net_->links()[0].a, net_->links()[0].b};
       }
-      pending_.back() =
-          std::make_shared<apps::ByzantineApp>(pending_.back(), trigger, mode, loop_link);
+      pending_.back().make = [inner, trigger, mode, loop_link] {
+        return std::make_shared<apps::ByzantineApp>(inner(), trigger, mode,
+                                                    loop_link);
+      };
     } else if (kind == "chatty") {
       auto burst = parse_uint(cmd.tokens.size() > 2 ? cmd.tokens[2] : "");
       if (!burst) return fail(cmd, "chatty needs a burst size");
       if (!parse_trigger(cmd, 3, &trigger)) return false;
-      pending_.back() = std::make_shared<apps::ChattyApp>(pending_.back(), trigger,
-                                                          *burst);
+      pending_.back().make = [inner, trigger, b = *burst] {
+        return std::make_shared<apps::ChattyApp>(inner(), trigger, b);
+      };
     } else {
       return fail(cmd, "unknown wrapper '" + kind + "'");
     }
-    log_ << "wrap -> " << pending_.back()->name() << "\n";
+    pending_.back().name = pending_.back().make()->name();
+    log_ << "wrap -> " << pending_.back().name << "\n";
     return true;
   }
 
@@ -472,10 +501,19 @@ private:
       return true;
     }
     if (word == "southbound") {
-      if (controller_) return fail(cmd, "'southbound' after start");
+      if (active()) return fail(cmd, "'southbound' after start");
       if (cmd.tokens[1] == "inprocess") wire_mode_ = false;
       else if (cmd.tokens[1] == "wire") wire_mode_ = true;
       else return fail(cmd, "unknown southbound '" + cmd.tokens[1] + "'");
+      return true;
+    }
+    if (word == "replicas") {
+      if (active()) return fail(cmd, "'replicas' after start");
+      auto n = parse_uint(cmd.tokens[1]);
+      if (!n || *n == 0) return fail(cmd, "bad replica count");
+      // n is the total controller count: 1 = single (no replication),
+      // n >= 2 = one leader + n-1 warm followers.
+      replicas_n_ = *n;
       return true;
     }
     if (word == "netlog") {
@@ -536,23 +574,59 @@ private:
         bridge_ = std::make_unique<southbound::SouthboundBridge>(*net_, c);
         return bridge_->start();
       };
-      if (lego_mode_) {
+      // Lego-mode bridge extras, reused when a promotion retargets the
+      // bridge at the new leader.
+      auto attach_lego_bridge = [this](lego::LegoController& l) {
+        if (!bridge_) return;
+        bridge_->attach_netlog(l.netlog());
+        bridge_->set_delivery_gate([lp = &l](const std::function<void()>& fn) {
+          lp->with_txn_write_gate(fn);
+        });
+      };
+      if (lego_mode_ && replicas_n_ >= 2) {
+        lego::ReplicaConfig rcfg;
+        rcfg.followers = replicas_n_ - 1;
+        // Round-trip every shipped record through the wire codec: the
+        // scenario layer doubles as the codec's live-path exercise.
+        rcfg.encode_records = true;
+        replica_set_ =
+            std::make_unique<lego::ReplicaSet>(*net_, cfg_, rcfg);
+        for (const auto& p : pending_) replica_set_->add_app(p.make);
+        replica_set_->set_pre_start_hook(
+            [&](lego::LegoController& l) -> Status {
+              if (auto st = attach_bridge(l); !st) return st;
+              attach_lego_bridge(l);
+              return Status::success();
+            });
+        replica_set_->set_failover_hooks(
+            /*pre=*/[this, attach_lego_bridge](lego::LegoController& l) {
+              if (!bridge_) return;
+              // Before promotion: promote's start() must announce over the
+              // bridge's surviving connections, not scan the network.
+              bridge_->retarget(l);
+              attach_lego_bridge(l);
+            },
+            /*post=*/[this](lego::LegoController&) {
+              // After promotion: take back the network callbacks that
+              // attach_network_callbacks() pointed at the in-process path.
+              if (bridge_) bridge_->reattach_network_hooks();
+            });
+        if (auto st = replica_set_->start(); !st)
+          return fail(cmd, st.error().to_string());
+        lego_ = &replica_set_->leader();
+      } else if (lego_mode_) {
         auto lego = std::make_unique<lego::LegoController>(*net_, cfg_);
-        for (auto& a : pending_) lego->add_app(std::move(a));
+        for (const auto& a : pending_) lego->add_app(a.make());
         if (auto st = attach_bridge(*lego); !st) return fail(cmd, st.error().to_string());
-        if (bridge_) {
-          bridge_->attach_netlog(lego->netlog());
-          bridge_->set_delivery_gate(
-              [l = lego.get()](const std::function<void()>& fn) {
-                l->with_txn_write_gate(fn);
-              });
-        }
+        attach_lego_bridge(*lego);
         if (auto st = lego->start_system(); !st) return fail(cmd, st.error().to_string());
         lego_ = lego.get();
         controller_ = std::move(lego);
       } else {
+        if (replicas_n_ >= 2)
+          return fail(cmd, "'replicas' needs architecture legosdn");
         controller_ = std::make_unique<ctl::Controller>(*net_);
-        for (auto& a : pending_) controller_->register_app(std::move(a));
+        for (const auto& a : pending_) controller_->register_app(a.make());
         if (auto st = attach_bridge(*controller_); !st)
           return fail(cmd, st.error().to_string());
         controller_->start();
@@ -560,6 +634,9 @@ private:
       pending_.clear();
       drain();
       log_ << "started (" << (lego_mode_ ? "legosdn" : "monolithic")
+           << (replicas_n_ >= 2
+                   ? ", " + std::to_string(replicas_n_) + " replicas"
+                   : "")
            << (wire_mode_ ? ", wire southbound" : "") << ")\n";
       return true;
     }
@@ -670,6 +747,20 @@ private:
       log_ << "controller upgraded\n";
       return true;
     }
+    if (word == "leader") {
+      if (!require_started(cmd)) return false;
+      if (cmd.tokens[1] != "crash") return fail(cmd, "expected 'leader crash'");
+      if (!replica_set_)
+        return fail(cmd, "'leader crash' needs 'replicas <n>' with n >= 2");
+      const auto rep = replica_set_->fail_over();
+      if (!rep.promoted) return fail(cmd, "no follower left to promote");
+      lego_ = &replica_set_->leader();
+      drain();
+      log_ << "leader crashed; follower promoted (txns adopted="
+           << rep.reconcile.txns_adopted
+           << " discarded=" << rep.reconcile.txns_discarded << ")\n";
+      return true;
+    }
     if (word == "expect") return handle_expect(cmd);
     return fail(cmd, "unhandled command '" + word + "'");
   }
@@ -685,8 +776,8 @@ private:
       auto want_up = parse_state(cmd.tokens.size() > 2 ? cmd.tokens[2] : "");
       if (!want_up)
         return fail(cmd, "expected 'expect controller (up|down)'");
-      check.passed = controller_->crashed() != *want_up;
-      check.detail = controller_->crashed() ? "controller is down" : "controller is up";
+      check.passed = active()->crashed() != *want_up;
+      check.detail = active()->crashed() ? "controller is down" : "controller is up";
     } else if (what == "app") {
       if (!lego_) return fail(cmd, "'expect app' needs architecture legosdn");
       auto idx = parse_uint(cmd.tokens.size() > 2 ? cmd.tokens[2] : "");
@@ -733,7 +824,7 @@ private:
         i = 3;
       } else if (what == "crashes") {
         actual = lego_ ? lego_->lego_stats().failstop_crashes
-                       : controller_->stats().controller_crashes;
+                       : active()->stats().controller_crashes;
       } else if (what == "byzantine") {
         if (!lego_) return fail(cmd, "'expect byzantine' needs legosdn");
         actual = lego_->lego_stats().byzantine_failures;
@@ -749,6 +840,8 @@ private:
       } else if (what == "transformed") {
         if (!lego_) return fail(cmd, "'expect transformed' needs legosdn");
         actual = lego_->lego_stats().events_transformed;
+      } else if (what == "failovers") {
+        actual = replica_set_ ? replica_set_->failovers() : 0;
       } else if (what == "punts") {
         actual = net_->totals().punted;
       } else if (what == "resumed") {
@@ -772,16 +865,22 @@ private:
   }
 
   std::unique_ptr<netsim::Network> net_;
-  std::vector<ctl::AppPtr> pending_;
-  // Declared before controller_ so destruction drains the controller's
-  // dispatch lanes while the bridge (and its server) is still alive.
+  struct PendingApp {
+    std::function<ctl::AppPtr()> make;
+    std::string name;
+  };
+  std::vector<PendingApp> pending_;
+  // Declared before the controllers so destruction drains their dispatch
+  // lanes while the bridge (and its server) is still alive.
   std::unique_ptr<southbound::SouthboundBridge> bridge_;
-  std::unique_ptr<ctl::Controller> controller_;
-  lego::LegoController* lego_ = nullptr;
+  std::unique_ptr<ctl::Controller> controller_;     ///< single-controller mode
+  std::unique_ptr<lego::ReplicaSet> replica_set_;   ///< replicas >= 2
+  lego::LegoController* lego_ = nullptr; ///< active lego controller, if any
   lego::LegoConfig cfg_;
   std::string policy_text_;
   bool lego_mode_ = true;
   bool wire_mode_ = false;
+  std::size_t replicas_n_ = 1;
   /// Scheduled churn events keyed by absolute sim time (ns); multimap keeps
   /// same-second events in script order.
   std::multimap<std::int64_t, Scenario::Command> schedule_;

@@ -22,6 +22,8 @@
 //   architecture (legosdn|monolithic)
 //   backend (inprocess|process)
 //   southbound (inprocess|wire)   # wire: real loopback TCP + OF 1.0 framing
+//   replicas <n>                   # legosdn only: 1 leader + n-1 warm
+//                                  # followers (serial dispatch enforced)
 //   netlog (undo-log|delay-buffer)
 //   checkpoint every <k>
 //   limits max_messages=<n> max_faults=<n>
@@ -37,17 +39,20 @@
 //   traffic pairs <sweeps>         # every ordered host pair, <sweeps> times
 //   switch (down|up) <dpid>
 //   link (down|up) <dpid> <port>
-//   at <t> (switch|link|send|traffic) ...
+//   at <t> (switch|link|send|traffic|leader) ...
 //                                  # schedule for absolute sim-second <t>;
 //                                  # fired, in time order, by 'advance'
 //   advance <seconds>              # advances time, firing due 'at' events
 //   upgrade                        # controller restart (legosdn keeps state)
+//   leader crash                   # unplanned leader crash: senior follower
+//                                  # reconciles in-flight txns and promotes
 //   expect controller (up|down)
 //   expect app <index> (alive|down)
 //   expect (reachable|unreachable) <src_host> <dst_host>
 //                                  # symbolic trace over installed rules
 //   expect (delivered <host>|crashes|byzantine|tickets|recoveries|ignored
-//           |transformed|punts|violations|resumed) (==|!=|>=|<=|>|<) <n>
+//           |transformed|punts|violations|resumed|failovers)
+//          (==|!=|>=|<=|>|<) <n>
 //
 // State keywords are strict: anything other than up/down (alive/down for
 // apps) is a line-numbered error, never silently treated as "down".

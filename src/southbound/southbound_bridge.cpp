@@ -4,7 +4,7 @@ namespace legosdn::southbound {
 
 SouthboundBridge::SouthboundBridge(netsim::Network& net,
                                    ctl::Controller& controller, Config cfg)
-    : net_(net), controller_(controller), cfg_(std::move(cfg)) {}
+    : net_(net), controller_(&controller), cfg_(std::move(cfg)) {}
 
 SouthboundBridge::~SouthboundBridge() {
   clients_.clear();
@@ -15,13 +15,20 @@ Status SouthboundBridge::start() {
   // Wire batching: every complete frame of one socket read pass is injected
   // as a single ordered span (engine mode turns it into one submit_batch).
   server_.set_event_batch([this](std::vector<ctl::Event> events) {
-    controller_.inject_events(std::move(events));
+    controller_->inject_events(std::move(events));
   });
   auto st = server_.listen(cfg_.server, [this](ctl::Event e) {
-    controller_.inject_event(std::move(e));
+    controller_->inject_event(std::move(e));
   });
   if (!st) return st;
 
+  reattach_network_hooks();
+  // Controller-side hooks (shared with retarget()).
+  retarget(*controller_);
+  return Status::success();
+}
+
+void SouthboundBridge::reattach_network_hooks() {
   // Switch-originated messages cross the wire via the switch's client.
   net_.set_northbound([this](const of::Message& msg) {
     auto it = clients_.find(of::dpid_of(msg.body));
@@ -39,12 +46,15 @@ Status SouthboundBridge::start() {
       drop_one(dpid);
     }
   });
+}
+
+void SouthboundBridge::retarget(ctl::Controller& controller) {
+  controller_ = &controller;
   // Controller-originated messages cross the wire via the owning connection.
-  controller_.set_southbound([this](const of::Message& msg) {
+  controller_->set_southbound([this](const of::Message& msg) {
     if (!server_.send(of::dpid_of(msg.body), msg)) stats_.southbound_dropped += 1;
   });
-  controller_.set_switch_announcer([this] { announce(); });
-  return Status::success();
+  controller_->set_switch_announcer([this] { announce(); });
 }
 
 void SouthboundBridge::attach_netlog(netlog::NetLog& nl) {
@@ -118,7 +128,7 @@ void SouthboundBridge::announce() {
     if (it != clients_.end() && it->second->ready() && server_.knows(dpid)) {
       // Controller restart over a surviving connection: re-announce without
       // a reconnect, as a live OF channel would.
-      controller_.inject_event(ctl::SwitchUp{dpid, sw->features()});
+      controller_->inject_event(ctl::SwitchUp{dpid, sw->features()});
       continue;
     }
     connect_one(dpid);
@@ -134,7 +144,7 @@ void SouthboundBridge::settle() {
   int calm = 0;
   for (std::size_t guard = 0; calm < 2 && guard < 5'000'000; ++guard) {
     int w = pump();
-    w += static_cast<int>(controller_.run());
+    w += static_cast<int>(controller_->run());
     calm = w == 0 ? calm + 1 : 0;
   }
 }

@@ -55,6 +55,20 @@ public:
   /// rollback inverses) over the wire too.
   void attach_netlog(netlog::NetLog& nl);
 
+  /// Replicated failover: point the bridge at a different controller (the
+  /// promoted follower). Reinstalls the controller-side hooks (southbound,
+  /// announcer) on the new controller; the socket-side callbacks route
+  /// through the bridge's controller pointer, so existing connections carry
+  /// over untouched. Call before the follower's promote_to_leader() so its
+  /// deferred-announcement start() re-announces over surviving connections.
+  /// Re-attach_netlog() the new controller's NetLog separately.
+  void retarget(ctl::Controller& controller);
+
+  /// Promotion's attach_network_callbacks() grabs the network's northbound +
+  /// switch-state callbacks for the in-process adapter path; a wire
+  /// deployment calls this afterwards to take them back.
+  void reattach_network_hooks();
+
   /// Outermost wrapper around every controller->switch delivery into the
   /// network (before the NetLog world lock). Lego mode installs the
   /// controller's transaction write gate here so the pump cannot mutate
@@ -84,7 +98,7 @@ private:
   void deliver_to_network(const of::Message& msg);
 
   netsim::Network& net_;
-  ctl::Controller& controller_;
+  ctl::Controller* controller_; ///< never null; retarget() repoints it
   Config cfg_;
   netlog::NetLog* netlog_ = nullptr; ///< set by attach_netlog (lego mode)
   std::function<void(const std::function<void()>&)> delivery_gate_;
